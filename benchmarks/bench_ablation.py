@@ -1,0 +1,100 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Each ablation isolates one mechanism of the paper and quantifies its effect in
+the cluster performance model:
+
+* NUMA-aware placement (one process per socket) vs. one process per node
+  (Section IV-E; paper: 20-30 % gain);
+* the epoch-based multithreaded Algorithm 2 vs. the MPI-only Algorithm 1 with
+  one process per core (Section IV; memory blow-up and larger reductions);
+* the epoch-length rule: checking the stopping condition too rarely increases
+  the termination latency, checking too often increases overhead
+  (Section IV-D).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    PAPER_CLUSTER,
+    simulate_epoch_mpi,
+    simulate_mpi_only,
+    simulate_shared_memory,
+)
+from repro.experiments.instances import paper_profile
+
+pytestmark = pytest.mark.benchmark(group="ablation")
+
+
+def test_numa_placement_ablation(benchmark):
+    """One process per socket vs one process per node on a single node."""
+
+    def run():
+        profile = paper_profile("orkut-links")
+        per_socket = simulate_epoch_mpi(profile, PAPER_CLUSTER, num_nodes=1, processes_per_node=2)
+        per_node = simulate_epoch_mpi(profile, PAPER_CLUSTER, num_nodes=1, processes_per_node=1)
+        return per_socket, per_node
+
+    per_socket, per_node = benchmark(run)
+    gain = per_node.adaptive_sampling_seconds / per_socket.adaptive_sampling_seconds
+    # Paper: 20-30 % faster with one process per NUMA domain.
+    assert 1.1 <= gain <= 1.4
+    print(f"\nNUMA ablation (orkut-links, 1 node): per-socket placement is {gain:.2f}x faster")
+
+
+def test_algorithm2_vs_algorithm1_ablation(benchmark):
+    """Epoch-based Algorithm 2 vs MPI-only Algorithm 1 on 16 nodes."""
+
+    def run():
+        profile = paper_profile("twitter")
+        epoch = simulate_epoch_mpi(profile, PAPER_CLUSTER, num_nodes=16)
+        mpi_only = simulate_mpi_only(profile, PAPER_CLUSTER, num_nodes=16)
+        return epoch, mpi_only
+
+    epoch, mpi_only = benchmark(run)
+    # Algorithm 1 has to reduce over 24x more ranks, so its non-overlapped
+    # communication per epoch is larger.
+    assert mpi_only.phase_seconds["reduce"] / max(mpi_only.num_epochs, 1) > epoch.phase_seconds[
+        "reduce"
+    ] / max(epoch.num_epochs, 1)
+    # Memory: Algorithm 1 replicates the graph per core, Algorithm 2 per socket.
+    profile = paper_profile("twitter")
+    per_core_copies = PAPER_CLUSTER.machine.cores_per_node
+    per_socket_copies = PAPER_CLUSTER.machine.sockets_per_node
+    assert per_core_copies * profile.graph_bytes > PAPER_CLUSTER.machine.memory_per_node_bytes
+    assert per_socket_copies * profile.graph_bytes < PAPER_CLUSTER.machine.memory_per_node_bytes
+    print(
+        f"\nAlgorithm ablation (twitter, 16 nodes): epoch-based ADS "
+        f"{epoch.adaptive_sampling_seconds:.1f}s vs MPI-only {mpi_only.adaptive_sampling_seconds:.1f}s"
+    )
+
+
+def test_epoch_length_ablation(benchmark):
+    """Shorter/longer epochs trade termination latency against overhead."""
+
+    def run():
+        profile = paper_profile("dbpedia-link")
+        return simulate_epoch_mpi(profile, PAPER_CLUSTER, num_nodes=16)
+
+    baseline = benchmark(run)
+    # The algorithm should overshoot the target sample count by less than the
+    # samples of a single epoch (low termination latency).
+    profile = paper_profile("dbpedia-link")
+    overshoot = baseline.total_samples - profile.target_samples
+    samples_per_epoch = baseline.total_samples / max(baseline.num_epochs, 1)
+    assert overshoot <= samples_per_epoch * 1.5
+    # Overhead: the non-overlapped reduction accounts for less than half of the
+    # adaptive-sampling time.
+    assert baseline.phase_seconds["reduce"] < 0.5 * baseline.adaptive_sampling_seconds
+    print(
+        f"\nEpoch-length ablation (dbpedia-link): {baseline.num_epochs} epochs, "
+        f"overshoot {overshoot} samples"
+    )
+
+
+def test_shared_memory_baseline_cost(benchmark):
+    """The competitor baseline itself (used as the denominator of Fig. 2/3)."""
+    result = benchmark(lambda: simulate_shared_memory(paper_profile("wikipedia_link_en")))
+    assert result.algorithm == "shared-memory"
+    assert result.total_seconds > 0

@@ -1,0 +1,47 @@
+"""Benchmark: regenerate Figure 2 (parallel scalability + time breakdown)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.trace import PHASE_ORDER
+from repro.experiments.fig2 import format_fig2a, format_fig2b, generate_fig2
+
+pytestmark = pytest.mark.benchmark(group="fig2")
+
+
+def test_fig2_full_sweep(benchmark):
+    """Time the node-count sweep behind Fig. 2a/2b and verify its shape."""
+    result = benchmark(generate_fig2)
+
+    # Fig. 2a: speedup increases monotonically with the node count and is
+    # almost linear up to 8 nodes, then flattens (sequential phases).
+    speedups = [result.overall_speedup[n] for n in result.node_counts]
+    assert all(b > a for a, b in zip(speedups, speedups[1:]))
+    assert result.overall_speedup[1] >= 1.0  # NUMA placement already helps on one node
+    assert result.overall_speedup[8] >= 4.0
+    assert result.overall_speedup[16] >= 5.0
+    # Flattening: going 8 -> 16 gains less than 2x.
+    assert result.overall_speedup[16] / result.overall_speedup[8] < 1.9
+
+    # Fig. 2b: fractions sum to ~1 and the sequential phases (diameter +
+    # calibration) grow with the node count.
+    for nodes in result.node_counts:
+        fractions = result.phase_fractions[nodes]
+        assert sum(fractions.values()) == pytest.approx(1.0, abs=1e-6)
+        assert set(fractions) == set(PHASE_ORDER)
+    seq_1 = result.phase_fractions[1]["diameter"] + result.phase_fractions[1]["calibration"]
+    seq_16 = result.phase_fractions[16]["diameter"] + result.phase_fractions[16]["calibration"]
+    assert seq_16 > seq_1
+
+    print()
+    print(format_fig2a(result))
+    print(format_fig2b(result))
+
+
+def test_fig2_small_subset(benchmark):
+    """Time the sweep restricted to two instances (CI-sized variant)."""
+    result = benchmark(
+        lambda: generate_fig2(names=["orkut-links", "roadNet-PA"], node_counts=(1, 4, 16))
+    )
+    assert set(result.per_instance_speedup) == {"orkut-links", "roadNet-PA"}

@@ -1,0 +1,66 @@
+"""Benchmark: regenerate Figure 4 (adaptive-sampling time vs graph size).
+
+The measured panel runs the real Python algorithm on scaled-down R-MAT and
+hyperbolic graphs; the model panel projects the experiment to the paper's
+2^23 .. 2^26 vertex range and checks the published shape (superlinear growth
+for R-MAT, flat for hyperbolic graphs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig4 import (
+    format_fig4,
+    format_fig4_model,
+    generate_fig4,
+    generate_fig4_model,
+)
+
+pytestmark = pytest.mark.benchmark(group="fig4")
+
+BENCH_SCALES = (9, 10, 11)
+
+
+def test_fig4_measured_rmat(benchmark):
+    """Time the real-execution R-MAT size sweep (panel a, reduced scale)."""
+    result = benchmark(
+        lambda: generate_fig4(
+            scales=BENCH_SCALES, families=("rmat",), edge_factor=10.0, max_samples=1500
+        )
+    )
+    points = result.rmat
+    assert [p.scale for p in points] == list(BENCH_SCALES)
+    assert all(p.adaptive_seconds > 0 for p in points)
+    assert all(p.samples > 0 for p in points)
+    print()
+    print(format_fig4(result))
+
+
+def test_fig4_measured_hyperbolic(benchmark):
+    """Time the real-execution hyperbolic size sweep (panel b, reduced scale)."""
+    result = benchmark(
+        lambda: generate_fig4(
+            scales=BENCH_SCALES, families=("hyperbolic",), edge_factor=10.0, max_samples=1500
+        )
+    )
+    points = result.hyperbolic
+    assert [p.scale for p in points] == list(BENCH_SCALES)
+    assert all(p.adaptive_seconds > 0 for p in points)
+    print()
+    print(format_fig4(result))
+
+
+def test_fig4_model_projection(benchmark):
+    """Time the paper-scale model projection and verify the published shape."""
+    model = benchmark(generate_fig4_model)
+    rmat = model["rmat"]
+    hyperbolic = model["hyperbolic"]
+    # R-MAT: per-vertex time grows (paper: 1.85x from 2^23 to 2^26).
+    growth = rmat[-1].millis_per_vertex / rmat[0].millis_per_vertex
+    assert 1.3 <= growth <= 2.5
+    # Hyperbolic: essentially flat.
+    flat = hyperbolic[-1].millis_per_vertex / hyperbolic[0].millis_per_vertex
+    assert 0.8 <= flat <= 1.2
+    print()
+    print(format_fig4_model(model))

@@ -1,0 +1,27 @@
+"""Benchmark: the paper's headline claims (Section I-B / abstract)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.headline import format_headline, generate_headline
+
+pytestmark = pytest.mark.benchmark(group="headline")
+
+
+def test_headline_numbers(benchmark):
+    """Regenerate the 7.4x / 16.1x / 20-30 % / <10-minute headline figures."""
+    result = benchmark(generate_headline)
+
+    # Overall speedup on 16 nodes (paper: 7.4x geometric mean).
+    assert 5.0 <= result.overall_speedup_16_nodes <= 14.0
+    # Adaptive-sampling phase speedup (paper: 16.1x).
+    assert 12.0 <= result.adaptive_speedup_16_nodes <= 24.0
+    # Single-node NUMA placement gain (paper: 20-30 %).
+    assert 1.1 <= result.single_node_numa_gain <= 1.4
+    # Billion-edge graphs finish within tens of minutes (paper: < 10 minutes).
+    assert result.billion_edge_minutes
+    assert all(minutes < 30.0 for minutes in result.billion_edge_minutes.values())
+
+    print()
+    print(format_headline(result))

@@ -1,0 +1,59 @@
+"""Benchmarks of the functional parallel drivers (threaded MPI substrate).
+
+These complement the cluster model: they execute Algorithms 1 and 2 for real
+(ranks as threads) on proxy graphs, which is what a user of the library runs
+on a workstation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import KadabraBetweenness
+from repro.epoch import SharedMemoryKadabra
+from repro.parallel import DistributedKadabra
+
+pytestmark = pytest.mark.benchmark(group="parallel")
+
+
+def test_sequential_kadabra(benchmark, social_proxy_graph, fast_options):
+    result = benchmark(lambda: KadabraBetweenness(social_proxy_graph, fast_options).run())
+    assert result.num_samples > 0
+
+
+def test_shared_memory_kadabra(benchmark, social_proxy_graph, fast_options):
+    result = benchmark(
+        lambda: SharedMemoryKadabra(social_proxy_graph, fast_options, num_threads=4).run()
+    )
+    assert result.num_samples > 0
+
+
+def test_distributed_epoch_kadabra(benchmark, social_proxy_graph, fast_options):
+    result = benchmark(
+        lambda: DistributedKadabra(
+            social_proxy_graph, fast_options, num_processes=2, threads_per_process=2
+        ).run()
+    )
+    assert result.num_samples > 0
+
+
+def test_distributed_algorithm1(benchmark, social_proxy_graph, fast_options):
+    result = benchmark(
+        lambda: DistributedKadabra(
+            social_proxy_graph, fast_options, num_processes=2, algorithm="mpi-only"
+        ).run()
+    )
+    assert result.num_samples > 0
+
+
+def test_distributed_numa_split(benchmark, social_proxy_graph, fast_options):
+    result = benchmark(
+        lambda: DistributedKadabra(
+            social_proxy_graph,
+            fast_options,
+            num_processes=4,
+            threads_per_process=1,
+            processes_per_node=2,
+        ).run()
+    )
+    assert result.num_samples > 0

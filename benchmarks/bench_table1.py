@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Table I (instance properties, paper vs proxy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table1 import format_table1, generate_table1
+
+pytestmark = pytest.mark.benchmark(group="table1")
+
+#: Reduced proxy scale so a benchmark round stays in the seconds range.
+BENCH_SCALE = 1.0 / 4000.0
+
+
+def test_table1_generation(benchmark):
+    """Time the full Table I generation (proxy construction + diameter bounds)."""
+    rows = benchmark(lambda: generate_table1(scale=BENCH_SCALE, seed=1))
+    assert len(rows) == 10
+    # Road networks keep their character: sparse and higher diameter than the
+    # complex-network proxies.
+    road = [r for r in rows if r.kind == "road"]
+    complex_ = [r for r in rows if r.kind == "complex"]
+    assert road and complex_
+    assert all(r.proxy_avg_degree < 4.0 for r in road)
+    assert all(r.proxy_avg_degree > 8.0 for r in complex_)
+    assert min(r.proxy_diameter_lower for r in road) > max(
+        r.proxy_diameter_lower for r in complex_
+    )
+    report = format_table1(rows)
+    print()
+    print(report)
+
+
+def test_table1_single_road_instance(benchmark):
+    """Time proxy construction + diameter estimation for one road instance."""
+    rows = benchmark(lambda: generate_table1(names=["roadNet-PA"], scale=BENCH_SCALE, seed=1))
+    assert len(rows) == 1
+    assert rows[0].paper_vertices == 1_087_562

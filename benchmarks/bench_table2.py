@@ -1,0 +1,48 @@
+"""Benchmark: regenerate Table II (per-instance statistics on 16 nodes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.instances import PAPER_INSTANCES, instance_by_name
+from repro.experiments.table2 import format_table2, generate_table2
+
+pytestmark = pytest.mark.benchmark(group="table2")
+
+
+def test_table2_generation(benchmark):
+    """Time the full Table II simulation and check its qualitative shape."""
+    rows = benchmark(generate_table2)
+    assert len(rows) == len(PAPER_INSTANCES)
+    by_name = {r.name: r for r in rows}
+
+    # Communication volume per epoch tracks the paper's values exactly (it is
+    # determined by |V| and the process count alone).
+    for row in rows:
+        assert row.comm_mib_per_epoch == pytest.approx(row.paper_comm_mib_per_epoch, rel=0.02)
+
+    # Road networks need the most samples but the least communication;
+    # consequently they run many more epochs than the billion-edge graphs.
+    road = by_name["roadNet-CA"]
+    big = by_name["dimacs10-uk-2007-05"]
+    assert road.samples > big.samples
+    assert road.comm_mib_per_epoch < big.comm_mib_per_epoch
+    assert road.epochs > 3 * big.epochs
+
+    # Samples at termination stay close to the paper's counts (the model stops
+    # at the same target, overshooting by at most one epoch).
+    for row in rows:
+        assert row.samples >= row.paper_samples
+        assert row.samples <= 1.3 * row.paper_samples
+
+    print()
+    print(format_table2(rows))
+
+
+def test_table2_single_instance(benchmark):
+    """Time the simulation of a single large instance."""
+    rows = benchmark(lambda: generate_table2(names=["twitter"]))
+    assert len(rows) == 1
+    assert rows[0].name == "twitter"
+    inst = instance_by_name("twitter")
+    assert rows[0].paper_samples == inst.samples

@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates (part of) one table or figure of the paper; the
+fixtures keep the proxy graphs and workload profiles cached across benchmark
+rounds so that pytest-benchmark timing loops measure the experiment itself and
+not repeated graph generation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import KadabraOptions
+from repro.experiments.instances import build_proxy_graph
+from repro.graph.generators import barabasi_albert, rmat_graph, road_network_graph
+
+
+@pytest.fixture(scope="session")
+def social_proxy_graph():
+    """A small social-network-like proxy (Barabási–Albert)."""
+    return barabasi_albert(600, 4, seed=11)
+
+
+@pytest.fixture(scope="session")
+def road_proxy_graph():
+    """A small road-network-like proxy (perturbed lattice)."""
+    return road_network_graph(28, 28, seed=11)
+
+
+@pytest.fixture(scope="session")
+def rmat_proxy_graph():
+    """A small R-MAT proxy graph."""
+    return rmat_graph(9, edge_factor=12, seed=11)
+
+
+@pytest.fixture(scope="session")
+def orkut_proxy_graph():
+    """Proxy of the orkut-links instance at reduced scale."""
+    return build_proxy_graph("orkut-links", scale=1.0 / 4000.0, seed=3)
+
+
+@pytest.fixture(scope="session")
+def fast_options():
+    """KADABRA options sized for benchmark iterations (seconds, not minutes)."""
+    return KadabraOptions(
+        eps=0.05,
+        delta=0.1,
+        seed=5,
+        calibration_samples=150,
+        max_samples_override=2500,
+        samples_per_check=200,
+    )

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Project a betweenness workload onto the paper's 16-node cluster.
+
+Uses the cluster performance model to answer the capacity-planning question a
+downstream user actually has: *how many compute nodes do I need to finish a
+given graph within my time budget?*  The example
+
+1. takes the paper's billion-edge instances (Table I/II statistics),
+2. sweeps the node count with the epoch-based MPI algorithm model,
+3. prints the projected running time, speedup over the shared-memory baseline
+   and the per-phase breakdown,
+4. reports the smallest node count that meets a 10-minute target.
+
+Run with::
+
+    python examples/cluster_scaling_study.py
+"""
+
+from __future__ import annotations
+
+from repro.cluster import PAPER_CLUSTER, simulate_epoch_mpi, simulate_shared_memory
+from repro.experiments.instances import paper_profile
+
+INSTANCES = ["orkut-links", "twitter", "friendster", "dimacs10-uk-2007-05"]
+NODE_COUNTS = [1, 2, 4, 8, 16]
+TARGET_MINUTES = 10.0
+
+
+def main() -> None:
+    machine = PAPER_CLUSTER.machine
+    print(
+        f"cluster model: {machine.num_nodes} nodes x {machine.sockets_per_node} sockets x "
+        f"{machine.cores_per_socket} cores, {machine.memory_per_node_bytes / 2**30:.0f} GiB/node"
+    )
+    for name in INSTANCES:
+        profile = paper_profile(name)
+        baseline = simulate_shared_memory(profile)
+        print(
+            f"\n{name}: |V| = {profile.num_vertices:,}, |E| = {profile.num_edges:,}, "
+            f"state frame {profile.frame_bytes / 2**20:.0f} MiB"
+        )
+        print(
+            f"  shared-memory baseline (1 node, 24 threads): "
+            f"{baseline.total_seconds / 60:.1f} minutes"
+        )
+        meets_target = None
+        for nodes in NODE_COUNTS:
+            run = simulate_epoch_mpi(profile, num_nodes=nodes)
+            speedup = baseline.total_seconds / run.total_seconds
+            print(
+                f"  {nodes:2d} nodes: {run.total_seconds / 60:6.1f} min "
+                f"(speedup {speedup:5.2f}x, {run.num_epochs} epochs, "
+                f"{run.communication_bytes_per_epoch / 2**30:.2f} GiB reduced per epoch)"
+            )
+            if meets_target is None and run.total_seconds <= TARGET_MINUTES * 60:
+                meets_target = nodes
+        if meets_target is not None:
+            print(f"  -> {meets_target} node(s) suffice for a {TARGET_MINUTES:.0f}-minute budget")
+        else:
+            print(f"  -> even 16 nodes exceed the {TARGET_MINUTES:.0f}-minute budget in the model")
+
+        # Memory check from Section IV: the graph must fit next to each
+        # per-socket process.
+        fits = machine.fits_in_socket_memory(profile.graph_bytes)
+        print(f"  graph fits into one NUMA domain's memory: {'yes' if fits else 'NO'}")
+
+
+if __name__ == "__main__":
+    main()

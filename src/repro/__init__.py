@@ -1,0 +1,44 @@
+"""repro — MPI-based adaptive sampling for betweenness-centrality approximation.
+
+A from-scratch Python reproduction of *"Scaling Betweenness Approximation to
+Billions of Edges by MPI-based Adaptive Sampling"* (van der Grinten &
+Meyerhenke, IPDPS 2020): the KADABRA adaptive-sampling algorithm, its
+epoch-based shared-memory parallelization, the MPI-style distributed
+algorithms, and a discrete-event cluster model that regenerates the paper's
+evaluation figures and tables.
+
+Quickstart
+----------
+>>> from repro import KadabraBetweenness, KadabraOptions
+>>> from repro.graph.generators import barabasi_albert
+>>> graph = barabasi_albert(500, 3, seed=0)
+>>> result = KadabraBetweenness(graph, KadabraOptions(eps=0.05, seed=0)).run()
+>>> result.top_k(3)  # doctest: +SKIP
+"""
+
+from repro.core import (
+    BetweennessResult,
+    KadabraBetweenness,
+    KadabraOptions,
+    StateFrame,
+    StoppingCondition,
+    compute_omega,
+)
+from repro.graph import CSRGraph, GraphBuilder
+from repro.baselines import brandes_betweenness, RKBetweenness
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BetweennessResult",
+    "KadabraBetweenness",
+    "KadabraOptions",
+    "StateFrame",
+    "StoppingCondition",
+    "compute_omega",
+    "CSRGraph",
+    "GraphBuilder",
+    "brandes_betweenness",
+    "RKBetweenness",
+    "__version__",
+]

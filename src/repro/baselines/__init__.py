@@ -1,0 +1,14 @@
+"""Baselines: exact Brandes betweenness and the RK fixed-sample approximation."""
+
+from repro.baselines.brandes import brandes_betweenness, brandes_from_sources
+from repro.baselines.rk import RKBetweenness, rk_sample_size
+from repro.baselines.source_sampling import SourceSamplingBetweenness, source_sample_size
+
+__all__ = [
+    "brandes_betweenness",
+    "brandes_from_sources",
+    "RKBetweenness",
+    "rk_sample_size",
+    "SourceSamplingBetweenness",
+    "source_sample_size",
+]

@@ -1,0 +1,84 @@
+"""The RK (Riondato–Kornaropoulos) fixed-sample-size approximation.
+
+The direct predecessor of KADABRA ([18] in the paper): sample vertex pairs and
+uniform shortest paths exactly like KADABRA, but the number of samples is fixed
+*a priori* from the VC-dimension bound — there is no adaptive stopping rule.
+Comparing RK and KADABRA shows how much work adaptivity saves, and the RK
+driver doubles as a simple non-adaptive sampling baseline for the parallel
+drivers' tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.options import KadabraOptions
+from repro.core.result import BetweennessResult
+from repro.core.state_frame import StateFrame
+from repro.core.stopping import OMEGA_CONSTANT
+from repro.diameter import vertex_diameter_upper_bound
+from repro.graph.csr import CSRGraph
+from repro.core.kadabra import make_sampler
+from repro.util.timer import PhaseTimer
+from repro.util.validation import check_positive, check_probability
+
+__all__ = ["rk_sample_size", "RKBetweenness"]
+
+
+def rk_sample_size(eps: float, delta: float, vertex_diameter: int, *, constant: float = OMEGA_CONSTANT) -> int:
+    """The RK sample-size bound ``(c / eps^2) (floor(log2(VD - 2)) + 1 + log(1/delta))``."""
+    check_positive(eps, "eps")
+    check_probability(delta, "delta")
+    if vertex_diameter < 0:
+        raise ValueError("vertex_diameter must be non-negative")
+    if vertex_diameter > 2:
+        log_term = math.floor(math.log2(vertex_diameter - 2)) + 1
+    else:
+        log_term = 1
+    return int(math.ceil((constant / (eps * eps)) * (log_term + math.log(1.0 / delta))))
+
+
+@dataclass
+class RKBetweenness:
+    """Fixed-sample-size betweenness approximation (RK algorithm)."""
+
+    graph: CSRGraph
+    options: KadabraOptions = KadabraOptions()
+
+    def run(self) -> BetweennessResult:
+        graph = self.graph
+        options = self.options
+        if graph.num_vertices < 2:
+            return BetweennessResult(scores=np.zeros(graph.num_vertices), eps=options.eps, delta=options.delta)
+        timer = PhaseTimer()
+        rng = np.random.default_rng(options.seed)
+        sampler = make_sampler(graph, options)
+
+        with timer.phase("diameter"):
+            if options.vertex_diameter_override is not None:
+                vd = int(options.vertex_diameter_override)
+            else:
+                vd = max(vertex_diameter_upper_bound(graph, seed=options.seed), 2)
+        num_samples = rk_sample_size(options.eps, options.delta, vd)
+        if options.max_samples_override is not None:
+            num_samples = min(num_samples, int(options.max_samples_override))
+
+        frame = StateFrame.zeros(graph.num_vertices)
+        with timer.phase("sampling"):
+            for _ in range(num_samples):
+                sample = sampler.sample(rng)
+                frame.record_sample(sample.internal_vertices, edges_touched=sample.edges_touched)
+
+        return BetweennessResult(
+            scores=frame.betweenness_estimates(),
+            num_samples=frame.num_samples,
+            eps=options.eps,
+            delta=options.delta,
+            omega=num_samples,
+            vertex_diameter=vd,
+            phase_seconds=timer.as_dict(),
+            extra={"edges_touched": float(frame.edges_touched)},
+        )

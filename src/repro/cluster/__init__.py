@@ -1,0 +1,41 @@
+"""Cluster performance model: machine/network specs and epoch-level simulation."""
+
+from repro.cluster.machine import MachineSpec, NetworkSpec, ClusterConfig, PAPER_CLUSTER
+from repro.cluster.collectives import (
+    reduce_time,
+    barrier_time,
+    broadcast_time,
+    local_aggregation_time,
+)
+from repro.cluster.sampling_cost import (
+    measure_edges_per_sample,
+    estimate_edges_per_sample,
+    sample_seconds,
+)
+from repro.cluster.workload import InstanceProfile
+from repro.cluster.trace import SimulatedRun, PHASE_ORDER
+from repro.cluster.kadabra_model import (
+    simulate_epoch_mpi,
+    simulate_shared_memory,
+    simulate_mpi_only,
+)
+
+__all__ = [
+    "MachineSpec",
+    "NetworkSpec",
+    "ClusterConfig",
+    "PAPER_CLUSTER",
+    "reduce_time",
+    "barrier_time",
+    "broadcast_time",
+    "local_aggregation_time",
+    "measure_edges_per_sample",
+    "estimate_edges_per_sample",
+    "sample_seconds",
+    "InstanceProfile",
+    "SimulatedRun",
+    "PHASE_ORDER",
+    "simulate_epoch_mpi",
+    "simulate_shared_memory",
+    "simulate_mpi_only",
+]

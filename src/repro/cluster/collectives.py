@@ -1,0 +1,78 @@
+"""Cost models for the MPI collectives used by the algorithms.
+
+Standard LogP-style estimates for tree-based collective implementations
+(MPICH's defaults for medium/large messages):
+
+* reduction of ``b`` bytes over ``p`` ranks: ``ceil(log2 p)`` rounds, each
+  paying one message of ``b`` bytes plus the local combine;
+* barrier: ``ceil(log2 p)`` latency-only rounds (dissemination barrier);
+* broadcast of small control messages: ``ceil(log2 p)`` latency rounds.
+
+These are intentionally simple: the paper's scaling behaviour depends on the
+*ratio* between the (overlappable) communication time and the sampling
+throughput, not on the last 20 % of collective-algorithm fidelity.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cluster.machine import NetworkSpec
+
+__all__ = ["reduce_time", "barrier_time", "broadcast_time", "local_aggregation_time"]
+
+
+def _rounds(num_ranks: int) -> int:
+    if num_ranks <= 1:
+        return 0
+    return int(math.ceil(math.log2(num_ranks)))
+
+
+def reduce_time(
+    network: NetworkSpec,
+    num_ranks: int,
+    message_bytes: int,
+    *,
+    combine_seconds_per_byte: float = 2.5e-10,
+) -> float:
+    """Blocking tree reduction of ``message_bytes`` over ``num_ranks`` ranks."""
+    if num_ranks <= 0:
+        raise ValueError("num_ranks must be positive")
+    if message_bytes < 0:
+        raise ValueError("message_bytes must be non-negative")
+    rounds = _rounds(num_ranks)
+    per_round = network.message_time(message_bytes) + combine_seconds_per_byte * message_bytes
+    return rounds * per_round
+
+
+def barrier_time(network: NetworkSpec, num_ranks: int) -> float:
+    """Dissemination barrier over ``num_ranks`` ranks (latency bound)."""
+    if num_ranks <= 0:
+        raise ValueError("num_ranks must be positive")
+    return _rounds(num_ranks) * network.message_time(0)
+
+
+def broadcast_time(network: NetworkSpec, num_ranks: int, message_bytes: int = 8) -> float:
+    """Binomial-tree broadcast of a small control message."""
+    if num_ranks <= 0:
+        raise ValueError("num_ranks must be positive")
+    if message_bytes < 0:
+        raise ValueError("message_bytes must be non-negative")
+    return _rounds(num_ranks) * network.message_time(message_bytes)
+
+
+def local_aggregation_time(
+    frame_bytes: int,
+    num_local_frames: int,
+    memory_bandwidth: float,
+) -> float:
+    """Shared-memory aggregation of ``num_local_frames`` frames of the given size.
+
+    Models both the per-node pre-reduction over the local communicator
+    (Section IV-E) and the thread-frame aggregation of the epoch framework.
+    """
+    if frame_bytes < 0 or num_local_frames < 0:
+        raise ValueError("sizes must be non-negative")
+    if memory_bandwidth <= 0:
+        raise ValueError("memory_bandwidth must be positive")
+    return num_local_frames * frame_bytes / memory_bandwidth

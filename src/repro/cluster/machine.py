@@ -1,0 +1,127 @@
+"""Machine and interconnect specifications for the cluster performance model.
+
+The paper's testbed: 16 compute nodes, each with two Intel Xeon Gold 6126
+sockets (12 cores per socket, one application thread per core), 192 GiB RAM
+per node (96 GiB per NUMA domain), connected by Intel OmniPath, MPICH 3.2.
+The dataclasses below capture the parameters of that installation that the
+performance model needs; all of them can be overridden to model other
+clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MachineSpec", "NetworkSpec", "ClusterConfig", "PAPER_CLUSTER"]
+
+GIB = 1024 ** 3
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A homogeneous cluster of multi-socket compute nodes.
+
+    Attributes
+    ----------
+    num_nodes:
+        Number of compute nodes available.
+    sockets_per_node:
+        NUMA domains (sockets) per node.
+    cores_per_socket:
+        Physical cores per socket; the paper runs one application thread per
+        core.
+    memory_per_node_bytes:
+        RAM per compute node.
+    edge_traversal_seconds:
+        Time for one adjacency-entry traversal during sampling when the
+        memory is NUMA-local (the inverse of the per-core traversal rate).
+    numa_remote_penalty:
+        Multiplicative slowdown of edge traversals when a process spans both
+        sockets (remote-socket cache misses); the paper measures a 20-30 %
+        gain from avoiding this, i.e. a penalty around 1.25.
+    check_seconds_per_vertex:
+        Cost of evaluating the stopping condition per vertex (rank 0 only).
+    memory_copy_bandwidth:
+        Shared-memory bandwidth used for node-local frame aggregation.
+    """
+
+    num_nodes: int = 16
+    sockets_per_node: int = 2
+    cores_per_socket: int = 12
+    memory_per_node_bytes: int = 192 * GIB
+    edge_traversal_seconds: float = 4.0e-9
+    numa_remote_penalty: float = 1.25
+    check_seconds_per_vertex: float = 2.0e-9
+    memory_copy_bandwidth: float = 8.0e9
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0 or self.sockets_per_node <= 0 or self.cores_per_socket <= 0:
+            raise ValueError("machine dimensions must be positive")
+        if self.edge_traversal_seconds <= 0:
+            raise ValueError("edge_traversal_seconds must be positive")
+        if self.numa_remote_penalty < 1.0:
+            raise ValueError("numa_remote_penalty must be >= 1.0")
+
+    @property
+    def cores_per_node(self) -> int:
+        return self.sockets_per_node * self.cores_per_socket
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_nodes * self.cores_per_node
+
+    @property
+    def memory_per_socket_bytes(self) -> int:
+        return self.memory_per_node_bytes // self.sockets_per_node
+
+    def fits_in_socket_memory(self, graph_bytes: int, *, reserve_fraction: float = 0.5) -> bool:
+        """Whether a replicated graph of the given size fits next to one
+        process per socket (the paper's constraint in Section IV)."""
+        return graph_bytes <= self.memory_per_socket_bytes * reserve_fraction
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Point-to-point interconnect parameters (Intel OmniPath defaults).
+
+    Attributes
+    ----------
+    latency_seconds:
+        One-way small-message latency.
+    bandwidth_bytes_per_second:
+        Per-link large-message bandwidth (OmniPath: 100 Gbit/s).
+    per_message_software_overhead:
+        MPI software overhead added to every message.
+    """
+
+    latency_seconds: float = 1.5e-6
+    bandwidth_bytes_per_second: float = 12.5e9
+    per_message_software_overhead: float = 2.0e-6
+
+    def __post_init__(self) -> None:
+        if self.latency_seconds < 0 or self.per_message_software_overhead < 0:
+            raise ValueError("latencies must be non-negative")
+        if self.bandwidth_bytes_per_second <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def message_time(self, num_bytes: int) -> float:
+        """Time to move one message of ``num_bytes`` between two nodes."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return (
+            self.latency_seconds
+            + self.per_message_software_overhead
+            + num_bytes / self.bandwidth_bytes_per_second
+        )
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """A machine plus its interconnect."""
+
+    machine: MachineSpec = field(default_factory=MachineSpec)
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+
+
+#: The configuration used throughout the paper's evaluation.
+PAPER_CLUSTER = ClusterConfig(machine=MachineSpec(), network=NetworkSpec())

@@ -1,0 +1,107 @@
+"""Result objects and phase accounting of the cluster performance model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["SimulatedRun", "PHASE_ORDER"]
+
+#: Order in which phases are stacked in Fig. 2b of the paper.
+PHASE_ORDER = [
+    "diameter",
+    "calibration",
+    "epoch_transition",
+    "ibarrier",
+    "reduce",
+    "check",
+]
+
+
+@dataclass
+class SimulatedRun:
+    """Outcome of one simulated betweenness-approximation run.
+
+    Attributes
+    ----------
+    instance:
+        Name of the instance profile.
+    algorithm:
+        ``"shared-memory"``, ``"epoch-mpi"`` or ``"mpi-only"``.
+    num_nodes, processes_per_node, threads_per_process:
+        The simulated placement.
+    phase_seconds:
+        Simulated wall-clock seconds per phase (keys of :data:`PHASE_ORDER`
+        plus ``"sampling"`` for the thread-0 sampling portion of each epoch).
+    num_epochs:
+        Number of aggregation rounds until termination.
+    total_samples:
+        Samples accumulated when the algorithm terminates.
+    communication_bytes_per_epoch:
+        Total reduction payload per epoch summed over all processes (the
+        "Com." column of Table II).
+    barrier_seconds:
+        Simulated time spent in the non-blocking barrier (the "B" column).
+    """
+
+    instance: str
+    algorithm: str
+    num_nodes: int
+    processes_per_node: int
+    threads_per_process: int
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    num_epochs: int = 0
+    total_samples: int = 0
+    communication_bytes_per_epoch: float = 0.0
+    barrier_seconds: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_processes(self) -> int:
+        return self.num_nodes * self.processes_per_node
+
+    @property
+    def total_threads(self) -> int:
+        return self.num_processes * self.threads_per_process
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(self.phase_seconds.values()))
+
+    @property
+    def adaptive_sampling_seconds(self) -> float:
+        """Duration of the adaptive-sampling phase (everything after calibration)."""
+        sequential = self.phase_seconds.get("diameter", 0.0) + self.phase_seconds.get(
+            "calibration", 0.0
+        )
+        return self.total_seconds - sequential
+
+    @property
+    def calibration_seconds(self) -> float:
+        return self.phase_seconds.get("calibration", 0.0)
+
+    @property
+    def samples_per_second_per_node(self) -> float:
+        """The y-axis of Fig. 3b: samples / (ADS time * compute nodes)."""
+        ads = self.adaptive_sampling_seconds
+        if ads <= 0.0 or self.num_nodes <= 0:
+            return 0.0
+        return self.total_samples / ads / self.num_nodes
+
+    def phase_fractions(self) -> Dict[str, float]:
+        """Per-phase fraction of the total run time (Fig. 2b bars)."""
+        total = self.total_seconds
+        if total <= 0.0:
+            return {k: 0.0 for k in self.phase_seconds}
+        return {k: v / total for k, v in self.phase_seconds.items()}
+
+    def stacked_breakdown(self) -> List[float]:
+        """Fractions in the fixed :data:`PHASE_ORDER` (sampling folded into
+        ``epoch_transition`` as in the paper, where thread-0 sampling time is
+        part of the overlapped epoch machinery)."""
+        fractions = self.phase_fractions()
+        merged = dict(fractions)
+        merged["epoch_transition"] = merged.get("epoch_transition", 0.0) + merged.pop(
+            "sampling", 0.0
+        )
+        return [merged.get(phase, 0.0) for phase in PHASE_ORDER]

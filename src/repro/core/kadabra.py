@@ -1,0 +1,150 @@
+"""Sequential KADABRA: the reference adaptive-sampling driver.
+
+The three phases of Section III-A:
+
+1. *Diameter*: compute an upper bound on the vertex diameter, which enters
+   the static sample budget ``omega``.
+2. *Calibration*: take a fixed number of samples non-adaptively and derive the
+   per-vertex failure probabilities ``delta_L`` / ``delta_U``.
+3. *Adaptive sampling*: keep sampling, periodically evaluating the stopping
+   condition on the aggregated state, until the accuracy guarantee holds (or
+   ``omega`` samples have been taken).
+
+The parallel drivers in :mod:`repro.parallel` and :mod:`repro.epoch` reuse the
+phase implementations in this module; only the orchestration of phase 3
+differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.calibration import CalibrationResult, calibrate_deltas, default_calibration_samples
+from repro.core.options import KadabraOptions
+from repro.core.result import BetweennessResult
+from repro.core.state_frame import StateFrame
+from repro.core.stopping import StoppingCondition, compute_omega
+from repro.diameter import vertex_diameter_upper_bound
+from repro.graph.csr import CSRGraph
+from repro.sampling import BidirectionalBFSSampler, PathSampler, UnidirectionalBFSSampler
+from repro.util.timer import PhaseTimer
+
+__all__ = ["KadabraBetweenness", "prepare_stopping_condition", "make_sampler"]
+
+
+def make_sampler(graph: CSRGraph, options: KadabraOptions) -> PathSampler:
+    """Instantiate the path sampler selected by the options."""
+    if options.use_bidirectional_bfs:
+        return BidirectionalBFSSampler(graph)
+    return UnidirectionalBFSSampler(graph)
+
+
+def prepare_stopping_condition(
+    graph: CSRGraph,
+    options: KadabraOptions,
+    sampler: PathSampler,
+    rng: np.random.Generator,
+    *,
+    timer: Optional[PhaseTimer] = None,
+) -> Tuple[StoppingCondition, StateFrame, int, int]:
+    """Run the diameter and calibration phases.
+
+    Returns ``(stopping_condition, calibration_frame, omega, vertex_diameter)``.
+    The calibration frame already contains the non-adaptive samples and must be
+    carried into the adaptive phase so that no work is wasted.
+    """
+    timer = timer if timer is not None else PhaseTimer()
+
+    with timer.phase("diameter"):
+        if options.vertex_diameter_override is not None:
+            vd = int(options.vertex_diameter_override)
+        else:
+            vd = vertex_diameter_upper_bound(graph, seed=options.seed)
+            vd = max(vd, 2)
+    omega = compute_omega(options.eps, options.delta, vd)
+    if options.max_samples_override is not None:
+        omega = min(omega, int(options.max_samples_override))
+
+    with timer.phase("calibration"):
+        num_calibration = (
+            options.calibration_samples
+            if options.calibration_samples is not None
+            else default_calibration_samples(omega, graph.num_vertices)
+        )
+        num_calibration = min(num_calibration, omega)
+        frame = StateFrame.zeros(graph.num_vertices)
+        for _ in range(num_calibration):
+            sample = sampler.sample(rng)
+            frame.record_sample(sample.internal_vertices, edges_touched=sample.edges_touched)
+        calibration = calibrate_deltas(frame, options.delta, eps=options.eps)
+
+    condition = StoppingCondition(
+        eps=options.eps,
+        omega=omega,
+        delta_l=calibration.delta_l,
+        delta_u=calibration.delta_u,
+    )
+    return condition, frame, omega, vd
+
+
+@dataclass
+class KadabraBetweenness:
+    """Sequential KADABRA betweenness approximation.
+
+    Example
+    -------
+    >>> from repro.graph.generators import barabasi_albert
+    >>> from repro.core import KadabraBetweenness, KadabraOptions
+    >>> graph = barabasi_albert(200, 3, seed=1)
+    >>> result = KadabraBetweenness(graph, KadabraOptions(eps=0.05, seed=1)).run()
+    >>> len(result.scores) == graph.num_vertices
+    True
+    """
+
+    graph: CSRGraph
+    options: KadabraOptions = KadabraOptions()
+
+    def run(self) -> BetweennessResult:
+        graph = self.graph
+        options = self.options
+        if graph.num_vertices < 2:
+            return BetweennessResult(
+                scores=np.zeros(graph.num_vertices),
+                eps=options.eps,
+                delta=options.delta,
+            )
+        timer = PhaseTimer()
+        rng = np.random.default_rng(options.seed)
+        sampler = make_sampler(graph, options)
+        condition, frame, omega, vd = prepare_stopping_condition(
+            graph, options, sampler, rng, timer=timer
+        )
+
+        checks = 0
+        with timer.phase("adaptive_sampling"):
+            block = max(1, options.samples_per_check)
+            while not condition.should_stop(frame):
+                for _ in range(block):
+                    sample = sampler.sample(rng)
+                    frame.record_sample(
+                        sample.internal_vertices, edges_touched=sample.edges_touched
+                    )
+                    if frame.num_samples >= omega:
+                        break
+                checks += 1
+
+        scores = frame.betweenness_estimates()
+        return BetweennessResult(
+            scores=scores,
+            num_samples=frame.num_samples,
+            eps=options.eps,
+            delta=options.delta,
+            omega=omega,
+            vertex_diameter=vd,
+            num_epochs=checks,
+            phase_seconds=timer.as_dict(),
+            extra={"edges_touched": float(frame.edges_touched)},
+        )

@@ -1,0 +1,79 @@
+"""Result object returned by all betweenness drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["BetweennessResult"]
+
+
+@dataclass
+class BetweennessResult:
+    """Approximate (or exact) betweenness scores plus execution metadata.
+
+    Attributes
+    ----------
+    scores:
+        Normalised betweenness estimates, one value per vertex in [0, 1].
+    num_samples:
+        Total number of samples used (0 for exact algorithms).
+    eps, delta:
+        The accuracy parameters the estimate was computed for (``None`` for
+        exact algorithms).
+    omega:
+        The static maximum sample count computed by KADABRA (``None``
+        otherwise).
+    vertex_diameter:
+        The vertex-diameter upper bound used for ``omega``.
+    num_epochs:
+        Number of aggregation rounds performed by a parallel driver.
+    phase_seconds:
+        Wall-clock (or simulated) seconds per phase.
+    extra:
+        Driver-specific metadata (e.g. communication volume).
+    """
+
+    scores: np.ndarray
+    num_samples: int = 0
+    eps: Optional[float] = None
+    delta: Optional[float] = None
+    omega: Optional[int] = None
+    vertex_diameter: Optional[int] = None
+    num_epochs: int = 0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.scores = np.asarray(self.scores, dtype=np.float64)
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self.scores.size)
+
+    def top_k(self, k: int) -> List[Tuple[int, float]]:
+        """The ``k`` vertices with the highest estimated betweenness."""
+        if k <= 0:
+            return []
+        k = min(k, self.scores.size)
+        order = np.argsort(-self.scores, kind="stable")[:k]
+        return [(int(v), float(self.scores[v])) for v in order]
+
+    def ranking(self) -> np.ndarray:
+        """All vertices ordered by decreasing estimated betweenness."""
+        return np.argsort(-self.scores, kind="stable")
+
+    def score_of(self, v: int) -> float:
+        return float(self.scores[int(v)])
+
+    @property
+    def total_time(self) -> float:
+        return float(sum(self.phase_seconds.values()))
+
+    def __repr__(self) -> str:
+        return (
+            f"BetweennessResult(n={self.num_vertices}, samples={self.num_samples}, "
+            f"epochs={self.num_epochs})"
+        )

@@ -1,0 +1,113 @@
+"""State frames: the unit of aggregation in the parallel algorithms.
+
+A *state frame* (SF) is the pair ``S = (tau, c~)`` of the number of samples
+taken and the per-vertex path counters (Section III-B of the paper).  State
+frames form a commutative monoid under element-wise addition, which is exactly
+the property the MPI reduction and the epoch-based aggregation rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["StateFrame"]
+
+
+@dataclass
+class StateFrame:
+    """Sampling state ``(tau, c~)`` of one thread/process/epoch.
+
+    Attributes
+    ----------
+    num_samples:
+        Number of vertex pairs sampled (``tau``), including pairs that turned
+        out to be disconnected or adjacent.
+    counts:
+        float64 array of per-vertex path counts ``c~``.
+    edges_touched:
+        Total adjacency entries scanned while producing this frame; only used
+        for performance accounting, not by the algorithm itself.
+    """
+
+    num_samples: int
+    counts: np.ndarray
+    edges_touched: int = 0
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def zeros(cls, num_vertices: int) -> "StateFrame":
+        """An empty state frame for a graph with ``num_vertices`` vertices."""
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+        return cls(num_samples=0, counts=np.zeros(num_vertices, dtype=np.float64))
+
+    def copy(self) -> "StateFrame":
+        """Deep copy (used for the snapshot taken before an MPI reduction)."""
+        return StateFrame(
+            num_samples=self.num_samples,
+            counts=self.counts.copy(),
+            edges_touched=self.edges_touched,
+        )
+
+    def reset(self) -> None:
+        """Zero the frame in place (frame reuse across epochs)."""
+        self.num_samples = 0
+        self.edges_touched = 0
+        self.counts.fill(0.0)
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self.counts.size)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.num_samples == 0
+
+    # ------------------------------------------------------------------ #
+    def record_sample(self, internal_vertices: np.ndarray, *, edges_touched: int = 0) -> None:
+        """Account one sampled path: bump ``tau`` and the counters of the
+        internal vertices of the path (which may be empty)."""
+        self.num_samples += 1
+        self.edges_touched += int(edges_touched)
+        if internal_vertices is not None and len(internal_vertices) > 0:
+            # Internal vertices of a simple path are distinct, so += suffices.
+            self.counts[np.asarray(internal_vertices, dtype=np.int64)] += 1.0
+
+    def add_into(self, other: "StateFrame") -> "StateFrame":
+        """In-place accumulate ``other`` into ``self`` and return ``self``."""
+        if other.counts.size != self.counts.size:
+            raise ValueError("cannot aggregate state frames of different sizes")
+        self.num_samples += other.num_samples
+        self.edges_touched += other.edges_touched
+        self.counts += other.counts
+        return self
+
+    def __add__(self, other: "StateFrame") -> "StateFrame":
+        result = self.copy()
+        return result.add_into(other)
+
+    def __iadd__(self, other: "StateFrame") -> "StateFrame":
+        return self.add_into(other)
+
+    # ------------------------------------------------------------------ #
+    def betweenness_estimates(self) -> np.ndarray:
+        """Current normalised estimates ``b~(v) = c~(v) / tau``."""
+        if self.num_samples == 0:
+            return np.zeros_like(self.counts)
+        return self.counts / float(self.num_samples)
+
+    def serialized_bytes(self) -> int:
+        """Number of bytes an MPI reduction of this frame would transfer.
+
+        This drives the communication-volume column of Table II: one float64
+        per vertex plus the 8-byte sample counter.
+        """
+        return int(self.counts.nbytes + 8)
+
+    def __repr__(self) -> str:
+        return (
+            f"StateFrame(tau={self.num_samples}, n={self.counts.size}, "
+            f"mass={float(self.counts.sum()):.1f})"
+        )

@@ -1,0 +1,159 @@
+"""KADABRA's sample-size bound and adaptive stopping condition.
+
+The stopping rule follows Borassi & Natale (ESA 2016).  With ``tau`` samples
+taken, empirical betweenness ``b~(v)``, per-vertex failure probabilities
+``delta_L(v)`` and ``delta_U(v)`` and the static maximum number of samples
+``omega``, the algorithm may stop as soon as for *every* vertex ``v``
+
+    f(b~(v), delta_L(v), omega, tau) <= eps   and
+    g(b~(v), delta_U(v), omega, tau) <= eps.
+
+``f`` bounds the probability that the estimate overshoots the true value and
+``g`` the probability that it undershoots; both shrink as ``tau`` grows.  The
+functions are not monotone in ``c~``/``tau`` jointly, which is why the parallel
+algorithms must always evaluate them on a *consistent* aggregated state frame.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.state_frame import StateFrame
+from repro.util.validation import check_positive, check_probability
+
+__all__ = [
+    "compute_omega",
+    "f_function",
+    "g_function",
+    "StoppingCondition",
+]
+
+#: Universal constant of the VC-dimension style sample-size bound used by
+#: KADABRA (and by RK before it).
+OMEGA_CONSTANT = 0.5
+
+
+def compute_omega(eps: float, delta: float, vertex_diameter: int, *, constant: float = OMEGA_CONSTANT) -> int:
+    """Static maximum number of samples ``omega``.
+
+    ``omega = (c / eps^2) * (floor(log2(VD - 2)) + 1 + log(2 / delta))`` where
+    ``VD`` is an upper bound on the vertex diameter.  For degenerate inputs
+    (``VD <= 2``, e.g. a single edge) the log term is taken as zero.
+    """
+    check_positive(eps, "eps")
+    check_probability(delta, "delta")
+    if vertex_diameter < 0:
+        raise ValueError("vertex_diameter must be non-negative")
+    if vertex_diameter > 2:
+        log_term = math.floor(math.log2(vertex_diameter - 2)) + 1
+    else:
+        log_term = 1
+    omega = (constant / (eps * eps)) * (log_term + math.log(2.0 / delta))
+    return int(math.ceil(omega))
+
+
+def f_function(
+    b_tilde: np.ndarray | float,
+    delta_l: np.ndarray | float,
+    omega: float,
+    tau: float,
+) -> np.ndarray | float:
+    """Upper-deviation bound ``f`` (vectorized over vertices).
+
+    ``f = (log(1/delta_L) / tau) * (sqrt((omega/tau - 1/3)^2
+    + 2 b~ omega / log(1/delta_L)) - (omega/tau - 1/3))``
+    """
+    if tau <= 0:
+        raise ValueError("tau must be positive")
+    b = np.asarray(b_tilde, dtype=np.float64)
+    log_term = np.log(1.0 / np.asarray(delta_l, dtype=np.float64))
+    ratio = omega / float(tau) - 1.0 / 3.0
+    inner = np.sqrt(ratio * ratio + 2.0 * b * omega / log_term) - ratio
+    result = inner * log_term / float(tau)
+    if np.isscalar(b_tilde) and np.isscalar(delta_l):
+        return float(result)
+    return result
+
+
+def g_function(
+    b_tilde: np.ndarray | float,
+    delta_u: np.ndarray | float,
+    omega: float,
+    tau: float,
+) -> np.ndarray | float:
+    """Lower-deviation bound ``g`` (vectorized over vertices).
+
+    ``g = (log(1/delta_U) / tau) * (sqrt((omega/tau + 1/3)^2
+    + 2 b~ omega / log(1/delta_U)) + (omega/tau + 1/3))``
+    """
+    if tau <= 0:
+        raise ValueError("tau must be positive")
+    b = np.asarray(b_tilde, dtype=np.float64)
+    log_term = np.log(1.0 / np.asarray(delta_u, dtype=np.float64))
+    ratio = omega / float(tau) + 1.0 / 3.0
+    inner = np.sqrt(ratio * ratio + 2.0 * b * omega / log_term) + ratio
+    result = inner * log_term / float(tau)
+    if np.isscalar(b_tilde) and np.isscalar(delta_u):
+        return float(result)
+    return result
+
+
+@dataclass
+class StoppingCondition:
+    """Evaluates KADABRA's stopping rule on aggregated state frames.
+
+    Parameters
+    ----------
+    eps:
+        Target absolute error.
+    omega:
+        Static maximum number of samples; the rule always stops once
+        ``tau >= omega``.
+    delta_l, delta_u:
+        Per-vertex failure probabilities produced by the calibration phase.
+    """
+
+    eps: float
+    omega: int
+    delta_l: np.ndarray
+    delta_u: np.ndarray
+
+    def __post_init__(self) -> None:
+        check_positive(self.eps, "eps")
+        if self.omega <= 0:
+            raise ValueError("omega must be positive")
+        self.delta_l = np.asarray(self.delta_l, dtype=np.float64)
+        self.delta_u = np.asarray(self.delta_u, dtype=np.float64)
+        if self.delta_l.shape != self.delta_u.shape:
+            raise ValueError("delta_l and delta_u must have the same shape")
+        if np.any(self.delta_l <= 0) or np.any(self.delta_l >= 1):
+            raise ValueError("delta_l values must lie in (0, 1)")
+        if np.any(self.delta_u <= 0) or np.any(self.delta_u >= 1):
+            raise ValueError("delta_u values must lie in (0, 1)")
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self.delta_l.size)
+
+    # ------------------------------------------------------------------ #
+    def max_error_bounds(self, frame: StateFrame) -> tuple[float, float]:
+        """Return ``(max_v f, max_v g)`` for the aggregated frame."""
+        if frame.num_samples <= 0:
+            return float("inf"), float("inf")
+        b_tilde = frame.betweenness_estimates()
+        f_vals = f_function(b_tilde, self.delta_l, self.omega, frame.num_samples)
+        g_vals = g_function(b_tilde, self.delta_u, self.omega, frame.num_samples)
+        return float(np.max(f_vals)), float(np.max(g_vals))
+
+    def should_stop(self, frame: StateFrame) -> bool:
+        """CHECKFORSTOP: true when the accuracy guarantee is reached or the
+        static sample budget ``omega`` is exhausted."""
+        if frame.num_samples >= self.omega:
+            return True
+        if frame.num_samples <= 0:
+            return False
+        f_max, g_max = self.max_error_bounds(frame)
+        return f_max <= self.eps and g_max <= self.eps

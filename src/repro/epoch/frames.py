@@ -1,0 +1,73 @@
+"""Per-thread state-frame pools for the epoch-based framework.
+
+Section IV-C observes that, because the MPI reduction acts as a non-blocking
+barrier, epoch numbers across threads/processes never differ by more than one,
+so no thread ever touches frames older than ``e - 1`` once epoch ``e`` starts.
+Each thread therefore needs only **two** reusable frames, alternating by epoch
+parity; reusing a frame for epoch ``e + 2`` is safe because its epoch-``e``
+content has been aggregated before the transition into ``e + 1`` was even
+initiated.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.state_frame import StateFrame
+
+__all__ = ["FramePool"]
+
+
+class FramePool:
+    """Two reusable state frames per thread, indexed by epoch parity."""
+
+    def __init__(self, num_threads: int, num_vertices: int) -> None:
+        if num_threads <= 0:
+            raise ValueError("num_threads must be positive")
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+        self._num_threads = num_threads
+        self._num_vertices = num_vertices
+        self._frames: List[List[StateFrame]] = [
+            [StateFrame.zeros(num_vertices), StateFrame.zeros(num_vertices)]
+            for _ in range(num_threads)
+        ]
+
+    @property
+    def num_threads(self) -> int:
+        return self._num_threads
+
+    @property
+    def num_vertices(self) -> int:
+        return self._num_vertices
+
+    def frame(self, thread: int, epoch: int) -> StateFrame:
+        """The frame thread ``thread`` writes to during ``epoch``."""
+        if not (0 <= thread < self._num_threads):
+            raise ValueError(f"thread index {thread} out of range")
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        return self._frames[thread][epoch % 2]
+
+    def reset_for_epoch(self, thread: int, epoch: int) -> StateFrame:
+        """Zero and return the frame the thread will use for ``epoch``.
+
+        Must be called exactly when the thread enters ``epoch``; at that point
+        the frame's previous content (epoch ``epoch - 2``) has already been
+        aggregated by thread 0.
+        """
+        frame = self.frame(thread, epoch)
+        frame.reset()
+        return frame
+
+    def aggregate_epoch(self, epoch: int, *, exclude_thread_zero: bool = False) -> StateFrame:
+        """Sum the epoch-``epoch`` frames of all threads into a fresh frame.
+
+        ``exclude_thread_zero`` mirrors line 17 of Algorithm 2, where thread 0
+        aggregates frames ``S_1^e .. S_T^e`` separately before adding its own.
+        """
+        total = StateFrame.zeros(self._num_vertices)
+        start = 1 if exclude_thread_zero else 0
+        for thread in range(start, self._num_threads):
+            total.add_into(self.frame(thread, epoch))
+        return total

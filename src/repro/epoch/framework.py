@@ -1,0 +1,122 @@
+"""The epoch-based framework (Section IV-A/IV-B of the paper).
+
+Sampling progress is divided into *epochs*.  Each thread owns one state frame
+per epoch and only ever writes to the frame of its current epoch.  Thread 0
+drives epoch transitions:
+
+* ``force_transition(e)`` — called only by thread 0 while in epoch ``e``;
+  initiates a transition and immediately moves thread 0 to epoch ``e + 1``.
+  The call is non-blocking: thread 0 keeps sampling (into the new epoch's
+  frame) while monitoring completion.
+* ``check_transition(e)`` — called by threads ``t != 0`` between samples; if a
+  transition past ``e`` has been initiated the thread advances to ``e + 1``
+  and the call returns ``True``, otherwise it does nothing.
+
+Once every thread has advanced past ``e``, the epoch-``e`` frames are immutable
+and thread 0 may aggregate them to evaluate the stopping condition on a
+consistent snapshot.  Because at most two epochs are ever live, two reusable
+frames per thread suffice (:class:`~repro.epoch.frames.FramePool`).
+
+The original C++ implementation achieves this wait-free with memory fences;
+under CPython the GIL already serialises the individual reads/writes, so the
+implementation below uses plain attribute updates plus a lock only for the
+rarely-contended epoch counters, preserving the *protocol* exactly (which is
+what the tests verify: asymmetry of the two calls, immutability of aggregated
+frames, bounded frame reuse).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List
+
+from repro.mpi.requests import PolledRequest, Request
+
+__all__ = ["EpochManager"]
+
+
+class EpochManager:
+    """Coordinates epoch transitions between ``num_threads`` sampling threads."""
+
+    def __init__(self, num_threads: int) -> None:
+        if num_threads <= 0:
+            raise ValueError("num_threads must be positive")
+        self._num_threads = num_threads
+        self._lock = threading.Lock()
+        # Epoch each thread is currently sampling into.
+        self._thread_epoch: List[int] = [0] * num_threads
+        # Highest epoch for which thread 0 initiated a transition (i.e. all
+        # other threads should advance to _target_epoch).
+        self._target_epoch = 0
+        self._terminated = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_threads(self) -> int:
+        return self._num_threads
+
+    def thread_epoch(self, thread: int) -> int:
+        """Current epoch of ``thread``."""
+        return self._thread_epoch[thread]
+
+    # ------------------------------------------------------------------ #
+    # Termination flag (the atomic ``d`` of Algorithm 2).
+    # ------------------------------------------------------------------ #
+    def signal_termination(self) -> None:
+        """Atomically set the global termination flag (thread 0 only)."""
+        self._terminated = True
+
+    @property
+    def terminated(self) -> bool:
+        return self._terminated
+
+    # ------------------------------------------------------------------ #
+    # Transition protocol
+    # ------------------------------------------------------------------ #
+    def force_transition(self, epoch: int) -> Request:
+        """Initiate the transition out of ``epoch`` (thread 0 only).
+
+        Thread 0 is advanced to ``epoch + 1`` immediately.  The returned
+        request completes once every other thread has acknowledged the
+        transition via :meth:`check_transition`; monitoring it costs O(T) per
+        poll, exactly as stated in the paper.
+        """
+        with self._lock:
+            if self._thread_epoch[0] != epoch:
+                raise RuntimeError(
+                    f"force_transition({epoch}) called while thread 0 is in epoch "
+                    f"{self._thread_epoch[0]}"
+                )
+            if self._target_epoch > epoch:
+                raise RuntimeError(f"transition out of epoch {epoch} already initiated")
+            self._target_epoch = epoch + 1
+            self._thread_epoch[0] = epoch + 1
+        return PolledRequest(lambda: self.transition_done(epoch))
+
+    def check_transition(self, thread: int, epoch: int) -> bool:
+        """Participate in a pending transition (threads ``t != 0`` only).
+
+        Returns ``True`` iff the calling thread advanced to ``epoch + 1``.
+        Calls made before the corresponding :meth:`force_transition` have no
+        effect — the asymmetry that distinguishes the mechanism from a plain
+        barrier.
+        """
+        if thread == 0:
+            raise ValueError("check_transition must not be called by thread 0")
+        if not (0 < thread < self._num_threads):
+            raise ValueError(f"thread index {thread} out of range")
+        with self._lock:
+            if self._thread_epoch[thread] != epoch:
+                raise RuntimeError(
+                    f"check_transition({epoch}) called while thread {thread} is in epoch "
+                    f"{self._thread_epoch[thread]}"
+                )
+            if self._target_epoch > epoch:
+                self._thread_epoch[thread] = epoch + 1
+                return True
+            return False
+
+    def transition_done(self, epoch: int) -> bool:
+        """Whether every thread has advanced past ``epoch``."""
+        with self._lock:
+            return all(e > epoch for e in self._thread_epoch)

@@ -1,0 +1,99 @@
+"""Shared-memory parallel KADABRA (the state-of-the-art competitor, Ref. [24]).
+
+The paper compares its MPI algorithm against the epoch-based *shared-memory*
+parallelization running on a single compute node.  That algorithm is exactly
+Algorithm 2 restricted to one process: the epoch-based framework aggregates
+the threads' state frames and thread 0 evaluates the stopping condition — no
+MPI communication at all.  Implementing it as the single-rank special case of
+:func:`~repro.parallel.algorithm2.adaptive_sampling_algorithm2` keeps the two
+code paths identical where the paper's are identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.options import KadabraOptions
+from repro.core.result import BetweennessResult
+from repro.core.kadabra import make_sampler, prepare_stopping_condition
+from repro.graph.csr import CSRGraph
+from repro.mpi.interface import SelfComm
+from repro.parallel.algorithm2 import adaptive_sampling_algorithm2
+from repro.parallel.epoch_length import thread_zero_samples_per_epoch
+from repro.sampling.rng import rng_for_rank_thread
+from repro.util.timer import PhaseTimer
+
+__all__ = ["SharedMemoryKadabra"]
+
+
+@dataclass
+class SharedMemoryKadabra:
+    """Epoch-based shared-memory KADABRA on ``num_threads`` threads."""
+
+    graph: CSRGraph
+    options: KadabraOptions = KadabraOptions()
+    num_threads: int = 2
+    max_epochs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_threads <= 0:
+            raise ValueError("num_threads must be positive")
+
+    def run(self) -> BetweennessResult:
+        graph = self.graph
+        options = self.options
+        if graph.num_vertices < 2:
+            return BetweennessResult(
+                scores=np.zeros(graph.num_vertices), eps=options.eps, delta=options.delta
+            )
+        timer = PhaseTimer()
+        comm = SelfComm()
+
+        calibration_rng = rng_for_rank_thread(options.seed, 0, 0, num_threads=self.num_threads + 1)
+        sampler = make_sampler(graph, options)
+        condition, calibration_frame, omega, vd = prepare_stopping_condition(
+            graph, options, sampler, calibration_rng, timer=timer
+        )
+
+        samples_per_epoch = thread_zero_samples_per_epoch(
+            1,
+            self.num_threads,
+            base=float(options.samples_per_check),
+            exponent=options.epoch_exponent,
+        )
+        rngs = [
+            rng_for_rank_thread(options.seed, 0, t + 1, num_threads=self.num_threads + 1)
+            for t in range(self.num_threads)
+        ]
+        with timer.phase("adaptive_sampling"):
+            stats = adaptive_sampling_algorithm2(
+                comm,
+                lambda _thread: make_sampler(graph, options),
+                condition,
+                rngs,
+                num_threads=self.num_threads,
+                samples_per_epoch=samples_per_epoch,
+                initial_frame=calibration_frame,
+                max_epochs=self.max_epochs,
+            )
+        aggregated = stats.aggregated_frame
+        assert aggregated is not None
+        for phase, seconds in stats.phase_seconds.items():
+            timer.add(f"ads_{phase}", seconds)
+        return BetweennessResult(
+            scores=aggregated.betweenness_estimates(),
+            num_samples=aggregated.num_samples,
+            eps=options.eps,
+            delta=options.delta,
+            omega=omega,
+            vertex_diameter=vd,
+            num_epochs=stats.num_epochs,
+            phase_seconds=timer.as_dict(),
+            extra={
+                "num_threads": float(self.num_threads),
+                "samples_per_epoch_n0": float(samples_per_epoch),
+            },
+        )

@@ -1,0 +1,60 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from repro.experiments.instances import (
+    PAPER_INSTANCES,
+    PaperInstance,
+    instance_by_name,
+    paper_profile,
+    build_proxy_graph,
+    proxy_profile,
+)
+from repro.experiments.table1 import Table1Row, generate_table1, format_table1
+from repro.experiments.table2 import Table2Row, generate_table2, format_table2
+from repro.experiments.fig2 import Fig2Result, generate_fig2, format_fig2a, format_fig2b
+from repro.experiments.fig3 import Fig3Result, generate_fig3, format_fig3a, format_fig3b
+from repro.experiments.fig4 import (
+    Fig4Result,
+    Fig4Point,
+    Fig4ModelPoint,
+    generate_fig4,
+    generate_fig4_model,
+    format_fig4,
+    format_fig4_model,
+)
+from repro.experiments.headline import HeadlineResult, generate_headline, format_headline
+from repro.experiments.runner import run_experiment, main
+
+__all__ = [
+    "PAPER_INSTANCES",
+    "PaperInstance",
+    "instance_by_name",
+    "paper_profile",
+    "build_proxy_graph",
+    "proxy_profile",
+    "Table1Row",
+    "generate_table1",
+    "format_table1",
+    "Table2Row",
+    "generate_table2",
+    "format_table2",
+    "Fig2Result",
+    "generate_fig2",
+    "format_fig2a",
+    "format_fig2b",
+    "Fig3Result",
+    "generate_fig3",
+    "format_fig3a",
+    "format_fig3b",
+    "Fig4Result",
+    "Fig4Point",
+    "Fig4ModelPoint",
+    "generate_fig4",
+    "generate_fig4_model",
+    "format_fig4",
+    "format_fig4_model",
+    "HeadlineResult",
+    "generate_headline",
+    "format_headline",
+    "run_experiment",
+    "main",
+]

@@ -1,0 +1,102 @@
+"""Figure 2: parallel scalability on real-world graphs.
+
+* Fig. 2a — speedup of the epoch-based MPI algorithm over the shared-memory
+  state of the art (running on one node), as a function of the number of
+  compute nodes (geometric mean over the instance set).
+* Fig. 2b — breakdown of the running time into the paper's phases (diameter,
+  calibration, epoch transition, non-blocking barrier, blocking reduction,
+  stopping-condition check), as stacked fractions per node count.
+
+Both are produced by the cluster performance model driven by the Table I/II
+workload profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster import PAPER_CLUSTER, ClusterConfig, simulate_epoch_mpi, simulate_shared_memory
+from repro.cluster.trace import PHASE_ORDER
+from repro.experiments.instances import PAPER_INSTANCES, paper_profile
+from repro.experiments.report import format_series, format_table
+from repro.util.stats import geometric_mean
+
+__all__ = ["Fig2Result", "generate_fig2", "format_fig2a", "format_fig2b", "DEFAULT_NODE_COUNTS"]
+
+DEFAULT_NODE_COUNTS = (1, 2, 4, 8, 16)
+
+
+@dataclass
+class Fig2Result:
+    """Speedups and phase breakdowns per node count."""
+
+    node_counts: List[int]
+    # Fig 2a: geometric-mean overall speedup vs the shared-memory baseline.
+    overall_speedup: Dict[int, float] = field(default_factory=dict)
+    # Per-instance speedups (for inspection / tests).
+    per_instance_speedup: Dict[str, Dict[int, float]] = field(default_factory=dict)
+    # Fig 2b: mean fraction of time per phase, stacked in PHASE_ORDER.
+    phase_fractions: Dict[int, Dict[str, float]] = field(default_factory=dict)
+
+
+def generate_fig2(
+    *,
+    names: Optional[Sequence[str]] = None,
+    node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
+    cluster: ClusterConfig = PAPER_CLUSTER,
+) -> Fig2Result:
+    """Run the node-count sweep behind both panels of Figure 2."""
+    selected = [i for i in PAPER_INSTANCES if names is None or i.name in set(names)]
+    if not selected:
+        raise ValueError("no instances selected")
+    result = Fig2Result(node_counts=list(node_counts))
+    baselines = {}
+    for inst in selected:
+        profile = paper_profile(inst.name)
+        baselines[inst.name] = simulate_shared_memory(profile, cluster)
+        result.per_instance_speedup[inst.name] = {}
+
+    for nodes in node_counts:
+        speedups = []
+        fraction_acc: Dict[str, float] = {phase: 0.0 for phase in PHASE_ORDER}
+        for inst in selected:
+            profile = paper_profile(inst.name)
+            run = simulate_epoch_mpi(profile, cluster, num_nodes=nodes)
+            base = baselines[inst.name]
+            speedup = base.total_seconds / run.total_seconds
+            speedups.append(speedup)
+            result.per_instance_speedup[inst.name][nodes] = speedup
+            for phase, fraction in zip(PHASE_ORDER, run.stacked_breakdown()):
+                fraction_acc[phase] += fraction
+        result.overall_speedup[nodes] = geometric_mean(speedups)
+        result.phase_fractions[nodes] = {
+            phase: fraction_acc[phase] / len(selected) for phase in PHASE_ORDER
+        }
+    return result
+
+
+def format_fig2a(result: Fig2Result) -> str:
+    """Render the Fig. 2a speedup series as text."""
+    lines = [
+        "Figure 2a: overall speedup of the epoch-based MPI algorithm over the",
+        "shared-memory state of the art (geometric mean over instances)",
+    ]
+    lines.append(
+        format_series(
+            "speedup",
+            [f"{n} nodes" for n in result.node_counts],
+            [result.overall_speedup[n] for n in result.node_counts],
+        )
+    )
+    return "\n".join(lines)
+
+
+def format_fig2b(result: Fig2Result) -> str:
+    """Render the Fig. 2b phase breakdown as a table of fractions."""
+    headers = ["# nodes"] + list(PHASE_ORDER)
+    rows = []
+    for nodes in result.node_counts:
+        fractions = result.phase_fractions[nodes]
+        rows.append([nodes] + [round(fractions[phase], 3) for phase in PHASE_ORDER])
+    return format_table(headers, rows, title="Figure 2b: running-time breakdown (fractions)")

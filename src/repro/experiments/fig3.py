@@ -1,0 +1,97 @@
+"""Figure 3: per-phase performance characteristics on real-world graphs.
+
+* Fig. 3a — speedup of the adaptive-sampling phase and of the calibration
+  phase individually (geometric mean over instances), vs. node count.
+* Fig. 3b — sampling throughput normalised by machine size:
+  samples / (adaptive-sampling time × compute nodes), vs. node count;
+  a flat curve means the adaptive-sampling phase scales linearly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster import PAPER_CLUSTER, ClusterConfig, simulate_epoch_mpi, simulate_shared_memory
+from repro.experiments.instances import PAPER_INSTANCES, paper_profile
+from repro.experiments.report import format_series
+from repro.util.stats import geometric_mean
+
+__all__ = ["Fig3Result", "generate_fig3", "format_fig3a", "format_fig3b", "DEFAULT_NODE_COUNTS"]
+
+DEFAULT_NODE_COUNTS = (1, 2, 4, 8, 16)
+
+
+@dataclass
+class Fig3Result:
+    """Per-phase speedups and normalised sampling throughput per node count."""
+
+    node_counts: List[int]
+    adaptive_speedup: Dict[int, float] = field(default_factory=dict)
+    calibration_speedup: Dict[int, float] = field(default_factory=dict)
+    samples_per_second_per_node: Dict[int, float] = field(default_factory=dict)
+    per_instance_adaptive_speedup: Dict[str, Dict[int, float]] = field(default_factory=dict)
+
+
+def generate_fig3(
+    *,
+    names: Optional[Sequence[str]] = None,
+    node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
+    cluster: ClusterConfig = PAPER_CLUSTER,
+) -> Fig3Result:
+    """Run the node-count sweep behind both panels of Figure 3."""
+    selected = [i for i in PAPER_INSTANCES if names is None or i.name in set(names)]
+    if not selected:
+        raise ValueError("no instances selected")
+    result = Fig3Result(node_counts=list(node_counts))
+    baselines = {inst.name: simulate_shared_memory(paper_profile(inst.name), cluster) for inst in selected}
+    for inst in selected:
+        result.per_instance_adaptive_speedup[inst.name] = {}
+
+    for nodes in node_counts:
+        ads_speedups = []
+        calib_speedups = []
+        throughputs = []
+        for inst in selected:
+            profile = paper_profile(inst.name)
+            run = simulate_epoch_mpi(profile, cluster, num_nodes=nodes)
+            base = baselines[inst.name]
+            ads = base.adaptive_sampling_seconds / max(run.adaptive_sampling_seconds, 1e-12)
+            calib = base.calibration_seconds / max(run.calibration_seconds, 1e-12)
+            ads_speedups.append(ads)
+            calib_speedups.append(calib)
+            throughputs.append(run.samples_per_second_per_node)
+            result.per_instance_adaptive_speedup[inst.name][nodes] = ads
+        result.adaptive_speedup[nodes] = geometric_mean(ads_speedups)
+        result.calibration_speedup[nodes] = geometric_mean(calib_speedups)
+        result.samples_per_second_per_node[nodes] = geometric_mean(throughputs)
+    return result
+
+
+def format_fig3a(result: Fig3Result) -> str:
+    """Render the per-phase speedups of Fig. 3a."""
+    labels = [f"{n} nodes" for n in result.node_counts]
+    lines = ["Figure 3a: per-phase speedup over the shared-memory baseline (geom. mean)"]
+    lines.append(
+        format_series("ADS", labels, [result.adaptive_speedup[n] for n in result.node_counts])
+    )
+    lines.append(
+        format_series(
+            "Calib.", labels, [result.calibration_speedup[n] for n in result.node_counts]
+        )
+    )
+    return "\n".join(lines)
+
+
+def format_fig3b(result: Fig3Result) -> str:
+    """Render the normalised sampling throughput of Fig. 3b."""
+    labels = [f"{n} nodes" for n in result.node_counts]
+    lines = ["Figure 3b: samples / (ADS time * compute nodes) (geom. mean)"]
+    lines.append(
+        format_series(
+            "ADS",
+            labels,
+            [result.samples_per_second_per_node[n] for n in result.node_counts],
+        )
+    )
+    return "\n".join(lines)

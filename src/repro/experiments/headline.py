@@ -1,0 +1,82 @@
+"""Headline claims of the paper (Section I-B / abstract), regenerated.
+
+* overall speedup of the MPI algorithm on 16 nodes over the shared-memory
+  state of the art: paper reports a geometric mean of **7.4x**;
+* speedup of the adaptive-sampling phase alone: **16.1x**;
+* single-node advantage of the NUMA-aware process placement: **20-30 %**;
+* billion-edge graphs at eps = 0.001 finish in **under ten minutes**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.cluster import PAPER_CLUSTER, ClusterConfig, simulate_epoch_mpi, simulate_shared_memory
+from repro.experiments.instances import PAPER_INSTANCES, paper_profile
+from repro.util.stats import geometric_mean
+
+__all__ = ["HeadlineResult", "generate_headline", "format_headline"]
+
+
+@dataclass
+class HeadlineResult:
+    """The four headline quantities (model) next to the paper's values."""
+
+    overall_speedup_16_nodes: float
+    adaptive_speedup_16_nodes: float
+    single_node_numa_gain: float
+    billion_edge_minutes: Dict[str, float]
+
+    paper_overall_speedup: float = 7.4
+    paper_adaptive_speedup: float = 16.1
+    paper_numa_gain_range: tuple = (1.2, 1.3)
+    paper_billion_edge_minutes: float = 10.0
+
+
+def generate_headline(
+    *,
+    names: Optional[Sequence[str]] = None,
+    cluster: ClusterConfig = PAPER_CLUSTER,
+) -> HeadlineResult:
+    """Recompute the headline numbers with the cluster performance model."""
+    selected = [i for i in PAPER_INSTANCES if names is None or i.name in set(names)]
+    overall, adaptive, numa = [], [], []
+    billion_edge_minutes: Dict[str, float] = {}
+    for inst in selected:
+        profile = paper_profile(inst.name)
+        base = simulate_shared_memory(profile, cluster)
+        mpi16 = simulate_epoch_mpi(profile, cluster, num_nodes=16)
+        mpi1 = simulate_epoch_mpi(profile, cluster, num_nodes=1)
+        overall.append(base.total_seconds / mpi16.total_seconds)
+        adaptive.append(base.adaptive_sampling_seconds / mpi16.adaptive_sampling_seconds)
+        numa.append(base.adaptive_sampling_seconds / mpi1.adaptive_sampling_seconds)
+        if inst.num_edges >= 10**9:
+            billion_edge_minutes[inst.name] = mpi16.total_seconds / 60.0
+    return HeadlineResult(
+        overall_speedup_16_nodes=geometric_mean(overall),
+        adaptive_speedup_16_nodes=geometric_mean(adaptive),
+        single_node_numa_gain=geometric_mean(numa),
+        billion_edge_minutes=billion_edge_minutes,
+    )
+
+
+def format_headline(result: HeadlineResult) -> str:
+    lines = ["Headline results (model vs paper)"]
+    lines.append(
+        f"  overall speedup on 16 nodes:       {result.overall_speedup_16_nodes:6.2f}x"
+        f"   (paper: {result.paper_overall_speedup}x)"
+    )
+    lines.append(
+        f"  adaptive-sampling speedup:         {result.adaptive_speedup_16_nodes:6.2f}x"
+        f"   (paper: {result.paper_adaptive_speedup}x)"
+    )
+    lines.append(
+        f"  single-node NUMA placement gain:   {result.single_node_numa_gain:6.2f}x"
+        f"   (paper: {result.paper_numa_gain_range[0]}-{result.paper_numa_gain_range[1]}x)"
+    )
+    for name, minutes in result.billion_edge_minutes.items():
+        lines.append(
+            f"  {name}: {minutes:5.1f} minutes on 16 nodes   (paper: < {result.paper_billion_edge_minutes} minutes)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""Instance registry: the paper's real-world graphs and their local proxies.
+
+Two views of every instance:
+
+* **Paper statistics** (:data:`PAPER_INSTANCES`): |V|, |E| and diameter from
+  Table I, plus the per-instance results of Table II (epochs, samples taken,
+  barrier seconds, communication volume per epoch, adaptive-sampling seconds
+  on 16 nodes).  These drive the cluster performance model and provide the
+  "paper" column of every regenerated table/figure.
+* **Proxy graphs** (:func:`build_proxy_graph`): synthetic graphs small enough
+  to run the actual Python algorithms on, matching the instance's class
+  (road network vs. complex network) and density.  These provide the
+  "measured" column where real execution is feasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cluster.workload import InstanceProfile
+from repro.diameter import double_sweep_estimate
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    barabasi_albert,
+    hyperbolic_graph,
+    rmat_graph,
+    road_network_graph,
+)
+
+__all__ = [
+    "PaperInstance",
+    "PAPER_INSTANCES",
+    "instance_by_name",
+    "paper_profile",
+    "build_proxy_graph",
+    "proxy_profile",
+    "DEFAULT_PROXY_SCALE",
+]
+
+#: Default linear scale factor applied to |V| when building proxy graphs.
+DEFAULT_PROXY_SCALE = 1.0 / 1000.0
+
+
+@dataclass(frozen=True)
+class PaperInstance:
+    """One row of Table I plus the matching row of Table II."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    diameter: int
+    kind: str  # "road" or "complex"
+    # Table II (16 compute nodes):
+    epochs: int
+    samples: int
+    barrier_seconds: float
+    comm_mib_per_epoch: float
+    adaptive_seconds: float
+
+
+PAPER_INSTANCES: List[PaperInstance] = [
+    PaperInstance("roadNet-PA", 1_087_562, 1_541_514, 794, "road", 496, 3_943_308, 0.2, 265.5, 301),
+    PaperInstance("roadNet-CA", 1_957_027, 2_760_388, 865, "road", 638, 5_269_664, 0.5, 477.8, 820),
+    PaperInstance("dimacs9-NE", 1_524_453, 3_868_020, 2_098, "road", 79, 669_664, 0.4, 372.2, 79),
+    PaperInstance("orkut-links", 3_072_441, 117_184_899, 10, "complex", 15, 829_292, 0.2, 750.1, 13),
+    PaperInstance("dbpedia-link", 18_265_512, 136_535_446, 12, "complex", 11, 1_409_462, 0.3, 4_459.4, 43),
+    PaperInstance("dimacs10-uk-2002", 18_459_128, 261_556_721, 45, "complex", 2, 3_182_023, 8.4, 4_506.6, 24),
+    PaperInstance("wikipedia_link_en", 13_591_759, 437_266_152, 10, "complex", 23, 1_129_507, 1.2, 3_318.3, 93),
+    PaperInstance("twitter", 41_652_230, 1_468_365_480, 23, "complex", 26, 1_126_219, 3.3, 10_169.0, 340),
+    PaperInstance("friendster", 67_492_106, 2_585_071_391, 38, "complex", 2, 1_186_097, 11.1, 16_477.6, 50),
+    PaperInstance("dimacs10-uk-2007-05", 104_288_749, 3_293_805_080, 112, "complex", 2, 1_631_671, 68.9, 25_461.1, 184),
+]
+
+_BY_NAME: Dict[str, PaperInstance] = {inst.name: inst for inst in PAPER_INSTANCES}
+
+
+def instance_by_name(name: str) -> PaperInstance:
+    """Look up a paper instance by its Table I name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown instance {name!r}; known: {sorted(_BY_NAME)}") from None
+
+
+def paper_profile(name: str, *, eps: float = 0.001, delta: float = 0.1) -> InstanceProfile:
+    """Workload profile of a paper instance for the cluster performance model.
+
+    ``target_samples`` is taken from Table II (the number of samples the
+    adaptive algorithm took before terminating at eps = 0.001).
+    """
+    inst = instance_by_name(name)
+    return InstanceProfile.from_statistics(
+        inst.name,
+        inst.num_vertices,
+        inst.num_edges,
+        inst.diameter,
+        target_samples=inst.samples,
+        eps=eps,
+        delta=delta,
+        kind=inst.kind,
+    )
+
+
+def build_proxy_graph(
+    name: str,
+    *,
+    scale: float = DEFAULT_PROXY_SCALE,
+    seed: int = 0,
+) -> CSRGraph:
+    """Build a synthetic stand-in for a paper instance at reduced scale.
+
+    Road networks become perturbed lattices (average degree < 3, diameter of
+    the order of the lattice side length); complex networks become R-MAT or
+    Barabási–Albert graphs with roughly the original average degree.  The
+    linear ``scale`` factor applies to |V|.
+    """
+    inst = instance_by_name(name)
+    target_vertices = max(64, int(round(inst.num_vertices * scale)))
+    if inst.kind == "road":
+        side = max(8, int(round(target_vertices ** 0.5)))
+        return road_network_graph(side, side, seed=seed)
+    avg_degree = 2.0 * inst.num_edges / inst.num_vertices
+    if avg_degree >= 40.0:
+        # Dense web/social graphs: R-MAT with matching edge factor.
+        scale_log2 = max(6, int(round(target_vertices)).bit_length() - 1)
+        return rmat_graph(scale_log2, edge_factor=avg_degree / 2.0, seed=seed)
+    attachments = max(2, int(round(avg_degree / 2.0)))
+    return barabasi_albert(target_vertices, attachments, seed=seed)
+
+
+def proxy_profile(
+    name: str,
+    *,
+    scale: float = DEFAULT_PROXY_SCALE,
+    seed: int = 0,
+    eps: float = 0.03,
+    delta: float = 0.1,
+    target_samples: Optional[int] = None,
+    graph: Optional[CSRGraph] = None,
+) -> InstanceProfile:
+    """Workload profile measured on a proxy graph.
+
+    The per-sample cost is measured with the real bidirectional sampler; the
+    target sample count defaults to the instance's Table II value scaled by
+    ``eps^2`` relative to the paper's eps = 0.001 (the sample complexity is
+    proportional to ``1/eps^2``), so that the proxy workload stays feasible.
+    """
+    inst = instance_by_name(name)
+    if graph is None:
+        graph = build_proxy_graph(name, scale=scale, seed=seed)
+    estimate = double_sweep_estimate(graph, seed=seed)
+    if target_samples is None:
+        scale_factor = (0.001 / eps) ** 2
+        target_samples = max(1000, int(round(inst.samples * scale_factor)))
+    return InstanceProfile.from_graph(
+        f"{name}-proxy",
+        graph,
+        diameter=estimate.lower,
+        target_samples=target_samples,
+        eps=eps,
+        delta=delta,
+        seed=seed,
+        kind=inst.kind,
+    )

@@ -1,0 +1,59 @@
+"""Plain-text and CSV rendering of experiment results."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "to_csv", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_format: str = "{:.3g}",
+) -> str:
+    """Render rows as a fixed-width text table (the harness' stdout format)."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def to_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(list(row))
+    return buffer.getvalue()
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[object]) -> str:
+    """Render an (x, y) series the way the figures report them."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    pairs = ", ".join(f"{x}: {y:.3g}" if isinstance(y, float) else f"{x}: {y}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"

@@ -1,0 +1,97 @@
+"""Command-line entry point regenerating the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments table1
+    python -m repro.experiments table2
+    python -m repro.experiments fig2a fig2b fig3a fig3b
+    python -m repro.experiments fig4
+    python -m repro.experiments headline
+    python -m repro.experiments all
+
+(or the installed ``repro-experiments`` console script).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable, List
+
+from repro.experiments.fig2 import format_fig2a, format_fig2b, generate_fig2
+from repro.experiments.fig3 import format_fig3a, format_fig3b, generate_fig3
+from repro.experiments.fig4 import (
+    format_fig4,
+    format_fig4_model,
+    generate_fig4,
+    generate_fig4_model,
+)
+from repro.experiments.headline import format_headline, generate_headline
+from repro.experiments.table1 import format_table1, generate_table1
+from repro.experiments.table2 import format_table2, generate_table2
+
+__all__ = ["main", "run_experiment", "EXPERIMENTS"]
+
+EXPERIMENTS = ("table1", "table2", "fig2a", "fig2b", "fig3a", "fig3b", "fig4a", "fig4b", "fig4", "headline")
+
+
+def run_experiment(name: str, *, fast: bool = False) -> str:
+    """Run one experiment by name and return its textual report."""
+    if name == "table1":
+        scale = 1.0 / 4000.0 if fast else 1.0 / 1000.0
+        return format_table1(generate_table1(scale=scale))
+    if name == "table2":
+        return format_table2(generate_table2())
+    if name in ("fig2a", "fig2b"):
+        result = generate_fig2()
+        return format_fig2a(result) if name == "fig2a" else format_fig2b(result)
+    if name in ("fig3a", "fig3b"):
+        result = generate_fig3()
+        return format_fig3a(result) if name == "fig3a" else format_fig3b(result)
+    if name in ("fig4", "fig4a", "fig4b"):
+        scales = (9, 10, 11) if fast else (10, 11, 12, 13)
+        families = ("rmat",) if name == "fig4a" else ("hyperbolic",) if name == "fig4b" else ("rmat", "hyperbolic")
+        result = generate_fig4(scales=scales, families=families)
+        model = generate_fig4_model()
+        if name == "fig4a":
+            model = {"rmat": model["rmat"]}
+        elif name == "fig4b":
+            model = {"hyperbolic": model["hyperbolic"]}
+        return format_fig4(result) + "\n" + format_fig4_model(model)
+    if name == "headline":
+        return format_headline(generate_headline())
+    raise ValueError(f"unknown experiment {name!r}; known: {EXPERIMENTS}")
+
+
+def main(argv: Iterable[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of the IPDPS 2020 paper.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiments to run: {', '.join(EXPERIMENTS)} or 'all'",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="use smaller proxy scales / graph sizes (for smoke tests)",
+    )
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    requested: List[str] = []
+    for name in args.experiments:
+        if name == "all":
+            requested.extend(["table1", "table2", "fig2a", "fig2b", "fig3a", "fig3b", "fig4", "headline"])
+        else:
+            requested.append(name)
+
+    for name in requested:
+        print(run_experiment(name, fast=args.fast))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""Table II: per-instance statistics on 16 compute nodes.
+
+The cluster performance model replays the epoch-based MPI algorithm on the
+paper's machine configuration (16 nodes, 2 processes per node, 12 threads per
+process) for every instance of Table I and reports the same columns the paper
+does: number of epochs, samples taken before termination, seconds spent in the
+non-blocking barrier, communication volume per epoch (MiB) and seconds spent
+in adaptive sampling; the published values are carried along for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cluster import PAPER_CLUSTER, ClusterConfig, simulate_epoch_mpi
+from repro.experiments.instances import PAPER_INSTANCES, paper_profile
+from repro.experiments.report import format_table
+
+__all__ = ["Table2Row", "generate_table2", "format_table2"]
+
+
+@dataclass
+class Table2Row:
+    """One instance of Table II: simulated values next to the paper's."""
+
+    name: str
+    epochs: int
+    samples: int
+    barrier_seconds: float
+    comm_mib_per_epoch: float
+    adaptive_seconds: float
+    paper_epochs: int
+    paper_samples: int
+    paper_barrier_seconds: float
+    paper_comm_mib_per_epoch: float
+    paper_adaptive_seconds: float
+
+
+def generate_table2(
+    *,
+    names: Optional[Sequence[str]] = None,
+    cluster: ClusterConfig = PAPER_CLUSTER,
+    num_nodes: int = 16,
+) -> List[Table2Row]:
+    """Simulate the 16-node runs of Table II for the selected instances."""
+    rows: List[Table2Row] = []
+    selected = set(names) if names is not None else None
+    for inst in PAPER_INSTANCES:
+        if selected is not None and inst.name not in selected:
+            continue
+        profile = paper_profile(inst.name)
+        run = simulate_epoch_mpi(profile, cluster, num_nodes=num_nodes)
+        rows.append(
+            Table2Row(
+                name=inst.name,
+                epochs=run.num_epochs,
+                samples=run.total_samples,
+                barrier_seconds=run.barrier_seconds,
+                comm_mib_per_epoch=run.communication_bytes_per_epoch / 2**20,
+                adaptive_seconds=run.adaptive_sampling_seconds,
+                paper_epochs=inst.epochs,
+                paper_samples=inst.samples,
+                paper_barrier_seconds=inst.barrier_seconds,
+                paper_comm_mib_per_epoch=inst.comm_mib_per_epoch,
+                paper_adaptive_seconds=inst.adaptive_seconds,
+            )
+        )
+    return rows
+
+
+def format_table2(rows: Sequence[Table2Row]) -> str:
+    """Render Table II as text (model vs paper)."""
+    headers = [
+        "Instance",
+        "Ep.",
+        "Samples",
+        "B (s)",
+        "Com. (MiB)",
+        "Time (s)",
+        "Ep. paper",
+        "Samples paper",
+        "B paper",
+        "Com. paper",
+        "Time paper",
+    ]
+    data = [
+        (
+            r.name,
+            r.epochs,
+            r.samples,
+            round(r.barrier_seconds, 2),
+            round(r.comm_mib_per_epoch, 1),
+            round(r.adaptive_seconds, 1),
+            r.paper_epochs,
+            r.paper_samples,
+            r.paper_barrier_seconds,
+            r.paper_comm_mib_per_epoch,
+            r.paper_adaptive_seconds,
+        )
+        for r in rows
+    ]
+    return format_table(
+        headers, data, title="Table II: per-instance statistics on 16 compute nodes (model vs paper)"
+    )

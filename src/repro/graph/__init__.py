@@ -1,0 +1,38 @@
+"""Graph substrate: CSR graphs, builders, I/O, traversal and generators."""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.builder import GraphBuilder
+from repro.graph.components import (
+    ConnectedComponents,
+    connected_components,
+    largest_connected_component,
+    is_connected,
+)
+from repro.graph.traversal import (
+    BFSResult,
+    bfs_distances,
+    bfs_with_sigma,
+    bfs_tree_parents,
+    eccentricity,
+    farthest_vertex,
+)
+from repro.graph.io import read_edge_list, write_edge_list, read_metis, write_metis
+
+__all__ = [
+    "CSRGraph",
+    "GraphBuilder",
+    "ConnectedComponents",
+    "connected_components",
+    "largest_connected_component",
+    "is_connected",
+    "BFSResult",
+    "bfs_distances",
+    "bfs_with_sigma",
+    "bfs_tree_parents",
+    "eccentricity",
+    "farthest_vertex",
+    "read_edge_list",
+    "write_edge_list",
+    "read_metis",
+    "write_metis",
+]

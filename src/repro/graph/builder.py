@@ -1,0 +1,101 @@
+"""Incremental construction of :class:`~repro.graph.csr.CSRGraph` instances."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Collects edges and produces a de-duplicated undirected CSR graph.
+
+    The builder performs the normalisations the paper applies to its inputs:
+    the graph is treated as undirected and unweighted, self-loops are dropped,
+    and parallel edges are merged.
+
+    Parameters
+    ----------
+    num_vertices:
+        Optional number of vertices.  If omitted, the vertex count is inferred
+        as ``max(vertex id) + 1`` over all added edges.
+    """
+
+    def __init__(self, num_vertices: int | None = None) -> None:
+        if num_vertices is not None and num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+        self._declared_n = num_vertices
+        self._sources: List[np.ndarray] = []
+        self._targets: List[np.ndarray] = []
+        self._max_seen = -1
+
+    # ------------------------------------------------------------------ #
+    def add_edge(self, u: int, v: int) -> None:
+        """Add a single undirected edge ``{u, v}``."""
+        self.add_edges([(u, v)])
+
+    def add_edges(
+        self, edges: Iterable[Tuple[int, int]] | np.ndarray | Sequence[Sequence[int]]
+    ) -> None:
+        """Add a batch of undirected edges."""
+        arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+        if arr.size == 0:
+            return
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ValueError("edges must be an iterable of (u, v) pairs")
+        arr = arr.astype(np.int64, copy=False)
+        if np.any(arr < 0):
+            raise ValueError("vertex ids must be non-negative")
+        self._max_seen = max(self._max_seen, int(arr.max()))
+        self._sources.append(arr[:, 0].copy())
+        self._targets.append(arr[:, 1].copy())
+
+    @property
+    def num_pending_edges(self) -> int:
+        """Number of edge records added so far (before de-duplication)."""
+        return int(sum(a.size for a in self._sources))
+
+    # ------------------------------------------------------------------ #
+    def build(self) -> CSRGraph:
+        """Produce the CSR graph from the accumulated edges."""
+        if self._declared_n is not None:
+            n = self._declared_n
+            if self._max_seen >= n:
+                raise ValueError(
+                    f"edge references vertex {self._max_seen} but num_vertices={n}"
+                )
+        else:
+            n = self._max_seen + 1
+        if n == 0:
+            return CSRGraph.empty(0)
+        if not self._sources:
+            return CSRGraph.empty(n)
+
+        u = np.concatenate(self._sources)
+        v = np.concatenate(self._targets)
+        # Drop self-loops.
+        mask = u != v
+        u, v = u[mask], v[mask]
+        if u.size == 0:
+            return CSRGraph.empty(n)
+        # Canonicalise (min, max) and de-duplicate.
+        lo = np.minimum(u, v)
+        hi = np.maximum(u, v)
+        keys = lo * np.int64(n) + hi
+        unique_keys = np.unique(keys)
+        lo = unique_keys // n
+        hi = unique_keys % n
+        # Symmetrise: each undirected edge contributes two directed arcs.
+        heads = np.concatenate((lo, hi))
+        tails = np.concatenate((hi, lo))
+        order = np.lexsort((tails, heads))
+        heads = heads[order]
+        tails = tails[order]
+        counts = np.bincount(heads, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return CSRGraph(indptr, tails, validate=False)

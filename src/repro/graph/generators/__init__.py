@@ -1,0 +1,35 @@
+"""Synthetic graph generators used by experiments and tests."""
+
+from repro.graph.generators.rmat import rmat_graph, GRAPH500_PARAMS
+from repro.graph.generators.hyperbolic import hyperbolic_graph, estimate_disk_radius
+from repro.graph.generators.grid import (
+    grid_graph,
+    road_network_graph,
+    path_graph,
+    cycle_graph,
+    star_graph,
+    complete_graph,
+)
+from repro.graph.generators.random_models import (
+    erdos_renyi_gnm,
+    erdos_renyi_gnp,
+    barabasi_albert,
+    watts_strogatz,
+)
+
+__all__ = [
+    "rmat_graph",
+    "GRAPH500_PARAMS",
+    "hyperbolic_graph",
+    "estimate_disk_radius",
+    "grid_graph",
+    "road_network_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "erdos_renyi_gnm",
+    "erdos_renyi_gnp",
+    "barabasi_albert",
+    "watts_strogatz",
+]

@@ -1,0 +1,101 @@
+"""R-MAT (recursive matrix) graph generator.
+
+The paper evaluates scalability on R-MAT graphs with parameters
+``(a, b, c, d) = (0.57, 0.19, 0.19, 0.05)`` (the Graph500 configuration) and a
+density of ``|E| = 30 |V|``.  The generator below follows the classic
+Chakrabarti-Zhan-Faloutsos recursive quadrant-selection procedure with the
+customary noise term that prevents exact self-similarity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import CSRGraph
+
+__all__ = ["rmat_graph", "GRAPH500_PARAMS"]
+
+#: Graph500 reference parameters used in the paper.
+GRAPH500_PARAMS = (0.57, 0.19, 0.19, 0.05)
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: float = 30.0,
+    *,
+    a: float = GRAPH500_PARAMS[0],
+    b: float = GRAPH500_PARAMS[1],
+    c: float = GRAPH500_PARAMS[2],
+    d: float = GRAPH500_PARAMS[3],
+    noise: float = 0.1,
+    seed: int | None = None,
+) -> CSRGraph:
+    """Generate an undirected R-MAT graph with ``2**scale`` vertices.
+
+    Parameters
+    ----------
+    scale:
+        log2 of the number of vertices.
+    edge_factor:
+        Number of generated edge records per vertex (before de-duplication).
+        The paper uses 30.
+    a, b, c, d:
+        Quadrant probabilities; must sum to 1.
+    noise:
+        Multiplicative noise applied to the quadrant probabilities at every
+        recursion level (0 disables it).
+    seed:
+        RNG seed.
+
+    Returns
+    -------
+    CSRGraph
+        The generated graph (self-loops removed, duplicates merged, hence the
+        final edge count is somewhat below ``edge_factor * 2**scale``).
+    """
+    if scale < 0:
+        raise ValueError("scale must be non-negative")
+    if scale > 32:
+        raise ValueError("scale > 32 is not supported")
+    total = a + b + c + d
+    if not np.isclose(total, 1.0, atol=1e-9):
+        raise ValueError(f"R-MAT probabilities must sum to 1 (got {total})")
+    if min(a, b, c, d) < 0:
+        raise ValueError("R-MAT probabilities must be non-negative")
+    if edge_factor <= 0:
+        raise ValueError("edge_factor must be positive")
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    num_records = int(round(edge_factor * n))
+    if num_records == 0 or n <= 1:
+        return CSRGraph.empty(n)
+
+    sources = np.zeros(num_records, dtype=np.int64)
+    targets = np.zeros(num_records, dtype=np.int64)
+    for level in range(scale):
+        # Per-record, per-level noisy quadrant probabilities.
+        if noise > 0.0:
+            ab_noise = 1.0 + noise * (rng.random(num_records) - 0.5) * 2.0
+            a_noise = 1.0 + noise * (rng.random(num_records) - 0.5) * 2.0
+            c_noise = 1.0 + noise * (rng.random(num_records) - 0.5) * 2.0
+        else:
+            ab_noise = a_noise = c_noise = np.ones(num_records)
+        ab = (a + b) * ab_noise
+        a_frac = np.clip(a * a_noise / np.maximum(ab, 1e-300), 0.0, 1.0)
+        c_frac = np.clip(
+            c * c_noise / np.maximum((c + d) * ab_noise, 1e-300), 0.0, 1.0
+        )
+        ab = np.clip(ab, 0.0, 1.0)
+        r1 = rng.random(num_records)
+        r2 = rng.random(num_records)
+        go_right_half = r1 >= ab  # bottom half of the matrix (source bit set)
+        sources |= go_right_half.astype(np.int64) << (scale - 1 - level)
+        # Column bit: depends on which half we are in.
+        frac = np.where(go_right_half, c_frac, a_frac)
+        go_bottom = r2 >= frac
+        targets |= go_bottom.astype(np.int64) << (scale - 1 - level)
+
+    builder = GraphBuilder(num_vertices=n)
+    builder.add_edges(np.column_stack((sources, targets)))
+    return builder.build()

@@ -1,0 +1,141 @@
+"""Graph input/output in KONECT/SNAP-style edge-list and METIS formats.
+
+The paper reads its instances from the KONECT repository (which also mirrors
+SNAP and the DIMACS challenges); these are whitespace-separated edge lists with
+optional ``%`` or ``#`` comment lines.  Graphs are always read as undirected
+and unweighted (extra columns such as weights or timestamps are ignored).
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_metis",
+    "write_metis",
+]
+
+PathLike = Union[str, Path]
+_COMMENT_PREFIXES = ("%", "#")
+
+
+def _open_text(path: PathLike, mode: str = "rt"):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode)
+    return open(path, mode)
+
+
+def read_edge_list(
+    path: PathLike,
+    *,
+    zero_indexed: bool | None = None,
+    num_vertices: int | None = None,
+) -> CSRGraph:
+    """Read a whitespace-separated edge list (KONECT / SNAP style).
+
+    Parameters
+    ----------
+    path:
+        File path; ``.gz`` files are decompressed transparently.
+    zero_indexed:
+        If ``None`` (default) the indexing is auto-detected: when the minimum
+        vertex id in the file is 1 and 0 never appears, ids are shifted down
+        by one (KONECT convention); otherwise ids are used as-is.
+    num_vertices:
+        Optional explicit vertex count.
+    """
+    sources: List[int] = []
+    targets: List[int] = []
+    with _open_text(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith(_COMMENT_PREFIXES):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed edge line: {line!r}")
+            sources.append(int(parts[0]))
+            targets.append(int(parts[1]))
+    if not sources:
+        return CSRGraph.empty(num_vertices or 0)
+    u = np.asarray(sources, dtype=np.int64)
+    v = np.asarray(targets, dtype=np.int64)
+    min_id = int(min(u.min(), v.min()))
+    if zero_indexed is None:
+        zero_indexed = min_id == 0
+    if not zero_indexed:
+        if min_id < 1:
+            raise ValueError("one-indexed edge list contains vertex id < 1")
+        u -= 1
+        v -= 1
+    builder = GraphBuilder(num_vertices=num_vertices)
+    builder.add_edges(np.column_stack((u, v)))
+    return builder.build()
+
+
+def write_edge_list(graph: CSRGraph, path: PathLike, *, header: bool = True) -> None:
+    """Write the graph as a zero-indexed edge list (one ``u v`` pair per line)."""
+    path = Path(path)
+    with _open_text(path, "wt") as handle:
+        if header:
+            handle.write(f"% undirected graph: {graph.num_vertices} vertices, {graph.num_edges} edges\n")
+        for u, v in graph.iter_edges():
+            handle.write(f"{u} {v}\n")
+
+
+def read_metis(path: PathLike) -> CSRGraph:
+    """Read a graph in METIS adjacency format (unweighted).
+
+    The first non-comment line contains ``n m [fmt]``; line ``i`` (1-based)
+    lists the neighbours of vertex ``i`` using 1-based ids.
+    """
+    with _open_text(path) as handle:
+        lines = [ln.strip() for ln in handle]
+    lines = [ln for ln in lines if ln and not ln.startswith(_COMMENT_PREFIXES)]
+    if not lines:
+        raise ValueError("empty METIS file")
+    header = lines[0].split()
+    n = int(header[0])
+    declared_m = int(header[1])
+    fmt = header[2] if len(header) > 2 else "0"
+    if fmt not in ("0", "00", "000"):
+        raise ValueError(f"unsupported METIS format code {fmt!r} (only unweighted graphs)")
+    if len(lines) - 1 < n:
+        raise ValueError(f"METIS file declares {n} vertices but has {len(lines) - 1} adjacency lines")
+    edges: List[Tuple[int, int]] = []
+    for u in range(n):
+        for token in lines[1 + u].split():
+            v = int(token) - 1
+            if v < 0 or v >= n:
+                raise ValueError(f"METIS neighbour id {token} out of range for n={n}")
+            if u < v:
+                edges.append((u, v))
+    graph = CSRGraph.from_edges(edges, num_vertices=n)
+    if graph.num_edges != declared_m:
+        # Some writers count self-loops or duplicates differently; accept but
+        # only when the discrepancy is small is not knowable here, so accept.
+        pass
+    return graph
+
+
+def write_metis(graph: CSRGraph, path: PathLike) -> None:
+    """Write the graph in METIS adjacency format (unweighted)."""
+    path = Path(path)
+    buf = io.StringIO()
+    buf.write(f"{graph.num_vertices} {graph.num_edges}\n")
+    for u in range(graph.num_vertices):
+        buf.write(" ".join(str(int(v) + 1) for v in graph.neighbors(u)))
+        buf.write("\n")
+    with _open_text(path, "wt") as handle:
+        handle.write(buf.getvalue())

@@ -1,0 +1,220 @@
+"""Breadth-first-search kernels.
+
+Every sample taken by KADABRA is one (bidirectional) BFS; the traversal
+kernels below are therefore the innermost loops of the whole system.  They are
+implemented as level-synchronous frontier sweeps over the CSR arrays so that
+each level is processed with vectorized numpy operations (see the HPC guide:
+vectorize the inner loops, avoid Python-level per-edge work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "BFSResult",
+    "bfs_distances",
+    "bfs_with_sigma",
+    "eccentricity",
+    "farthest_vertex",
+    "bfs_tree_parents",
+]
+
+UNREACHED = -1
+
+
+@dataclass
+class BFSResult:
+    """Result of a single-source BFS.
+
+    Attributes
+    ----------
+    source:
+        The BFS source vertex.
+    distances:
+        int64 array of length ``n``; ``-1`` marks unreachable vertices.
+    sigma:
+        Optional float64 array of shortest-path counts from the source
+        (present only for :func:`bfs_with_sigma`).
+    levels:
+        The frontier of each BFS level (lists of vertex arrays); level 0 is
+        ``[source]``.
+    """
+
+    source: int
+    distances: np.ndarray
+    sigma: Optional[np.ndarray] = None
+    levels: Optional[List[np.ndarray]] = None
+
+    @property
+    def eccentricity(self) -> int:
+        """Largest finite distance from the source."""
+        reached = self.distances[self.distances >= 0]
+        if reached.size == 0:
+            return 0
+        return int(reached.max())
+
+    @property
+    def num_reached(self) -> int:
+        """Number of vertices reachable from the source (including itself)."""
+        return int(np.count_nonzero(self.distances >= 0))
+
+
+def _expand_frontier(
+    graph: CSRGraph, frontier: np.ndarray, distances: np.ndarray, level: int
+) -> np.ndarray:
+    """Return the next BFS frontier given the current one (vectorized)."""
+    indptr = graph.indptr
+    indices = graph.indices
+    starts = indptr[frontier]
+    stops = indptr[frontier + 1]
+    total = int(np.sum(stops - starts))
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    # Gather all neighbours of the frontier.
+    neighbor_chunks = [indices[s:e] for s, e in zip(starts, stops)]
+    neighbors = np.concatenate(neighbor_chunks).astype(np.int64, copy=False)
+    fresh = neighbors[distances[neighbors] == UNREACHED]
+    if fresh.size == 0:
+        return np.empty(0, dtype=np.int64)
+    next_frontier = np.unique(fresh)
+    distances[next_frontier] = level
+    return next_frontier
+
+
+def bfs_distances(
+    graph: CSRGraph, source: int, *, keep_levels: bool = False
+) -> BFSResult:
+    """Single-source BFS returning hop distances.
+
+    Parameters
+    ----------
+    graph:
+        The input graph.
+    source:
+        BFS source vertex.
+    keep_levels:
+        If true, retain the per-level frontiers in the result.
+    """
+    n = graph.num_vertices
+    if not (0 <= source < n):
+        raise ValueError(f"source {source} out of range [0, {n})")
+    distances = np.full(n, UNREACHED, dtype=np.int64)
+    distances[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    levels: Optional[List[np.ndarray]] = [frontier] if keep_levels else None
+    level = 0
+    while frontier.size > 0:
+        level += 1
+        frontier = _expand_frontier(graph, frontier, distances, level)
+        if keep_levels and frontier.size > 0:
+            levels.append(frontier)
+    return BFSResult(source=source, distances=distances, levels=levels)
+
+
+def bfs_with_sigma(graph: CSRGraph, source: int) -> BFSResult:
+    """Single-source BFS that also counts shortest paths (``sigma``).
+
+    ``sigma[v]`` is the number of distinct shortest source-``v`` paths; this is
+    the quantity needed to sample a shortest path uniformly at random and it is
+    also the forward pass of Brandes' algorithm.
+    """
+    n = graph.num_vertices
+    if not (0 <= source < n):
+        raise ValueError(f"source {source} out of range [0, {n})")
+    indptr = graph.indptr
+    indices = graph.indices
+    distances = np.full(n, UNREACHED, dtype=np.int64)
+    sigma = np.zeros(n, dtype=np.float64)
+    distances[source] = 0
+    sigma[source] = 1.0
+    frontier = np.array([source], dtype=np.int64)
+    levels: List[np.ndarray] = [frontier]
+    level = 0
+    while frontier.size > 0:
+        level += 1
+        starts = indptr[frontier]
+        stops = indptr[frontier + 1]
+        degs = stops - starts
+        total = int(np.sum(degs))
+        if total == 0:
+            break
+        neighbor_chunks = [indices[s:e] for s, e in zip(starts, stops)]
+        neighbors = np.concatenate(neighbor_chunks).astype(np.int64, copy=False)
+        origins = np.repeat(frontier, degs)
+        # New vertices discovered at this level.
+        undiscovered = distances[neighbors] == UNREACHED
+        fresh = np.unique(neighbors[undiscovered])
+        if fresh.size > 0:
+            distances[fresh] = level
+        # Accumulate sigma along edges (u in frontier) -> (v at this level).
+        onlevel = distances[neighbors] == level
+        if np.any(onlevel):
+            np.add.at(sigma, neighbors[onlevel], sigma[origins[onlevel]])
+        if fresh.size == 0:
+            break
+        frontier = fresh
+        levels.append(frontier)
+    return BFSResult(source=source, distances=distances, sigma=sigma, levels=levels)
+
+
+def bfs_tree_parents(graph: CSRGraph, source: int) -> Tuple[np.ndarray, np.ndarray]:
+    """BFS returning ``(distances, parents)`` for one arbitrary BFS tree.
+
+    ``parents[source] == source`` and ``parents[v] == -1`` for unreachable
+    vertices.  Used by diameter heuristics and tests.
+    """
+    n = graph.num_vertices
+    distances = np.full(n, UNREACHED, dtype=np.int64)
+    parents = np.full(n, -1, dtype=np.int64)
+    distances[source] = 0
+    parents[source] = source
+    frontier = np.array([source], dtype=np.int64)
+    indptr = graph.indptr
+    indices = graph.indices
+    level = 0
+    while frontier.size > 0:
+        level += 1
+        starts = indptr[frontier]
+        stops = indptr[frontier + 1]
+        degs = stops - starts
+        if int(np.sum(degs)) == 0:
+            break
+        neighbor_chunks = [indices[s:e] for s, e in zip(starts, stops)]
+        neighbors = np.concatenate(neighbor_chunks).astype(np.int64, copy=False)
+        origins = np.repeat(frontier, degs)
+        undiscovered = distances[neighbors] == UNREACHED
+        if not np.any(undiscovered):
+            break
+        cand_v = neighbors[undiscovered]
+        cand_p = origins[undiscovered]
+        # Keep the first parent for each newly discovered vertex.
+        order = np.argsort(cand_v, kind="stable")
+        cand_v = cand_v[order]
+        cand_p = cand_p[order]
+        first = np.ones(cand_v.size, dtype=bool)
+        first[1:] = cand_v[1:] != cand_v[:-1]
+        new_v = cand_v[first]
+        new_p = cand_p[first]
+        distances[new_v] = level
+        parents[new_v] = new_p
+        frontier = new_v
+    return distances, parents
+
+
+def eccentricity(graph: CSRGraph, v: int) -> int:
+    """Eccentricity of ``v`` within its connected component."""
+    return bfs_distances(graph, v).eccentricity
+
+
+def farthest_vertex(graph: CSRGraph, source: int) -> Tuple[int, int]:
+    """Return ``(vertex, distance)`` of a vertex farthest from ``source``."""
+    result = bfs_distances(graph, source)
+    reached = np.flatnonzero(result.distances >= 0)
+    far = reached[np.argmax(result.distances[reached])]
+    return int(far), int(result.distances[far])

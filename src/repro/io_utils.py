@@ -1,0 +1,90 @@
+"""Persistence of betweenness results (scores + metadata).
+
+Allows long approximation runs to be saved and reloaded for later analysis —
+the counterpart of the score files the NetworKit/KADABRA tooling writes.  Two
+formats:
+
+* JSON (``save_result`` / ``load_result``): full metadata plus the score
+  vector, self-describing and diff-friendly;
+* CSV (``save_scores_csv``): one ``vertex,score`` row per vertex, convenient
+  for spreadsheets and plotting tools.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.result import BetweennessResult
+
+__all__ = ["save_result", "load_result", "save_scores_csv", "load_scores_csv"]
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_result(result: BetweennessResult, path: PathLike) -> None:
+    """Serialize a result (scores and metadata) to a JSON file."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "scores": result.scores.tolist(),
+        "num_samples": result.num_samples,
+        "eps": result.eps,
+        "delta": result.delta,
+        "omega": result.omega,
+        "vertex_diameter": result.vertex_diameter,
+        "num_epochs": result.num_epochs,
+        "phase_seconds": result.phase_seconds,
+        "extra": result.extra,
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_result(path: PathLike) -> BetweennessResult:
+    """Load a result previously written by :func:`save_result`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported result format version {version!r}")
+    return BetweennessResult(
+        scores=np.asarray(payload["scores"], dtype=np.float64),
+        num_samples=int(payload["num_samples"]),
+        eps=payload.get("eps"),
+        delta=payload.get("delta"),
+        omega=payload.get("omega"),
+        vertex_diameter=payload.get("vertex_diameter"),
+        num_epochs=int(payload.get("num_epochs", 0)),
+        phase_seconds=dict(payload.get("phase_seconds", {})),
+        extra=dict(payload.get("extra", {})),
+    )
+
+
+def save_scores_csv(result: BetweennessResult, path: PathLike, *, header: bool = True) -> None:
+    """Write ``vertex,score`` rows (one per vertex, in vertex order)."""
+    lines = []
+    if header:
+        lines.append("vertex,betweenness")
+    lines.extend(f"{v},{score!r}" for v, score in enumerate(result.scores.tolist()))
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_scores_csv(path: PathLike) -> np.ndarray:
+    """Read a score vector written by :func:`save_scores_csv`."""
+    scores = {}
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line or line.startswith("vertex"):
+            continue
+        vertex_str, score_str = line.split(",")
+        scores[int(vertex_str)] = float(score_str)
+    if not scores:
+        return np.zeros(0, dtype=np.float64)
+    n = max(scores) + 1
+    out = np.zeros(n, dtype=np.float64)
+    for vertex, score in scores.items():
+        out[vertex] = score
+    return out

@@ -1,0 +1,144 @@
+"""Abstract communicator interface (the subset of MPI used by the paper).
+
+The algorithms in Section IV need exactly these primitives:
+
+* blocking ``reduce`` (calibration phase aggregation) and ``bcast``;
+* non-blocking ``ibarrier`` + blocking ``reduce`` (the paper's replacement for
+  a slow ``MPI_Ireduce``), plus ``ireduce`` itself for Algorithm 1;
+* non-blocking ``ibcast`` for distributing the termination flag;
+* communicator ``split`` for the NUMA-aware node-local/global topology.
+
+Two implementations exist: :class:`~repro.mpi.threaded.ThreadedComm`, which
+runs each rank in a Python thread of the current process (mpi4py and a real
+cluster are unavailable in this environment), and
+:class:`~repro.mpi.interface.SelfComm` for single-rank execution.  The
+interface mirrors mpi4py closely enough that swapping in a real
+``mpi4py.MPI.Comm`` adapter only requires implementing this class.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, List, Optional
+
+from repro.mpi.requests import CompletedRequest, Request
+
+__all__ = ["Communicator", "SelfComm"]
+
+
+class Communicator(abc.ABC):
+    """Minimal MPI-style communicator."""
+
+    # -- identity ------------------------------------------------------- #
+    @property
+    @abc.abstractmethod
+    def rank(self) -> int:
+        """Rank of the calling process within this communicator."""
+
+    @property
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Number of processes in this communicator."""
+
+    @property
+    def is_root(self) -> bool:
+        return self.rank == 0
+
+    # -- collective operations ------------------------------------------ #
+    @abc.abstractmethod
+    def barrier(self) -> None:
+        """Blocking barrier."""
+
+    @abc.abstractmethod
+    def ibarrier(self) -> Request:
+        """Non-blocking barrier."""
+
+    @abc.abstractmethod
+    def reduce(self, value: Any, op: str = "sum", root: int = 0) -> Optional[Any]:
+        """Blocking reduction; returns the aggregate at ``root``, else ``None``."""
+
+    @abc.abstractmethod
+    def ireduce(self, value: Any, op: str = "sum", root: int = 0) -> Request:
+        """Non-blocking reduction; the request's result follows :meth:`reduce`."""
+
+    @abc.abstractmethod
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        """Blocking reduction delivering the aggregate to every rank."""
+
+    @abc.abstractmethod
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        """Blocking broadcast of ``value`` from ``root``."""
+
+    @abc.abstractmethod
+    def ibcast(self, value: Any, root: int = 0) -> Request:
+        """Non-blocking broadcast; the request's result is the broadcast value."""
+
+    @abc.abstractmethod
+    def gather(self, value: Any, root: int = 0) -> Optional[List[Any]]:
+        """Blocking gather; returns the list of per-rank values at ``root``."""
+
+    @abc.abstractmethod
+    def split(self, color: int, key: int = 0) -> "Communicator":
+        """Partition the communicator by ``color`` (MPI_Comm_split semantics)."""
+
+    # -- convenience ------------------------------------------------------ #
+    def communication_bytes(self) -> int:
+        """Total payload bytes moved through this communicator so far.
+
+        Implementations that do not track traffic return 0; the threaded
+        communicator accounts every reduce/bcast/gather payload, which feeds
+        the communication-volume column of Table II.
+        """
+        return 0
+
+
+class SelfComm(Communicator):
+    """The trivial single-rank communicator (``MPI_COMM_SELF``).
+
+    Used for sequential runs of the distributed drivers and as the base case
+    of communicator splits.
+    """
+
+    def __init__(self) -> None:
+        self._bytes = 0
+
+    @property
+    def rank(self) -> int:
+        return 0
+
+    @property
+    def size(self) -> int:
+        return 1
+
+    def barrier(self) -> None:
+        return None
+
+    def ibarrier(self) -> Request:
+        return CompletedRequest()
+
+    def reduce(self, value: Any, op: str = "sum", root: int = 0) -> Optional[Any]:
+        if root != 0:
+            raise ValueError("SelfComm only has rank 0")
+        return value
+
+    def ireduce(self, value: Any, op: str = "sum", root: int = 0) -> Request:
+        return CompletedRequest(self.reduce(value, op, root))
+
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        return value
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        if root != 0:
+            raise ValueError("SelfComm only has rank 0")
+        return value
+
+    def ibcast(self, value: Any, root: int = 0) -> Request:
+        return CompletedRequest(self.bcast(value, root))
+
+    def gather(self, value: Any, root: int = 0) -> Optional[List[Any]]:
+        if root != 0:
+            raise ValueError("SelfComm only has rank 0")
+        return [value]
+
+    def split(self, color: int, key: int = 0) -> "Communicator":
+        return SelfComm()

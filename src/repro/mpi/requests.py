@@ -1,0 +1,85 @@
+"""Non-blocking request handles (the analogue of ``MPI_Request``).
+
+The paper's algorithms overlap sampling with communication by polling
+non-blocking collectives (``IREDUCE``, ``IBARRIER``, ``IBROADCAST``); the
+:class:`Request` interface below provides exactly that polling surface:
+``test()`` returns whether the operation has completed without blocking, and
+``wait()`` spins until it has.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Any, Callable, Optional
+
+__all__ = ["Request", "CompletedRequest", "PolledRequest"]
+
+
+class Request(abc.ABC):
+    """Handle of an in-flight non-blocking operation."""
+
+    @abc.abstractmethod
+    def test(self) -> bool:
+        """Return ``True`` iff the operation has completed (non-blocking)."""
+
+    def wait(self, *, poll_interval: float = 0.0) -> Any:
+        """Block (spin) until completion and return :meth:`result`."""
+        while not self.test():
+            if poll_interval > 0.0:
+                time.sleep(poll_interval)
+        return self.result()
+
+    def result(self) -> Any:
+        """The operation's result; only valid once :meth:`test` is true.
+
+        For reductions this is the aggregated value at the root (``None``
+        elsewhere); for broadcasts it is the broadcast value; for barriers it
+        is ``None``.
+        """
+        return None
+
+    @property
+    def done(self) -> bool:
+        return self.test()
+
+
+class CompletedRequest(Request):
+    """A request that is already complete (used by the single-rank comm)."""
+
+    def __init__(self, value: Any = None) -> None:
+        self._value = value
+
+    def test(self) -> bool:
+        return True
+
+    def result(self) -> Any:
+        return self._value
+
+
+class PolledRequest(Request):
+    """A request backed by a poll function and a result function.
+
+    ``poll`` must be cheap and non-blocking; ``fetch`` is called lazily the
+    first time the result is requested after completion.
+    """
+
+    def __init__(self, poll: Callable[[], bool], fetch: Optional[Callable[[], Any]] = None) -> None:
+        self._poll = poll
+        self._fetch = fetch
+        self._completed = False
+        self._result: Any = None
+        self._fetched = False
+
+    def test(self) -> bool:
+        if not self._completed:
+            self._completed = bool(self._poll())
+        return self._completed
+
+    def result(self) -> Any:
+        if not self.test():
+            raise RuntimeError("result() called before the request completed")
+        if not self._fetched:
+            self._result = self._fetch() if self._fetch is not None else None
+            self._fetched = True
+        return self._result

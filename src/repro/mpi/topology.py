@@ -1,0 +1,82 @@
+"""NUMA-aware communicator topology (Section IV-E of the paper).
+
+The paper launches one MPI process per socket (NUMA node) and splits
+``MPI_COMM_WORLD`` into
+
+* a *local* communicator per compute node (the processes sharing that node),
+  used to pre-aggregate state frames via shared memory, and
+* a *global* communicator containing the first process of each node, on which
+  the expensive inter-node reduction is performed.
+
+:func:`build_topology` reproduces that split on top of any
+:class:`~repro.mpi.interface.Communicator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mpi.interface import Communicator
+
+__all__ = ["NodeTopology", "build_topology"]
+
+
+@dataclass
+class NodeTopology:
+    """Result of the node-local / global communicator split.
+
+    Attributes
+    ----------
+    world:
+        The original communicator.
+    local:
+        Communicator of the processes placed on the same compute node.
+    global_:
+        Communicator of the node leaders (local rank 0); ``None`` on processes
+        that are not node leaders.
+    node_index:
+        Index of the compute node this process is placed on.
+    processes_per_node:
+        Number of processes per compute node (1 process per NUMA socket in the
+        paper's configuration).
+    """
+
+    world: Communicator
+    local: Communicator
+    global_: Optional[Communicator]
+    node_index: int
+    processes_per_node: int
+
+    @property
+    def is_node_leader(self) -> bool:
+        return self.local.rank == 0
+
+    @property
+    def num_nodes(self) -> int:
+        total = self.world.size
+        return (total + self.processes_per_node - 1) // self.processes_per_node
+
+
+def build_topology(world: Communicator, processes_per_node: int) -> NodeTopology:
+    """Split ``world`` into node-local communicators plus a leader communicator.
+
+    Processes are assigned to nodes in rank order (ranks ``0..k-1`` on node 0,
+    ``k..2k-1`` on node 1, ...), matching how MPI launchers place consecutive
+    ranks on the same host by default.
+    """
+    if processes_per_node <= 0:
+        raise ValueError("processes_per_node must be positive")
+    node_index = world.rank // processes_per_node
+    local = world.split(color=node_index, key=world.rank)
+    # Leaders (local rank 0) get color 0, everyone else color 1; only the
+    # leaders' communicator is used afterwards.
+    is_leader = local.rank == 0
+    leaders = world.split(color=0 if is_leader else 1, key=world.rank)
+    return NodeTopology(
+        world=world,
+        local=local,
+        global_=leaders if is_leader else None,
+        node_index=node_index,
+        processes_per_node=processes_per_node,
+    )

@@ -1,0 +1,15 @@
+"""Distributed adaptive-sampling algorithms (Algorithms 1 and 2 of the paper)."""
+
+from repro.parallel.epoch_length import thread_zero_samples_per_epoch
+from repro.parallel.algorithm1 import Algorithm1Stats, adaptive_sampling_algorithm1
+from repro.parallel.algorithm2 import Algorithm2Stats, adaptive_sampling_algorithm2
+from repro.parallel.driver import DistributedKadabra
+
+__all__ = [
+    "thread_zero_samples_per_epoch",
+    "Algorithm1Stats",
+    "adaptive_sampling_algorithm1",
+    "Algorithm2Stats",
+    "adaptive_sampling_algorithm2",
+    "DistributedKadabra",
+]

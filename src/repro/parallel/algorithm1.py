@@ -1,0 +1,128 @@
+"""Algorithm 1: MPI-only parallelization of adaptive sampling (no multithreading).
+
+A direct transcription of the paper's Algorithm 1.  Every rank repeatedly
+
+1. takes ``n0`` samples into its local state frame,
+2. snapshots the frame and starts a (non-blocking) reduction towards rank 0,
+   taking further samples while the reduction is in flight,
+3. rank 0 folds the reduced snapshot into the global aggregate and evaluates
+   the stopping condition,
+4. the termination flag is broadcast (again overlapped with sampling).
+
+The function below executes the body of one rank; it is used both by the
+threaded MPI runtime (functional reproduction) and by the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.state_frame import StateFrame
+from repro.core.stopping import StoppingCondition
+from repro.mpi.interface import Communicator
+from repro.sampling.base import PathSampler
+from repro.util.timer import PhaseTimer
+
+__all__ = ["Algorithm1Stats", "adaptive_sampling_algorithm1"]
+
+
+@dataclass
+class Algorithm1Stats:
+    """Per-rank statistics of one Algorithm 1 run."""
+
+    rank: int
+    num_epochs: int = 0
+    local_samples: int = 0
+    aggregated_frame: Optional[StateFrame] = None  # only at rank 0
+    stopped_by_omega: bool = False
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+
+def adaptive_sampling_algorithm1(
+    comm: Communicator,
+    sampler: PathSampler,
+    condition: StoppingCondition,
+    rng: np.random.Generator,
+    *,
+    samples_per_epoch: int,
+    initial_frame: Optional[StateFrame] = None,
+    max_epochs: Optional[int] = None,
+) -> Algorithm1Stats:
+    """Run the Algorithm 1 adaptive-sampling loop on this rank.
+
+    Parameters
+    ----------
+    comm:
+        Communicator spanning all participating processes.
+    sampler:
+        Shortest-path sampler over the (replicated) graph.
+    condition:
+        The stopping condition; only evaluated at rank 0.
+    rng:
+        Per-rank random generator.
+    samples_per_epoch:
+        The constant ``n0``.
+    initial_frame:
+        Samples carried over from the calibration phase (added to the global
+        aggregate at rank 0 before the first check).
+    max_epochs:
+        Safety bound for tests; ``None`` means unbounded.
+    """
+    if samples_per_epoch <= 0:
+        raise ValueError("samples_per_epoch must be positive")
+    num_vertices = condition.num_vertices
+    timer = PhaseTimer()
+
+    aggregated = StateFrame.zeros(num_vertices)  # S (only meaningful at rank 0)
+    if comm.is_root and initial_frame is not None:
+        aggregated.add_into(initial_frame)
+    local = StateFrame.zeros(num_vertices)  # S_loc
+    stats = Algorithm1Stats(rank=comm.rank)
+    terminated = False
+
+    def take_sample(frame: StateFrame) -> None:
+        sample = sampler.sample(rng)
+        frame.record_sample(sample.internal_vertices, edges_touched=sample.edges_touched)
+        stats.local_samples += 1
+
+    while not terminated:
+        # Line 5-6: n0 local samples.
+        with timer.phase("sampling"):
+            for _ in range(samples_per_epoch):
+                take_sample(local)
+        # Line 7-8: snapshot the frame so overlapped sampling does not modify
+        # the communication buffer.
+        snapshot = local.copy()
+        local.reset()
+        # Line 10-11: non-blocking reduction overlapped with sampling.
+        with timer.phase("reduce"):
+            request = comm.ireduce(snapshot, op="sum", root=0)
+            while not request.test():
+                take_sample(local)
+        # Line 12-14: only rank 0 folds the snapshot and checks the stop rule.
+        decision = False
+        if comm.is_root:
+            with timer.phase("check"):
+                reduced = request.result()
+                if reduced is not None:
+                    aggregated.add_into(reduced)
+                decision = condition.should_stop(aggregated)
+                if aggregated.num_samples >= condition.omega:
+                    stats.stopped_by_omega = True
+        # Line 15-17: broadcast the termination flag, overlapped with sampling.
+        with timer.phase("broadcast"):
+            bcast_request = comm.ibcast(decision if comm.is_root else None, root=0)
+            while not bcast_request.test():
+                take_sample(local)
+            terminated = bool(bcast_request.result())
+        stats.num_epochs += 1
+        if max_epochs is not None and stats.num_epochs >= max_epochs:
+            # Safety stop for tests: make every rank agree via an extra vote.
+            terminated = bool(comm.allreduce(True, op="lor"))
+
+    stats.aggregated_frame = aggregated if comm.is_root else None
+    stats.phase_seconds = timer.as_dict()
+    return stats

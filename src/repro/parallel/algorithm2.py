@@ -1,0 +1,231 @@
+"""Algorithm 2: epoch-based MPI parallelization (multithreaded ranks).
+
+The combined algorithm of Section IV-C: inside every MPI process the
+epoch-based framework aggregates the state frames of the sampling threads,
+while across processes the aggregation uses a non-blocking barrier followed by
+a blocking reduction (the paper found this faster than ``MPI_Ireduce``), both
+overlapped with sampling by thread 0.
+
+Structure of one rank:
+
+* threads ``1 .. T-1`` sample continuously into the frame of their current
+  epoch, calling ``check_transition`` between samples and exiting when the
+  termination flag is raised;
+* thread 0 (the caller of :func:`adaptive_sampling_algorithm2`) executes the
+  per-epoch protocol: sample ``n0`` times, force the epoch transition
+  (overlapping further samples into the next epoch's frame), aggregate the
+  epoch's frames, reduce them to rank 0 (optionally pre-aggregating over a
+  node-local communicator, Section IV-E), evaluate the stopping condition at
+  rank 0 and broadcast the termination flag.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.state_frame import StateFrame
+from repro.core.stopping import StoppingCondition
+from repro.epoch.frames import FramePool
+from repro.epoch.framework import EpochManager
+from repro.mpi.interface import Communicator
+from repro.mpi.topology import NodeTopology
+from repro.sampling.base import PathSampler
+from repro.util.timer import PhaseTimer
+
+__all__ = ["Algorithm2Stats", "adaptive_sampling_algorithm2"]
+
+
+@dataclass
+class Algorithm2Stats:
+    """Per-rank statistics of one Algorithm 2 run."""
+
+    rank: int
+    num_threads: int
+    num_epochs: int = 0
+    local_samples: int = 0
+    aggregated_frame: Optional[StateFrame] = None  # only at world rank 0
+    stopped_by_omega: bool = False
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    communication_bytes: int = 0
+
+
+def _worker_loop(
+    thread_index: int,
+    sampler: PathSampler,
+    rng: np.random.Generator,
+    manager: EpochManager,
+    pool: FramePool,
+    sample_counter: List[int],
+) -> None:
+    """Body of sampling threads ``t != 0`` (lines 5-9 of Algorithm 2)."""
+    epoch = 0
+    frame = pool.frame(thread_index, epoch)
+    while not manager.terminated:
+        sample = sampler.sample(rng)
+        frame.record_sample(sample.internal_vertices, edges_touched=sample.edges_touched)
+        sample_counter[thread_index] += 1
+        if manager.check_transition(thread_index, epoch):
+            epoch += 1
+            frame = pool.reset_for_epoch(thread_index, epoch)
+
+
+def adaptive_sampling_algorithm2(
+    comm: Communicator,
+    sampler_factory: Callable[[int], PathSampler],
+    condition: StoppingCondition,
+    rngs: List[np.random.Generator],
+    *,
+    num_threads: int,
+    samples_per_epoch: int,
+    initial_frame: Optional[StateFrame] = None,
+    topology: Optional[NodeTopology] = None,
+    use_ibarrier_reduce: bool = True,
+    max_epochs: Optional[int] = None,
+) -> Algorithm2Stats:
+    """Run the Algorithm 2 adaptive-sampling loop on this rank.
+
+    Parameters
+    ----------
+    comm:
+        World communicator spanning all ranks.
+    sampler_factory:
+        Called once per thread index to create that thread's sampler (the
+        sampler may share the read-only graph between threads).
+    condition:
+        Stopping condition, evaluated only at world rank 0.
+    rngs:
+        One independent generator per thread.
+    num_threads:
+        Number of sampling threads ``T`` in this process (including thread 0).
+    samples_per_epoch:
+        The constant ``n0`` for thread 0.
+    initial_frame:
+        Calibration samples folded into the aggregate at rank 0.
+    topology:
+        Optional NUMA topology; when given, frames are pre-aggregated over the
+        node-local communicator and only node leaders join the global
+        reduction (Section IV-E).
+    use_ibarrier_reduce:
+        If true, use the paper's ``Ibarrier`` + blocking ``Reduce`` scheme;
+        otherwise use a plain ``Ireduce``.
+    max_epochs:
+        Safety bound for tests.
+    """
+    if num_threads <= 0:
+        raise ValueError("num_threads must be positive")
+    if samples_per_epoch <= 0:
+        raise ValueError("samples_per_epoch must be positive")
+    if len(rngs) < num_threads:
+        raise ValueError("need one RNG per thread")
+
+    num_vertices = condition.num_vertices
+    timer = PhaseTimer()
+    manager = EpochManager(num_threads)
+    pool = FramePool(num_threads, num_vertices)
+    sample_counter = [0] * num_threads
+    stats = Algorithm2Stats(rank=comm.rank, num_threads=num_threads)
+
+    aggregated = StateFrame.zeros(num_vertices)  # S at world rank 0
+    if comm.is_root and initial_frame is not None:
+        aggregated.add_into(initial_frame)
+
+    # The communicators taking part in the reduction tree.
+    local_comm = topology.local if topology is not None else None
+    reduce_comm = topology.global_ if topology is not None else comm
+    is_reduce_root = comm.is_root
+
+    workers = [
+        threading.Thread(
+            target=_worker_loop,
+            args=(t, sampler_factory(t), rngs[t], manager, pool, sample_counter),
+            daemon=True,
+        )
+        for t in range(1, num_threads)
+    ]
+    for worker in workers:
+        worker.start()
+
+    sampler0 = sampler_factory(0)
+    rng0 = rngs[0]
+
+    def sample_into(frame: StateFrame) -> None:
+        sample = sampler0.sample(rng0)
+        frame.record_sample(sample.internal_vertices, edges_touched=sample.edges_touched)
+        sample_counter[0] += 1
+
+    epoch = 0
+    terminated = False
+    try:
+        while not terminated:
+            current_frame = pool.frame(0, epoch)
+            # Lines 12-13: n0 samples by thread 0.
+            with timer.phase("sampling"):
+                for _ in range(samples_per_epoch):
+                    sample_into(current_frame)
+            # Lines 14-15: force the epoch transition, sampling while waiting.
+            next_frame = pool.reset_for_epoch(0, epoch + 1)
+            with timer.phase("epoch_transition"):
+                transition = manager.force_transition(epoch)
+                while not transition.test():
+                    sample_into(next_frame)
+            # Lines 16-18: aggregate this process' epoch frames.
+            with timer.phase("local_aggregation"):
+                epoch_frame = pool.aggregate_epoch(epoch)
+                if local_comm is not None and local_comm.size > 1:
+                    reduced_local = local_comm.reduce(epoch_frame, op="sum", root=0)
+                    epoch_frame = reduced_local if reduced_local is not None else None
+
+            # Lines 19-21: reduce across processes, overlapped with sampling.
+            reduced_frame: Optional[StateFrame] = None
+            if reduce_comm is not None and epoch_frame is not None:
+                if use_ibarrier_reduce:
+                    with timer.phase("ibarrier"):
+                        barrier = reduce_comm.ibarrier()
+                        while not barrier.test():
+                            sample_into(next_frame)
+                    with timer.phase("reduce"):
+                        reduced_frame = reduce_comm.reduce(epoch_frame, op="sum", root=0)
+                else:
+                    with timer.phase("reduce"):
+                        request = reduce_comm.ireduce(epoch_frame, op="sum", root=0)
+                        while not request.test():
+                            sample_into(next_frame)
+                        reduced_frame = request.result()
+
+            # Lines 22-24: rank 0 folds the epoch frame and checks the rule.
+            decision = False
+            if is_reduce_root:
+                with timer.phase("check"):
+                    if reduced_frame is not None:
+                        aggregated.add_into(reduced_frame)
+                    decision = condition.should_stop(aggregated)
+                    if aggregated.num_samples >= condition.omega:
+                        stats.stopped_by_omega = True
+
+            # Lines 25-27: broadcast the termination flag over the world
+            # communicator, overlapped with sampling.
+            with timer.phase("broadcast"):
+                bcast_request = comm.ibcast(decision if comm.is_root else None, root=0)
+                while not bcast_request.test():
+                    sample_into(next_frame)
+                terminated = bool(bcast_request.result())
+
+            stats.num_epochs += 1
+            epoch += 1
+            if max_epochs is not None and stats.num_epochs >= max_epochs and not terminated:
+                terminated = bool(comm.allreduce(True, op="lor"))
+    finally:
+        # Lines 28-30: stop the sampling threads.
+        manager.signal_termination()
+        for worker in workers:
+            worker.join()
+
+    stats.local_samples = int(sum(sample_counter))
+    stats.aggregated_frame = aggregated if comm.is_root else None
+    stats.phase_seconds = timer.as_dict()
+    stats.communication_bytes = comm.communication_bytes()
+    return stats

@@ -1,0 +1,226 @@
+"""Distributed KADABRA driver: diameter → calibration → adaptive sampling.
+
+Orchestrates the full algorithm of the paper on top of the MPI substrate.  The
+driver mirrors the paper's phase structure:
+
+1. *Diameter* — computed sequentially at rank 0 (the paper uses a sequential
+   algorithm as well) and broadcast.
+2. *Calibration* — the fixed number of non-adaptive samples is split evenly
+   across all ranks and threads ("pleasingly parallel"), aggregated with a
+   blocking reduction, and rank 0 derives ``delta_L``/``delta_U`` which are
+   then broadcast.
+3. *Adaptive sampling* — Algorithm 1 (``algorithm="mpi-only"``) or the
+   epoch-based Algorithm 2 (``algorithm="epoch"``, default), optionally with
+   the NUMA-aware node-local pre-aggregation.
+
+Because this environment offers neither mpi4py nor a multi-node cluster, the
+"processes" are the rank threads of :class:`~repro.mpi.threaded.ThreadedComm`;
+the algorithmic control flow is identical to a real MPI deployment, and the
+performance characteristics of the real cluster are modelled separately in
+:mod:`repro.cluster`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.calibration import calibrate_deltas, default_calibration_samples
+from repro.core.options import KadabraOptions
+from repro.core.result import BetweennessResult
+from repro.core.state_frame import StateFrame
+from repro.core.stopping import StoppingCondition, compute_omega
+from repro.core.kadabra import make_sampler
+from repro.diameter import vertex_diameter_upper_bound
+from repro.graph.csr import CSRGraph
+from repro.mpi.interface import Communicator, SelfComm
+from repro.mpi.threaded import run_threaded
+from repro.mpi.topology import build_topology
+from repro.parallel.algorithm1 import adaptive_sampling_algorithm1
+from repro.parallel.algorithm2 import adaptive_sampling_algorithm2
+from repro.parallel.epoch_length import thread_zero_samples_per_epoch
+from repro.sampling.rng import rng_for_rank_thread
+from repro.util.timer import PhaseTimer
+
+__all__ = ["DistributedKadabra"]
+
+
+@dataclass
+class DistributedKadabra:
+    """MPI-style parallel KADABRA betweenness approximation.
+
+    Parameters
+    ----------
+    graph:
+        The input graph (replicated on every rank, as in the paper).
+    options:
+        Accuracy and sampling options.
+    num_processes:
+        Number of MPI-style ranks ``P``.
+    threads_per_process:
+        Sampling threads ``T`` per rank (only used by the epoch-based
+        algorithm).
+    processes_per_node:
+        If set, enables the NUMA-aware split: ranks are grouped into compute
+        nodes of this size and state frames are pre-aggregated node-locally.
+    algorithm:
+        ``"epoch"`` for Algorithm 2 (default) or ``"mpi-only"`` for
+        Algorithm 1.
+    max_epochs:
+        Optional safety bound on the number of epochs (used by tests).
+    """
+
+    graph: CSRGraph
+    options: KadabraOptions = KadabraOptions()
+    num_processes: int = 1
+    threads_per_process: int = 1
+    processes_per_node: Optional[int] = None
+    algorithm: str = "epoch"
+    max_epochs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_processes <= 0:
+            raise ValueError("num_processes must be positive")
+        if self.threads_per_process <= 0:
+            raise ValueError("threads_per_process must be positive")
+        if self.algorithm not in ("epoch", "mpi-only"):
+            raise ValueError("algorithm must be 'epoch' or 'mpi-only'")
+        if self.processes_per_node is not None and self.processes_per_node <= 0:
+            raise ValueError("processes_per_node must be positive when given")
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> BetweennessResult:
+        """Execute the distributed algorithm and return rank 0's result."""
+        graph = self.graph
+        if graph.num_vertices < 2:
+            return BetweennessResult(
+                scores=np.zeros(graph.num_vertices),
+                eps=self.options.eps,
+                delta=self.options.delta,
+            )
+        if self.num_processes == 1:
+            result = self._rank_body(SelfComm(), 0)
+            assert result is not None
+            return result
+        results = run_threaded(self.num_processes, self._rank_body)
+        result = results[0]
+        assert result is not None
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _rank_body(self, comm: Communicator, rank: int) -> Optional[BetweennessResult]:
+        graph = self.graph
+        options = self.options
+        num_threads = self.threads_per_process
+        timer = PhaseTimer()
+
+        # ---------------- Phase 1: diameter (sequential at rank 0) -------- #
+        with timer.phase("diameter"):
+            if comm.is_root:
+                if options.vertex_diameter_override is not None:
+                    vd = int(options.vertex_diameter_override)
+                else:
+                    vd = max(vertex_diameter_upper_bound(graph, seed=options.seed), 2)
+            else:
+                vd = None
+            vd = int(comm.bcast(vd, root=0))
+        omega = compute_omega(options.eps, options.delta, vd)
+        if options.max_samples_override is not None:
+            omega = min(omega, int(options.max_samples_override))
+
+        # ---------------- Phase 2: calibration ---------------------------- #
+        with timer.phase("calibration"):
+            total_calibration = (
+                options.calibration_samples
+                if options.calibration_samples is not None
+                else default_calibration_samples(omega, graph.num_vertices)
+            )
+            total_calibration = min(total_calibration, omega)
+            per_rank = int(math.ceil(total_calibration / comm.size))
+            sampler = make_sampler(graph, options)
+            # Thread slot 0 is reserved for calibration so that the adaptive
+            # phase (slots 1..T) never replays the calibration sample stream.
+            rng = rng_for_rank_thread(options.seed, rank, 0, num_threads=num_threads + 1)
+            local_frame = StateFrame.zeros(graph.num_vertices)
+            for _ in range(per_rank):
+                sample = sampler.sample(rng)
+                local_frame.record_sample(
+                    sample.internal_vertices, edges_touched=sample.edges_touched
+                )
+            calibration_frame = comm.reduce(local_frame, op="sum", root=0)
+            if comm.is_root:
+                calibration = calibrate_deltas(calibration_frame, options.delta, eps=options.eps)
+                payload = (calibration.delta_l, calibration.delta_u)
+            else:
+                payload = None
+            delta_l, delta_u = comm.bcast(payload, root=0)
+        condition = StoppingCondition(eps=options.eps, omega=omega, delta_l=delta_l, delta_u=delta_u)
+
+        # ---------------- Phase 3: adaptive sampling ---------------------- #
+        samples_per_epoch = thread_zero_samples_per_epoch(
+            comm.size,
+            num_threads if self.algorithm == "epoch" else 1,
+            base=float(options.samples_per_check),
+            exponent=options.epoch_exponent,
+        )
+        with timer.phase("adaptive_sampling"):
+            if self.algorithm == "mpi-only":
+                stats = adaptive_sampling_algorithm1(
+                    comm,
+                    make_sampler(graph, options),
+                    condition,
+                    rng_for_rank_thread(options.seed, rank, 1, num_threads=num_threads + 1),
+                    samples_per_epoch=samples_per_epoch,
+                    initial_frame=calibration_frame if comm.is_root else None,
+                    max_epochs=self.max_epochs,
+                )
+                num_epochs = stats.num_epochs
+                aggregated = stats.aggregated_frame
+                communication_bytes = comm.communication_bytes()
+            else:
+                topology = None
+                if self.processes_per_node is not None and comm.size > 1:
+                    topology = build_topology(comm, self.processes_per_node)
+                rngs = [
+                    rng_for_rank_thread(options.seed, rank, t + 1, num_threads=num_threads + 1)
+                    for t in range(num_threads)
+                ]
+                stats = adaptive_sampling_algorithm2(
+                    comm,
+                    lambda _thread: make_sampler(graph, options),
+                    condition,
+                    rngs,
+                    num_threads=num_threads,
+                    samples_per_epoch=samples_per_epoch,
+                    initial_frame=calibration_frame if comm.is_root else None,
+                    topology=topology,
+                    max_epochs=self.max_epochs,
+                )
+                num_epochs = stats.num_epochs
+                aggregated = stats.aggregated_frame
+                communication_bytes = stats.communication_bytes
+
+        if not comm.is_root:
+            return None
+        assert aggregated is not None
+        for phase, seconds in stats.phase_seconds.items():
+            timer.add(f"ads_{phase}", seconds)
+        return BetweennessResult(
+            scores=aggregated.betweenness_estimates(),
+            num_samples=aggregated.num_samples,
+            eps=options.eps,
+            delta=options.delta,
+            omega=omega,
+            vertex_diameter=vd,
+            num_epochs=num_epochs,
+            phase_seconds=timer.as_dict(),
+            extra={
+                "communication_bytes": float(communication_bytes),
+                "num_processes": float(comm.size),
+                "threads_per_process": float(num_threads),
+                "samples_per_epoch_n0": float(samples_per_epoch),
+            },
+        )

@@ -1,0 +1,17 @@
+"""Shortest-path sampling: the per-sample kernel of KADABRA."""
+
+from repro.sampling.base import PathSample, PathSampler, sample_vertex_pair
+from repro.sampling.bfs_sampler import UnidirectionalBFSSampler
+from repro.sampling.bidirectional import BidirectionalBFSSampler
+from repro.sampling.rng import spawn_rngs, rng_for_rank_thread, derive_seed
+
+__all__ = [
+    "PathSample",
+    "PathSampler",
+    "sample_vertex_pair",
+    "UnidirectionalBFSSampler",
+    "BidirectionalBFSSampler",
+    "spawn_rngs",
+    "rng_for_rank_thread",
+    "derive_seed",
+]

@@ -1,0 +1,96 @@
+"""Common interfaces for shortest-path samplers.
+
+KADABRA samples a pair ``(s, t)`` of distinct vertices uniformly at random and
+then a *uniformly random shortest s-t path*; the betweenness estimate of a
+vertex is the fraction of sampled paths that contain it as an internal vertex.
+Both the unidirectional and the bidirectional sampler implement the
+:class:`PathSampler` protocol so the KADABRA drivers are agnostic to which one
+is used.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["PathSample", "PathSampler", "sample_vertex_pair"]
+
+
+@dataclass
+class PathSample:
+    """Outcome of sampling one vertex pair.
+
+    Attributes
+    ----------
+    source, target:
+        The sampled pair.
+    connected:
+        Whether a path between the pair exists.
+    length:
+        Hop length of the shortest path (0 when not connected).
+    internal_vertices:
+        The vertices strictly between source and target on the sampled path
+        (empty when the pair is adjacent or disconnected).  These are the
+        vertices whose betweenness counter is incremented.
+    edges_touched:
+        Number of adjacency entries scanned while taking the sample; used by
+        the cluster model to calibrate the per-sample cost.
+    """
+
+    source: int
+    target: int
+    connected: bool
+    length: int = 0
+    internal_vertices: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    edges_touched: int = 0
+
+    @property
+    def path_vertices(self) -> np.ndarray:
+        """Full path including the endpoints (only when connected)."""
+        if not self.connected:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(
+            (
+                np.asarray([self.source], dtype=np.int64),
+                self.internal_vertices.astype(np.int64),
+                np.asarray([self.target], dtype=np.int64),
+            )
+        )
+
+
+def sample_vertex_pair(num_vertices: int, rng: np.random.Generator) -> tuple[int, int]:
+    """Sample a uniformly random ordered pair of *distinct* vertices."""
+    if num_vertices < 2:
+        raise ValueError("need at least two vertices to sample a pair")
+    s = int(rng.integers(0, num_vertices))
+    t = int(rng.integers(0, num_vertices - 1))
+    if t >= s:
+        t += 1
+    return s, t
+
+
+class PathSampler(abc.ABC):
+    """Uniform shortest-path sampler over a fixed graph."""
+
+    def __init__(self, graph: CSRGraph) -> None:
+        if graph.num_vertices < 2:
+            raise ValueError("PathSampler requires a graph with at least 2 vertices")
+        self._graph = graph
+
+    @property
+    def graph(self) -> CSRGraph:
+        return self._graph
+
+    @abc.abstractmethod
+    def sample_path(self, source: int, target: int, rng: np.random.Generator) -> PathSample:
+        """Sample one uniformly random shortest path between the given pair."""
+
+    def sample(self, rng: np.random.Generator) -> PathSample:
+        """Sample a uniform pair of distinct vertices and a shortest path."""
+        s, t = sample_vertex_pair(self._graph.num_vertices, rng)
+        return self.sample_path(s, t, rng)

@@ -1,0 +1,48 @@
+"""Random-number-generator management for parallel sampling.
+
+Every sampling thread of every (simulated) MPI rank must draw from an
+independent stream; numpy's :class:`~numpy.random.SeedSequence` spawning
+provides statistically independent child streams from one master seed, which
+keeps runs reproducible regardless of the number of processes/threads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["spawn_rngs", "rng_for_rank_thread", "derive_seed"]
+
+
+def spawn_rngs(seed: int | None, count: int) -> List[np.random.Generator]:
+    """Spawn ``count`` independent generators from a master seed."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]
+
+
+def rng_for_rank_thread(
+    seed: int | None, rank: int, thread: int, *, num_threads: int
+) -> np.random.Generator:
+    """Deterministic per-(rank, thread) generator.
+
+    The stream only depends on ``(seed, rank, thread)`` — not on how many
+    ranks exist — so the same thread of the same rank always sees the same
+    stream, which makes distributed runs reproducible and debuggable.
+    """
+    if rank < 0 or thread < 0:
+        raise ValueError("rank and thread must be non-negative")
+    if num_threads <= 0:
+        raise ValueError("num_threads must be positive")
+    if thread >= num_threads:
+        raise ValueError("thread index out of range")
+    seq = np.random.SeedSequence(seed, spawn_key=(rank, thread))
+    return np.random.default_rng(seq)
+
+
+def derive_seed(seed: int | None, *tags: int) -> int:
+    """Derive a 63-bit integer seed from a master seed and integer tags."""
+    seq = np.random.SeedSequence(seed, spawn_key=tuple(int(t) for t in tags))
+    return int(seq.generate_state(1, dtype=np.uint64)[0] >> 1)

@@ -1,0 +1,31 @@
+"""Minimal logging configuration for the package.
+
+The library never configures the root logger; applications opt in via
+:func:`enable_console_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+
+PACKAGE_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a child logger of the package logger."""
+    if name is None or name == PACKAGE_LOGGER_NAME:
+        return logging.getLogger(PACKAGE_LOGGER_NAME)
+    if name.startswith(PACKAGE_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{PACKAGE_LOGGER_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a stream handler with a compact format to the package logger."""
+    logger = logging.getLogger(PACKAGE_LOGGER_NAME)
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("[%(levelname)s] %(name)s: %(message)s"))
+        logger.addHandler(handler)
+    return logger

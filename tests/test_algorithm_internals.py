@@ -1,0 +1,204 @@
+"""Focused tests of the adaptive-sampling loop internals (Algorithms 1 & 2).
+
+These exercise the algorithm functions directly (not through the driver) so
+that failure modes — inconsistent aggregation, missing calibration carry-over,
+omega exhaustion, topology wiring — are pinned down at the right layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.state_frame import StateFrame
+from repro.core.stopping import StoppingCondition
+from repro.mpi import SelfComm, build_topology, run_threaded
+from repro.parallel.algorithm1 import adaptive_sampling_algorithm1
+from repro.parallel.algorithm2 import adaptive_sampling_algorithm2
+from repro.sampling import BidirectionalBFSSampler
+
+
+def _loose_condition(n, omega=400, eps=0.5):
+    deltas = np.full(n, 0.01)
+    return StoppingCondition(eps=eps, omega=omega, delta_l=deltas, delta_u=deltas)
+
+
+def _strict_condition(n, omega=10**7, eps=1e-4):
+    deltas = np.full(n, 0.001)
+    return StoppingCondition(eps=eps, omega=omega, delta_l=deltas, delta_u=deltas)
+
+
+class TestAlgorithm1Internals:
+    def test_single_rank_terminates_and_aggregates(self, small_social_graph):
+        condition = _loose_condition(small_social_graph.num_vertices)
+        stats = adaptive_sampling_algorithm1(
+            SelfComm(),
+            BidirectionalBFSSampler(small_social_graph),
+            condition,
+            np.random.default_rng(0),
+            samples_per_epoch=50,
+        )
+        assert stats.aggregated_frame is not None
+        assert stats.aggregated_frame.num_samples >= 50
+        assert stats.num_epochs >= 1
+        assert not stats.aggregated_frame.is_empty
+
+    def test_initial_frame_counts_towards_termination(self, small_social_graph):
+        n = small_social_graph.num_vertices
+        condition = _loose_condition(n, omega=100)
+        seed_frame = StateFrame.zeros(n)
+        seed_frame.num_samples = 99  # one sample away from omega
+        stats = adaptive_sampling_algorithm1(
+            SelfComm(),
+            BidirectionalBFSSampler(small_social_graph),
+            condition,
+            np.random.default_rng(1),
+            samples_per_epoch=10,
+            initial_frame=seed_frame,
+        )
+        assert stats.stopped_by_omega
+        assert stats.num_epochs == 1
+
+    def test_max_epochs_safety(self, small_social_graph):
+        condition = _strict_condition(small_social_graph.num_vertices)
+        stats = adaptive_sampling_algorithm1(
+            SelfComm(),
+            BidirectionalBFSSampler(small_social_graph),
+            condition,
+            np.random.default_rng(2),
+            samples_per_epoch=5,
+            max_epochs=2,
+        )
+        assert stats.num_epochs == 2
+
+    def test_multi_rank_aggregate_consistency(self, small_social_graph):
+        """The root's aggregate equals the sum of what every rank sampled."""
+        n = small_social_graph.num_vertices
+        condition = _loose_condition(n, omega=600)
+
+        def body(comm, rank):
+            return adaptive_sampling_algorithm1(
+                comm,
+                BidirectionalBFSSampler(small_social_graph),
+                condition,
+                np.random.default_rng(100 + rank),
+                samples_per_epoch=40,
+            )
+
+        stats = run_threaded(3, body)
+        total_local = sum(s.local_samples for s in stats)
+        aggregated = stats[0].aggregated_frame
+        assert aggregated is not None
+        # Some locally-taken samples may still sit in the unreduced buffers of
+        # the final epoch, so the aggregate can only be smaller or equal.
+        assert aggregated.num_samples <= total_local
+        assert aggregated.num_samples >= condition.omega or aggregated.num_samples > 0
+        # Every rank went through the same number of epochs.
+        assert len({s.num_epochs for s in stats}) == 1
+
+    def test_invalid_samples_per_epoch(self, small_social_graph):
+        condition = _loose_condition(small_social_graph.num_vertices)
+        with pytest.raises(ValueError):
+            adaptive_sampling_algorithm1(
+                SelfComm(),
+                BidirectionalBFSSampler(small_social_graph),
+                condition,
+                np.random.default_rng(0),
+                samples_per_epoch=0,
+            )
+
+
+class TestAlgorithm2Internals:
+    def _rngs(self, count, seed=0):
+        return [np.random.default_rng(seed + i) for i in range(count)]
+
+    def test_single_rank_multi_thread(self, small_social_graph):
+        n = small_social_graph.num_vertices
+        condition = _loose_condition(n, omega=500)
+        stats = adaptive_sampling_algorithm2(
+            SelfComm(),
+            lambda _t: BidirectionalBFSSampler(small_social_graph),
+            condition,
+            self._rngs(3),
+            num_threads=3,
+            samples_per_epoch=30,
+        )
+        assert stats.aggregated_frame is not None
+        assert stats.aggregated_frame.num_samples > 0
+        assert stats.local_samples >= stats.aggregated_frame.num_samples
+        assert stats.num_epochs >= 1
+        assert set(stats.phase_seconds) >= {"sampling", "epoch_transition", "check"}
+
+    def test_ireduce_variant(self, small_social_graph):
+        n = small_social_graph.num_vertices
+        condition = _loose_condition(n, omega=300)
+        stats = adaptive_sampling_algorithm2(
+            SelfComm(),
+            lambda _t: BidirectionalBFSSampler(small_social_graph),
+            condition,
+            self._rngs(2),
+            num_threads=2,
+            samples_per_epoch=20,
+            use_ibarrier_reduce=False,
+        )
+        assert stats.aggregated_frame is not None
+        assert stats.aggregated_frame.num_samples >= 20
+
+    def test_with_topology_across_ranks(self, small_social_graph):
+        n = small_social_graph.num_vertices
+        condition = _loose_condition(n, omega=600)
+
+        def body(comm, rank):
+            topology = build_topology(comm, processes_per_node=2)
+            return adaptive_sampling_algorithm2(
+                comm,
+                lambda _t: BidirectionalBFSSampler(small_social_graph),
+                condition,
+                self._rngs(2, seed=10 * rank),
+                num_threads=2,
+                samples_per_epoch=20,
+                topology=topology,
+            )
+
+        stats = run_threaded(4, body)
+        aggregated = stats[0].aggregated_frame
+        assert aggregated is not None
+        assert aggregated.num_samples > 0
+        assert all(s.aggregated_frame is None for s in stats[1:])
+        assert len({s.num_epochs for s in stats}) == 1
+
+    def test_validation(self, small_social_graph):
+        condition = _loose_condition(small_social_graph.num_vertices)
+        sampler_factory = lambda _t: BidirectionalBFSSampler(small_social_graph)  # noqa: E731
+        with pytest.raises(ValueError):
+            adaptive_sampling_algorithm2(
+                SelfComm(), sampler_factory, condition, self._rngs(1), num_threads=0,
+                samples_per_epoch=10,
+            )
+        with pytest.raises(ValueError):
+            adaptive_sampling_algorithm2(
+                SelfComm(), sampler_factory, condition, self._rngs(2), num_threads=2,
+                samples_per_epoch=0,
+            )
+        with pytest.raises(ValueError):
+            adaptive_sampling_algorithm2(
+                SelfComm(), sampler_factory, condition, self._rngs(1), num_threads=2,
+                samples_per_epoch=10,
+            )
+
+    def test_estimates_converge_to_exact(self, small_social_graph):
+        from repro.baselines import brandes_betweenness
+
+        exact = brandes_betweenness(small_social_graph).scores
+        n = small_social_graph.num_vertices
+        condition = _loose_condition(n, omega=4000, eps=0.5)
+        stats = adaptive_sampling_algorithm2(
+            SelfComm(),
+            lambda _t: BidirectionalBFSSampler(small_social_graph),
+            condition,
+            self._rngs(2, seed=5),
+            num_threads=2,
+            samples_per_epoch=2000,
+        )
+        estimates = stats.aggregated_frame.betweenness_estimates()
+        assert np.max(np.abs(estimates - exact)) < 0.08

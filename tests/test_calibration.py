@@ -1,0 +1,103 @@
+"""Unit tests for the delta_L/delta_U calibration phase."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import (
+    calibrate_deltas,
+    default_calibration_samples,
+)
+from repro.core.state_frame import StateFrame
+
+
+def _frame_with_counts(counts, num_samples):
+    frame = StateFrame.zeros(len(counts))
+    frame.counts = np.asarray(counts, dtype=np.float64)
+    frame.num_samples = num_samples
+    return frame
+
+
+class TestDefaultCalibrationSamples:
+    def test_lower_bounded(self):
+        assert default_calibration_samples(1000, 50) >= 200
+
+    def test_capped_by_omega(self):
+        assert default_calibration_samples(50, 10) == 50
+
+    def test_capped_at_fifty_thousand(self):
+        assert default_calibration_samples(100_000_000, 10**6) == 50_000
+
+    def test_scales_with_omega(self):
+        small = default_calibration_samples(30_000, 100)
+        large = default_calibration_samples(3_000_000, 100)
+        assert large > small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            default_calibration_samples(0, 10)
+        with pytest.raises(ValueError):
+            default_calibration_samples(10, 0)
+
+
+class TestCalibrateDeltas:
+    def test_budget_respected(self):
+        frame = _frame_with_counts([50, 10, 5, 0, 0, 0, 0, 0], 100)
+        result = calibrate_deltas(frame, 0.1, eps=0.01)
+        assert result.total_budget_used <= 0.1 + 1e-12
+        assert np.all(result.delta_l > 0)
+        assert np.all(result.delta_u > 0)
+        assert np.all(result.delta_l < 0.5)
+
+    def test_important_vertices_get_larger_share(self):
+        frame = _frame_with_counts([500, 0, 0, 0, 0, 0, 0, 0, 0, 0], 1000)
+        result = calibrate_deltas(frame, 0.1, eps=0.01)
+        # The vertex with the highest preliminary estimate must not receive
+        # less failure probability than the zero-estimate vertices.
+        assert result.delta_l[0] >= result.delta_l[1] - 1e-15
+
+    def test_uniform_frame_gives_uniform_deltas(self):
+        frame = _frame_with_counts([10] * 6, 100)
+        result = calibrate_deltas(frame, 0.2, eps=0.05)
+        assert np.allclose(result.delta_l, result.delta_l[0])
+        assert np.allclose(result.delta_u, result.delta_u[0])
+
+    def test_empty_frame_still_valid(self):
+        frame = StateFrame.zeros(5)
+        frame.num_samples = 10
+        result = calibrate_deltas(frame, 0.1, eps=0.01)
+        assert result.total_budget_used <= 0.1 + 1e-12
+        assert np.all(result.delta_l > 0)
+
+    def test_zero_sample_frame(self):
+        frame = StateFrame.zeros(5)
+        result = calibrate_deltas(frame, 0.1, eps=0.01)
+        assert np.all(result.delta_l > 0)
+        assert result.num_samples == 0
+
+    def test_preserves_preliminary_estimates(self):
+        frame = _frame_with_counts([5, 0, 0], 10)
+        result = calibrate_deltas(frame, 0.1, eps=0.1)
+        assert result.preliminary_estimates[0] == pytest.approx(0.5)
+
+    def test_validation(self):
+        frame = StateFrame.zeros(3)
+        with pytest.raises(ValueError):
+            calibrate_deltas(frame, 1.5, eps=0.1)
+        with pytest.raises(ValueError):
+            calibrate_deltas(frame, 0.1, eps=-1.0)
+        with pytest.raises(ValueError):
+            calibrate_deltas(frame, 0.1, eps=0.1, balancing_factor=2.0)
+        with pytest.raises(ValueError):
+            calibrate_deltas(StateFrame.zeros(0), 0.1, eps=0.1)
+
+    def test_deltas_usable_by_stopping_condition(self):
+        from repro.core.stopping import StoppingCondition
+
+        frame = _frame_with_counts([30, 10, 0, 0], 100)
+        result = calibrate_deltas(frame, 0.1, eps=0.05)
+        condition = StoppingCondition(
+            eps=0.05, omega=10_000, delta_l=result.delta_l, delta_u=result.delta_u
+        )
+        assert condition.num_vertices == 4

@@ -1,0 +1,159 @@
+"""Tests of the experiment harness (instances, tables, figures, runner)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    PAPER_INSTANCES,
+    build_proxy_graph,
+    format_fig2a,
+    format_fig2b,
+    format_fig3a,
+    format_fig3b,
+    format_fig4,
+    format_fig4_model,
+    format_headline,
+    format_table1,
+    format_table2,
+    generate_fig2,
+    generate_fig3,
+    generate_fig4,
+    generate_fig4_model,
+    generate_headline,
+    generate_table1,
+    generate_table2,
+    instance_by_name,
+    paper_profile,
+    proxy_profile,
+    run_experiment,
+)
+from repro.experiments.report import format_series, format_table, to_csv
+from repro.graph.components import is_connected
+
+
+class TestInstancesRegistry:
+    def test_ten_instances(self):
+        assert len(PAPER_INSTANCES) == 10
+        names = {inst.name for inst in PAPER_INSTANCES}
+        assert "twitter" in names and "roadNet-PA" in names
+
+    def test_lookup(self):
+        inst = instance_by_name("friendster")
+        assert inst.num_edges == 2_585_071_391
+        with pytest.raises(KeyError):
+            instance_by_name("unknown-graph")
+
+    def test_paper_profile_uses_table2_samples(self):
+        profile = paper_profile("orkut-links")
+        assert profile.target_samples == 829_292
+        assert profile.eps == 0.001
+
+    def test_build_road_proxy(self):
+        proxy = build_proxy_graph("roadNet-PA", scale=1 / 4000, seed=0)
+        assert is_connected(proxy)
+        assert 2.0 * proxy.num_edges / proxy.num_vertices < 4.0
+
+    def test_build_complex_proxy(self):
+        proxy = build_proxy_graph("orkut-links", scale=1 / 4000, seed=0)
+        assert 2.0 * proxy.num_edges / proxy.num_vertices > 8.0
+
+    def test_proxy_profile_measures_cost(self):
+        profile = proxy_profile("orkut-links", scale=1 / 4000, seed=0)
+        assert profile.edges_per_sample > 0
+        assert profile.name.endswith("-proxy")
+        assert profile.kind == "complex"
+
+
+class TestReportHelpers:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 3]], title="T")
+        assert "T" in text and "a" in text and "2.5" in text
+
+    def test_to_csv(self):
+        text = to_csv(["a", "b"], [[1, 2]])
+        assert text.splitlines()[0] == "a,b"
+        assert text.splitlines()[1] == "1,2"
+
+    def test_format_series(self):
+        assert "x: 1" in format_series("s", ["x"], [1])
+        with pytest.raises(ValueError):
+            format_series("s", [1, 2], [1])
+
+
+class TestTables:
+    def test_table1_subset(self):
+        rows = generate_table1(names=["roadNet-PA", "orkut-links"], scale=1 / 4000, seed=1)
+        assert len(rows) == 2
+        text = format_table1(rows)
+        assert "roadNet-PA" in text
+
+    def test_table2_full(self):
+        rows = generate_table2()
+        assert len(rows) == 10
+        for row in rows:
+            assert row.comm_mib_per_epoch == pytest.approx(row.paper_comm_mib_per_epoch, rel=0.02)
+            assert row.samples >= row.paper_samples
+        text = format_table2(rows)
+        assert "Com." in text
+
+
+class TestFigures:
+    def test_fig2_shape(self):
+        result = generate_fig2(names=["orkut-links", "twitter"], node_counts=(1, 4, 16))
+        assert result.overall_speedup[16] > result.overall_speedup[1]
+        for nodes in (1, 4, 16):
+            assert sum(result.phase_fractions[nodes].values()) == pytest.approx(1.0, abs=1e-9)
+        assert "speedup" in format_fig2a(result)
+        assert "breakdown" in format_fig2b(result)
+
+    def test_fig2_no_instances_rejected(self):
+        with pytest.raises(ValueError):
+            generate_fig2(names=["nonexistent"])
+
+    def test_fig3_shape(self):
+        result = generate_fig3(names=["orkut-links", "roadNet-PA"], node_counts=(1, 8, 16))
+        assert result.adaptive_speedup[16] > result.adaptive_speedup[1]
+        assert result.samples_per_second_per_node[16] > 0
+        assert "ADS" in format_fig3a(result)
+        assert "ADS" in format_fig3b(result)
+
+    def test_fig4_measured_tiny(self):
+        result = generate_fig4(scales=(7, 8), edge_factor=6, eps=0.2, max_samples=400)
+        assert len(result.rmat) == 2 and len(result.hyperbolic) == 2
+        assert all(p.adaptive_seconds >= 0 for p in result.rmat + result.hyperbolic)
+        assert "R-MAT" in format_fig4(result)
+        with pytest.raises(ValueError):
+            result.points("unknown")
+
+    def test_fig4_model_shape(self):
+        model = generate_fig4_model()
+        rmat = model["rmat"]
+        hyperbolic = model["hyperbolic"]
+        assert rmat[-1].millis_per_vertex > rmat[0].millis_per_vertex
+        assert hyperbolic[-1].millis_per_vertex == pytest.approx(
+            hyperbolic[0].millis_per_vertex, rel=0.2
+        )
+        assert "model projection" in format_fig4_model(model)
+
+
+class TestHeadline:
+    def test_headline_values(self):
+        result = generate_headline()
+        assert 5.0 <= result.overall_speedup_16_nodes <= 14.0
+        assert 12.0 <= result.adaptive_speedup_16_nodes <= 24.0
+        assert 1.1 <= result.single_node_numa_gain <= 1.4
+        assert len(result.billion_edge_minutes) == 3
+        text = format_headline(result)
+        assert "paper" in text
+
+
+class TestRunner:
+    @pytest.mark.parametrize("name", ["table2", "fig2a", "fig2b", "fig3a", "fig3b", "headline"])
+    def test_model_experiments_run(self, name):
+        output = run_experiment(name)
+        assert isinstance(output, str) and output
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment("table9")

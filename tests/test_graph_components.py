@@ -1,0 +1,71 @@
+"""Unit tests for connected components and LCC extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.components import (
+    connected_components,
+    is_connected,
+    largest_connected_component,
+)
+from repro.graph.csr import CSRGraph
+
+
+class TestConnectedComponents:
+    def test_single_component(self, small_social_graph):
+        comps = connected_components(small_social_graph)
+        assert comps.num_components == 1
+        assert comps.sizes[0] == small_social_graph.num_vertices
+
+    def test_two_components_and_isolated_vertex(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2), (3, 4)], num_vertices=6)
+        comps = connected_components(g)
+        assert comps.num_components == 3
+        assert sorted(comps.sizes.tolist()) == [1, 2, 3]
+        assert comps.largest() == 0  # component of vertex 0 discovered first
+
+    def test_members(self):
+        g = CSRGraph.from_edges([(0, 1), (2, 3)], num_vertices=4)
+        comps = connected_components(g)
+        assert list(comps.members(0)) == [0, 1]
+        assert list(comps.members(1)) == [2, 3]
+
+    def test_labels_cover_all_vertices(self, small_road_graph):
+        comps = connected_components(small_road_graph)
+        assert np.all(comps.labels >= 0)
+        assert int(comps.sizes.sum()) == small_road_graph.num_vertices
+
+    def test_empty_graph(self):
+        comps = connected_components(CSRGraph.empty(0))
+        assert comps.num_components == 0
+        with pytest.raises(ValueError):
+            comps.largest()
+
+
+class TestIsConnected:
+    def test_connected(self, small_social_graph):
+        assert is_connected(small_social_graph)
+
+    def test_disconnected(self):
+        assert not is_connected(CSRGraph.from_edges([(0, 1)], num_vertices=3))
+
+    def test_empty_graph_is_connected(self):
+        assert is_connected(CSRGraph.empty(0))
+
+
+class TestLargestConnectedComponent:
+    def test_already_connected_returns_same_object(self, small_social_graph):
+        assert largest_connected_component(small_social_graph) is small_social_graph
+
+    def test_extracts_largest(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2), (2, 0), (5, 6)], num_vertices=8)
+        lcc = largest_connected_component(g)
+        assert lcc.num_vertices == 3
+        assert lcc.num_edges == 3
+        assert is_connected(lcc)
+
+    def test_empty_graph(self):
+        g = CSRGraph.empty(0)
+        assert largest_connected_component(g) is g

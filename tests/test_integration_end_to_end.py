@@ -1,0 +1,113 @@
+"""End-to-end integration tests across the whole stack.
+
+Each test follows a realistic user workflow: load/generate a graph, run one of
+the drivers, post-process the result (top-k, persistence), and cross-check the
+different algorithm variants against each other and against exact values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import KadabraBetweenness, KadabraOptions, brandes_betweenness
+from repro.baselines import RKBetweenness, SourceSamplingBetweenness
+from repro.core import identify_top_k
+from repro.epoch import SharedMemoryKadabra
+from repro.experiments.instances import build_proxy_graph
+from repro.graph import largest_connected_component, read_edge_list, write_edge_list
+from repro.graph.generators import hyperbolic_graph, rmat_graph
+from repro.io_utils import load_result, save_result
+from repro.parallel import DistributedKadabra
+from repro.util.stats import max_abs_error, relative_rank_overlap
+
+
+class TestFileToResultWorkflow:
+    def test_edge_list_roundtrip_pipeline(self, tmp_path, medium_social_graph):
+        """Write a graph to disk, read it back, approximate, persist, reload."""
+        graph_path = tmp_path / "network.tsv"
+        write_edge_list(medium_social_graph, graph_path)
+        graph = largest_connected_component(read_edge_list(graph_path))
+        assert graph.num_vertices == medium_social_graph.num_vertices
+
+        options = KadabraOptions(eps=0.08, delta=0.1, seed=21, calibration_samples=100)
+        result = KadabraBetweenness(graph, options).run()
+
+        result_path = tmp_path / "scores.json"
+        save_result(result, result_path)
+        reloaded = load_result(result_path)
+        assert np.allclose(reloaded.scores, result.scores)
+        assert reloaded.top_k(3) == result.top_k(3)
+
+
+class TestAlgorithmAgreement:
+    """All estimators agree with the exact algorithm and with each other."""
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return largest_connected_component(rmat_graph(8, edge_factor=6, seed=17))
+
+    @pytest.fixture(scope="class")
+    def exact_scores(self, graph):
+        return brandes_betweenness(graph).scores
+
+    @pytest.fixture(scope="class")
+    def options(self):
+        return KadabraOptions(eps=0.05, delta=0.1, seed=23, calibration_samples=300)
+
+    def test_sequential(self, graph, exact_scores, options):
+        result = KadabraBetweenness(graph, options).run()
+        assert max_abs_error(result.scores, exact_scores) <= options.eps
+
+    def test_shared_memory(self, graph, exact_scores, options):
+        result = SharedMemoryKadabra(graph, options, num_threads=2).run()
+        assert max_abs_error(result.scores, exact_scores) <= options.eps
+
+    def test_distributed(self, graph, exact_scores, options):
+        result = DistributedKadabra(graph, options, num_processes=2, threads_per_process=2).run()
+        assert max_abs_error(result.scores, exact_scores) <= options.eps
+
+    def test_rk(self, graph, exact_scores, options):
+        result = RKBetweenness(graph, options).run()
+        assert max_abs_error(result.scores, exact_scores) <= options.eps
+
+    def test_source_sampling(self, graph, exact_scores):
+        result = SourceSamplingBetweenness(graph, eps=0.05, delta=0.1, seed=9, num_sources=100).run()
+        assert max_abs_error(result.scores, exact_scores) <= 0.08
+
+    def test_rankings_consistent(self, graph, exact_scores, options):
+        """All approximations recover the exact top-5 reasonably well."""
+        sequential = KadabraBetweenness(graph, options).run()
+        distributed = DistributedKadabra(graph, options, num_processes=2).run()
+        assert relative_rank_overlap(sequential.scores, exact_scores, 5) >= 0.6
+        assert relative_rank_overlap(distributed.scores, exact_scores, 5) >= 0.6
+
+
+class TestTopKWorkflow:
+    def test_top_k_on_hyperbolic_graph(self):
+        graph = largest_connected_component(hyperbolic_graph(800, avg_degree=10, seed=5))
+        options = KadabraOptions(eps=0.03, delta=0.1, seed=6)
+        result = KadabraBetweenness(graph, options).run()
+        exact = brandes_betweenness(graph).scores
+        topk = identify_top_k(result, 3)
+        # Any membership the analysis confirms must be correct.
+        exact_top = set(np.argsort(-exact)[:3].tolist())
+        for vertex, confirmed in zip(topk.vertices, topk.confirmed):
+            if confirmed:
+                assert int(vertex) in exact_top
+
+
+class TestProxyInstanceWorkflow:
+    def test_road_proxy_full_run(self, quick_options):
+        graph = build_proxy_graph("roadNet-PA", scale=1 / 8000, seed=2)
+        result = DistributedKadabra(
+            graph, quick_options, num_processes=2, threads_per_process=1
+        ).run()
+        exact = brandes_betweenness(graph).scores
+        assert max_abs_error(result.scores, exact) <= 2 * quick_options.eps
+
+    def test_social_proxy_full_run(self, quick_options):
+        graph = build_proxy_graph("dbpedia-link", scale=1 / 20000, seed=2)
+        result = SharedMemoryKadabra(graph, quick_options, num_threads=2).run()
+        exact = brandes_betweenness(graph).scores
+        assert max_abs_error(result.scores, exact) <= 2 * quick_options.eps

@@ -1,0 +1,204 @@
+"""Unit tests for the threaded MPI runtime: collectives, requests, reductions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.state_frame import StateFrame
+from repro.mpi import (
+    CompletedRequest,
+    PolledRequest,
+    SelfComm,
+    combine,
+    reduce_op,
+    run_threaded,
+)
+from repro.mpi.threaded import ThreadedCommWorld
+
+
+class TestRequests:
+    def test_completed_request(self):
+        request = CompletedRequest(42)
+        assert request.test()
+        assert request.done
+        assert request.result() == 42
+        assert request.wait() == 42
+
+    def test_polled_request(self):
+        state = {"done": False}
+        request = PolledRequest(lambda: state["done"], lambda: "value")
+        assert not request.test()
+        with pytest.raises(RuntimeError):
+            request.result()
+        state["done"] = True
+        assert request.test()
+        assert request.result() == "value"
+
+
+class TestReduceOps:
+    def test_sum_scalars_and_arrays(self):
+        assert reduce_op("sum")(2, 3) == 5
+        assert np.array_equal(reduce_op("sum")(np.array([1, 2]), np.array([3, 4])), np.array([4, 6]))
+
+    def test_sum_state_frames_does_not_mutate(self):
+        a = StateFrame.zeros(3)
+        a.record_sample([0])
+        b = StateFrame.zeros(3)
+        b.record_sample([1])
+        result = reduce_op("sum")(a, b)
+        assert result.num_samples == 2
+        assert a.num_samples == 1
+
+    def test_min_max_lor_land(self):
+        assert reduce_op("max")(2, 5) == 5
+        assert reduce_op("min")(2, 5) == 2
+        assert reduce_op("lor")(False, True) is True
+        assert reduce_op("land")(True, False) is False
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            reduce_op("product")
+
+    def test_combine(self):
+        assert combine("sum", [1, 2, 3]) == 6
+        assert combine("max", [4, 1, 9, 2]) == 9
+        with pytest.raises(ValueError):
+            combine("sum", [])
+
+
+class TestSelfComm:
+    def test_identity(self):
+        comm = SelfComm()
+        assert comm.rank == 0 and comm.size == 1 and comm.is_root
+
+    def test_collectives_are_identity(self):
+        comm = SelfComm()
+        assert comm.reduce(5) == 5
+        assert comm.allreduce(7) == 7
+        assert comm.bcast("x") == "x"
+        assert comm.gather(3) == [3]
+        assert comm.ireduce(1).wait() == 1
+        assert comm.ibcast(2).wait() == 2
+        comm.barrier()
+        assert comm.ibarrier().test()
+
+    def test_split_returns_self_comm(self):
+        assert isinstance(SelfComm().split(0), SelfComm)
+
+    def test_invalid_root_rejected(self):
+        with pytest.raises(ValueError):
+            SelfComm().reduce(1, root=1)
+
+
+class TestThreadedComm:
+    def test_world_validation(self):
+        with pytest.raises(ValueError):
+            ThreadedCommWorld(0)
+        world = ThreadedCommWorld(2)
+        with pytest.raises(ValueError):
+            world.comm_for_rank(5)
+
+    def test_reduce_sum(self):
+        def body(comm, rank):
+            return comm.reduce(rank + 1, op="sum", root=0)
+
+        results = run_threaded(4, body)
+        assert results[0] == 10
+        assert all(r is None for r in results[1:])
+
+    def test_allreduce(self):
+        results = run_threaded(3, lambda comm, rank: comm.allreduce(rank, op="max"))
+        assert results == [2, 2, 2]
+
+    def test_bcast(self):
+        def body(comm, rank):
+            value = {"data": 99} if rank == 0 else None
+            return comm.bcast(value, root=0)
+
+        results = run_threaded(3, body)
+        assert all(r == {"data": 99} for r in results)
+
+    def test_bcast_false_value(self):
+        """A broadcast of False must not be mistaken for 'not yet arrived'."""
+        results = run_threaded(3, lambda comm, rank: comm.bcast(False if rank == 0 else None))
+        assert results == [False, False, False]
+
+    def test_gather(self):
+        results = run_threaded(3, lambda comm, rank: comm.gather(rank * 10, root=0))
+        assert results[0] == [0, 10, 20]
+        assert results[1] is None and results[2] is None
+
+    def test_barrier_and_ibarrier(self):
+        def body(comm, rank):
+            comm.barrier()
+            request = comm.ibarrier()
+            request.wait()
+            return True
+
+        assert run_threaded(4, body) == [True] * 4
+
+    def test_state_frame_reduction(self):
+        def body(comm, rank):
+            frame = StateFrame.zeros(4)
+            frame.record_sample([rank])
+            reduced = comm.reduce(frame, op="sum", root=0)
+            return reduced
+
+        results = run_threaded(4, body)
+        assert results[0].num_samples == 4
+        assert list(results[0].counts) == [1, 1, 1, 1]
+
+    def test_multiple_sequential_collectives_match_by_order(self):
+        def body(comm, rank):
+            first = comm.allreduce(1, op="sum")
+            second = comm.allreduce(rank, op="max")
+            return (first, second)
+
+        results = run_threaded(3, body)
+        assert all(r == (3, 2) for r in results)
+
+    def test_ireduce_overlap(self):
+        def body(comm, rank):
+            request = comm.ireduce(rank + 1, op="sum", root=0)
+            local_work = 0
+            while not request.test():
+                local_work += 1
+            return request.result() if comm.is_root else None
+
+        results = run_threaded(3, body)
+        assert results[0] == 6
+
+    def test_communication_bytes_counted(self):
+        def body(comm, rank):
+            comm.reduce(np.zeros(100), op="sum", root=0)
+            return comm.communication_bytes()
+
+        results = run_threaded(2, body)
+        # The root returns only after both contributions arrived, so it has
+        # seen the full payload; the other rank has at least its own share.
+        assert results[0] >= 2 * 100 * 8
+        assert results[1] >= 100 * 8
+
+    def test_split_groups_ranks(self):
+        def body(comm, rank):
+            color = rank // 2
+            local = comm.split(color=color, key=rank)
+            return (color, local.rank, local.size, local.allreduce(rank, op="sum"))
+
+        results = run_threaded(4, body)
+        assert results[0] == (0, 0, 2, 1)
+        assert results[1] == (0, 1, 2, 1)
+        assert results[2] == (1, 0, 2, 5)
+        assert results[3] == (1, 1, 2, 5)
+
+    def test_exception_in_rank_propagates(self):
+        def body(comm, rank):
+            if rank == 1:
+                raise RuntimeError("boom")
+            # Rank 0 performs no collective so it cannot block on the failed
+            # rank; the error must still surface to the caller.
+            return rank
+
+        with pytest.raises(RuntimeError, match="boom"):
+            run_threaded(2, body)

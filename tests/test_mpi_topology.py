@@ -1,0 +1,73 @@
+"""Unit tests for the NUMA-aware communicator topology split."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpi import SelfComm, build_topology, run_threaded
+
+
+class TestBuildTopology:
+    def test_two_nodes_of_two_processes(self):
+        def body(comm, rank):
+            topo = build_topology(comm, processes_per_node=2)
+            return (
+                topo.node_index,
+                topo.local.rank,
+                topo.local.size,
+                topo.is_node_leader,
+                topo.global_ is not None,
+                topo.num_nodes,
+            )
+
+        results = run_threaded(4, body)
+        assert results[0] == (0, 0, 2, True, True, 2)
+        assert results[1] == (0, 1, 2, False, False, 2)
+        assert results[2] == (1, 0, 2, True, True, 2)
+        assert results[3] == (1, 1, 2, False, False, 2)
+
+    def test_leader_communicator_spans_nodes(self):
+        def body(comm, rank):
+            topo = build_topology(comm, processes_per_node=2)
+            if topo.global_ is None:
+                return None
+            return (topo.global_.rank, topo.global_.size)
+
+        results = run_threaded(4, body)
+        assert results[0] == (0, 2)
+        assert results[2] == (1, 2)
+        assert results[1] is None and results[3] is None
+
+    def test_local_reduction_then_global(self):
+        """The node-local pre-aggregation plus global reduce sees every rank."""
+
+        def body(comm, rank):
+            topo = build_topology(comm, processes_per_node=2)
+            local_sum = topo.local.reduce(rank + 1, op="sum", root=0)
+            if topo.is_node_leader:
+                total = topo.global_.reduce(local_sum, op="sum", root=0)
+                return total
+            return None
+
+        results = run_threaded(4, body)
+        assert results[0] == 1 + 2 + 3 + 4
+
+    def test_single_rank_world(self):
+        topo = build_topology(SelfComm(), processes_per_node=2)
+        assert topo.node_index == 0
+        assert topo.is_node_leader
+        assert topo.num_nodes == 1
+
+    def test_uneven_last_node(self):
+        def body(comm, rank):
+            topo = build_topology(comm, processes_per_node=2)
+            return (topo.node_index, topo.local.size)
+
+        results = run_threaded(3, body)
+        assert results[0] == (0, 2)
+        assert results[1] == (0, 2)
+        assert results[2] == (1, 1)
+
+    def test_invalid_processes_per_node(self):
+        with pytest.raises(ValueError):
+            build_topology(SelfComm(), processes_per_node=0)
