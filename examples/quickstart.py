@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """Quickstart: approximate betweenness centrality with KADABRA.
 
-Builds a small social-network-like graph, runs the sequential KADABRA
-approximation, compares it against the exact Brandes algorithm and prints the
-top-ranked vertices.
+Builds a small social-network-like graph, runs KADABRA through the
+:func:`repro.estimate_betweenness` facade (with a progress callback), compares
+it against the exact Brandes backend and prints the top-ranked vertices.
 
 Run with::
 
@@ -12,7 +12,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import KadabraBetweenness, KadabraOptions, brandes_betweenness
+from repro import estimate_betweenness
 from repro.graph.generators import barabasi_albert
 from repro.util.stats import max_abs_error, relative_rank_overlap
 
@@ -23,14 +23,17 @@ def main() -> None:
     graph = barabasi_albert(2000, 4, seed=1)
     print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
 
-    # 2. Configure the approximation: eps is the maximum absolute error, delta
-    #    the failure probability of that guarantee.
-    options = KadabraOptions(eps=0.03, delta=0.1, seed=42)
+    # 2. Run KADABRA through the facade: eps is the maximum absolute error,
+    #    delta the failure probability of that guarantee.  The callback makes
+    #    the adaptive run observable epoch by epoch.
+    def on_progress(event) -> None:
+        print(f"  [{event.backend}] {event.phase}: samples {event.num_samples}")
 
-    # 3. Run KADABRA.
-    result = KadabraBetweenness(graph, options).run()
+    result = estimate_betweenness(
+        graph, algorithm="sequential", eps=0.03, delta=0.1, seed=42, callbacks=on_progress
+    )
     print(
-        f"KADABRA finished after {result.num_samples} samples "
+        f"KADABRA ({result.backend}) finished after {result.num_samples} samples "
         f"(budget omega = {result.omega}, vertex-diameter bound = {result.vertex_diameter})"
     )
     for phase, seconds in result.phase_seconds.items():
@@ -40,11 +43,12 @@ def main() -> None:
     for vertex, score in result.top_k(10):
         print(f"  vertex {vertex:6d}   b~ = {score:.5f}")
 
-    # 4. (Optional, small graphs only) compare against the exact algorithm.
-    exact = brandes_betweenness(graph)
+    # 3. (Optional, small graphs only) compare against the exact backend —
+    #    the same facade call, just a different registry entry.
+    exact = estimate_betweenness(graph, algorithm="exact")
     error = max_abs_error(result.scores, exact.scores)
     overlap = relative_rank_overlap(result.scores, exact.scores, 10)
-    print(f"\nmax abs error vs exact Brandes: {error:.5f} (guarantee: {options.eps})")
+    print(f"\nmax abs error vs exact Brandes: {error:.5f} (guarantee: {result.eps})")
     print(f"top-10 overlap with exact ranking: {overlap:.0%}")
 
 

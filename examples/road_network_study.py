@@ -21,9 +21,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import KadabraOptions, compute_omega
+from repro import Resources, estimate_betweenness
+from repro.core import compute_omega
 from repro.diameter import double_sweep_estimate
-from repro.epoch import SharedMemoryKadabra
 from repro.graph.generators import barabasi_albert, road_network_graph
 
 
@@ -34,8 +34,14 @@ def analyse(name: str, graph, *, eps: float = 0.05, seed: int = 11):
     print(f"\n{name}: {graph.num_vertices} vertices, {graph.num_edges} edges")
     print(f"  diameter bounds: [{estimate.lower}, {estimate.upper}]  -> omega = {omega}")
 
-    options = KadabraOptions(eps=eps, delta=0.1, seed=seed)
-    result = SharedMemoryKadabra(graph, options, num_threads=4).run()
+    result = estimate_betweenness(
+        graph,
+        algorithm="shared-memory",
+        eps=eps,
+        delta=0.1,
+        seed=seed,
+        resources=Resources(threads=4),
+    )
     edges_per_sample = result.extra.get("edges_touched", 0.0) / max(result.num_samples, 1)
     print(
         f"  KADABRA: {result.num_samples} samples in {result.num_epochs} epochs, "

@@ -21,22 +21,24 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import KadabraOptions
+from repro import Resources, estimate_betweenness
 from repro.graph.generators import rmat_graph
 from repro.graph.components import largest_connected_component
-from repro.parallel import DistributedKadabra
 
 
 def run_with_eps(graph, eps: float, *, seed: int = 7):
-    options = KadabraOptions(eps=eps, delta=0.1, seed=seed)
-    driver = DistributedKadabra(
+    return estimate_betweenness(
         graph,
-        options,
-        num_processes=2,
-        threads_per_process=2,
-        processes_per_node=2,  # one rank per NUMA socket, as in the paper
+        algorithm="distributed",
+        eps=eps,
+        delta=0.1,
+        seed=seed,
+        resources=Resources(
+            processes=2,
+            threads=2,
+            processes_per_node=2,  # one rank per NUMA socket, as in the paper
+        ),
     )
-    return driver.run()
 
 
 def main() -> None:

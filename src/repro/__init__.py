@@ -9,13 +9,51 @@ evaluation figures and tables.
 
 Quickstart
 ----------
->>> from repro import KadabraBetweenness, KadabraOptions
+Every execution mode runs through the :func:`estimate_betweenness` facade;
+``algorithm="auto"`` picks a backend deterministically from the graph size and
+the requested resources:
+
+>>> from repro import estimate_betweenness, Resources
 >>> from repro.graph.generators import barabasi_albert
 >>> graph = barabasi_albert(500, 3, seed=0)
->>> result = KadabraBetweenness(graph, KadabraOptions(eps=0.05, seed=0)).run()
+>>> result = estimate_betweenness(graph, eps=0.05, seed=0,
+...                               resources=Resources(threads=4))
+>>> result.backend
+'shared-memory'
 >>> result.top_k(3)  # doctest: +SKIP
+
+Backends
+--------
+Backends live in a registry (see :mod:`repro.api`); ``repro-betweenness
+--list-backends`` prints the same table from the CLI:
+
+===============  ======  =======  =========  =================
+name             kind    threads  processes  cost
+===============  ======  =======  =========  =================
+sequential       approx  no       no         adaptive-sampling
+shared-memory    approx  yes      no         adaptive-sampling
+distributed      approx  yes      yes        adaptive-sampling
+mpi-only         approx  no       yes        adaptive-sampling
+rk               approx  no       no         fixed-sampling
+exact            exact   no       no         n-sssp
+source-sampling  approx  no       no         n-sssp
+===============  ======  =======  =========  =================
+
+New backends are added with :func:`repro.api.register_backend`; the legacy
+per-algorithm classes (``KadabraBetweenness``, ``SharedMemoryKadabra``,
+``DistributedKadabra``, ``RKBetweenness``) still work but are deprecated
+shims over the same implementations.
 """
 
+from repro.api import (
+    BackendSpec,
+    ProgressEvent,
+    Resources,
+    backend_names,
+    estimate_betweenness,
+    list_backends,
+    register_backend,
+)
 from repro.core import (
     BetweennessResult,
     KadabraBetweenness,
@@ -27,18 +65,25 @@ from repro.core import (
 from repro.graph import CSRGraph, GraphBuilder
 from repro.baselines import brandes_betweenness, RKBetweenness
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BackendSpec",
     "BetweennessResult",
-    "KadabraBetweenness",
-    "KadabraOptions",
-    "StateFrame",
-    "StoppingCondition",
-    "compute_omega",
     "CSRGraph",
     "GraphBuilder",
-    "brandes_betweenness",
+    "KadabraBetweenness",
+    "KadabraOptions",
+    "ProgressEvent",
     "RKBetweenness",
+    "Resources",
+    "StateFrame",
+    "StoppingCondition",
+    "backend_names",
+    "brandes_betweenness",
+    "compute_omega",
+    "estimate_betweenness",
+    "list_backends",
+    "register_backend",
     "__version__",
 ]

@@ -1,0 +1,49 @@
+"""Unified betweenness API: one facade, a pluggable backend registry.
+
+The paper's point is that *one* adaptive-sampling algorithm scales from a
+single core to an MPI cluster; this package gives the reproduction one stable
+surface to match.  Call :func:`estimate_betweenness` with an ``algorithm``
+name (or ``"auto"``), a :class:`Resources` description and optional progress
+``callbacks`` — every execution mode is a :class:`BackendSpec` entry in the
+registry, and new backends (sharded, cached, async, ...) are added with
+:func:`register_backend` instead of a fork of the dispatch code.
+
+>>> from repro.api import estimate_betweenness, Resources
+>>> from repro.graph.generators import barabasi_albert
+>>> graph = barabasi_albert(500, 3, seed=0)
+>>> result = estimate_betweenness(graph, algorithm="shared-memory",
+...                               eps=0.05, seed=0, resources=Resources(threads=4))
+>>> result.backend
+'shared-memory'
+"""
+
+from repro.api.facade import estimate_betweenness
+from repro.api.registry import (
+    AUTO,
+    BackendSpec,
+    backend_names,
+    format_backend_table,
+    get_backend,
+    list_backends,
+    register_backend,
+    select_backend,
+    unregister_backend,
+)
+from repro.api.resources import Resources
+from repro.util.progress import ProgressCallback, ProgressEvent
+
+__all__ = [
+    "AUTO",
+    "BackendSpec",
+    "ProgressCallback",
+    "ProgressEvent",
+    "Resources",
+    "backend_names",
+    "estimate_betweenness",
+    "format_backend_table",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+    "select_backend",
+    "unregister_backend",
+]

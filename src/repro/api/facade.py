@@ -1,0 +1,148 @@
+"""The single high-level entry point: :func:`estimate_betweenness`.
+
+One call runs any registered backend — sequential KADABRA, the shared-memory
+epoch parallelization, the MPI-style distributed algorithms, the RK and
+source-sampling baselines or exact Brandes — behind a uniform signature and a
+uniform :class:`~repro.core.result.BetweennessResult` schema (backend name,
+resource configuration and phase timings are always populated).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import fields as dataclass_fields
+from typing import Iterable, Optional, Union
+
+from repro.api import backends as _backends  # noqa: F401  (populates the registry)
+from repro.api.registry import AUTO, BackendSpec, get_backend, select_backend
+from repro.api.resources import Resources
+from repro.core.options import KadabraOptions
+from repro.core.result import BetweennessResult
+from repro.graph.csr import CSRGraph
+from repro.util.progress import (
+    ProgressCallback,
+    ProgressEvent,
+    combine_callbacks,
+    tag_backend,
+)
+
+__all__ = ["estimate_betweenness"]
+
+_UNSET = object()
+
+_VALID_OPTION_FIELDS = frozenset(f.name for f in dataclass_fields(KadabraOptions))
+
+
+def _build_options(
+    options: Optional[KadabraOptions],
+    eps,
+    delta,
+    seed,
+    option_overrides,
+) -> KadabraOptions:
+    """Validate all accuracy/sampling options once, up front."""
+    unknown = set(option_overrides) - _VALID_OPTION_FIELDS
+    if unknown:
+        raise ValueError(
+            f"unknown option(s) {sorted(unknown)}; valid options: "
+            f"{sorted(_VALID_OPTION_FIELDS)}"
+        )
+    changes = dict(option_overrides)
+    if eps is not _UNSET:
+        changes["eps"] = eps
+    if delta is not _UNSET:
+        changes["delta"] = delta
+    if seed is not _UNSET:
+        changes["seed"] = seed
+    base = options if options is not None else KadabraOptions()
+    return base.with_(**changes) if changes else base
+
+
+def estimate_betweenness(
+    graph: CSRGraph,
+    *,
+    algorithm: str = AUTO,
+    eps=_UNSET,
+    delta=_UNSET,
+    seed=_UNSET,
+    resources: Optional[Resources] = None,
+    callbacks: Union[ProgressCallback, Iterable[ProgressCallback], None] = None,
+    options: Optional[KadabraOptions] = None,
+    **option_overrides,
+) -> BetweennessResult:
+    """Estimate (or compute exactly) the betweenness of every vertex.
+
+    Parameters
+    ----------
+    graph:
+        The input :class:`~repro.graph.csr.CSRGraph` (undirected, unweighted;
+        replicated on every rank, as in the paper).
+    algorithm:
+        A registered backend name (see :func:`repro.api.backend_names`) or
+        ``"auto"`` to pick one deterministically from the graph size and the
+        resource configuration: multiple processes select the distributed
+        backend, multiple threads the shared-memory one, and a single worker
+        runs exact Brandes on tiny graphs or sequential KADABRA otherwise.
+    eps, delta:
+        Absolute error bound and failure probability (defaults 0.01 / 0.1).
+        Echoed into the result for every backend, exact ones included.
+    seed:
+        Master RNG seed; per-rank/thread streams are derived from it.
+    resources:
+        :class:`~repro.api.resources.Resources` describing how many
+        processes/threads the backend may use; backends without the
+        capability ignore the extra dimensions.
+    callbacks:
+        One progress callback or an iterable of them.  Each receives
+        :class:`~repro.util.progress.ProgressEvent` objects (tagged with the
+        resolved backend name) during the diameter, calibration and sampling
+        phases, plus a final ``"done"`` event.  Callbacks may be invoked from
+        a worker thread and should be fast and exception-free.
+    options:
+        A pre-built :class:`~repro.core.options.KadabraOptions`; explicit
+        ``eps``/``delta``/``seed`` and keyword overrides are layered on top.
+    **option_overrides:
+        Any further :class:`~repro.core.options.KadabraOptions` field (e.g.
+        ``calibration_samples=200``, ``max_samples_override=5000``).
+
+    Returns
+    -------
+    BetweennessResult
+        With the uniform facade schema: ``backend``, ``resources`` and a
+        ``"total"`` phase timing are always populated and ``eps``/``delta``
+        echo the request.
+    """
+    if not hasattr(graph, "num_vertices"):
+        raise TypeError(f"graph must be a CSRGraph-like object, got {type(graph).__name__}")
+    opts = _build_options(options, eps, delta, seed, option_overrides)
+    resources = resources if resources is not None else Resources()
+    if not isinstance(resources, Resources):
+        raise TypeError("resources must be a repro.api.Resources instance")
+
+    spec: BackendSpec
+    if algorithm == AUTO:
+        spec = select_backend(graph.num_vertices, resources)
+    else:
+        spec = get_backend(algorithm)
+
+    progress = tag_backend(combine_callbacks(callbacks), spec.name)
+    start = time.perf_counter()
+    result = spec.runner(graph, opts, resources, progress)
+    elapsed = time.perf_counter() - start
+
+    # Uniform result schema, regardless of which backend ran.
+    result.backend = spec.name
+    result.resources = resources.as_dict()
+    result.eps = opts.eps
+    result.delta = opts.delta
+    result.phase_seconds.setdefault("total", elapsed)
+    if progress is not None:
+        progress(
+            ProgressEvent(
+                phase="done",
+                epoch=result.num_epochs,
+                num_samples=result.num_samples,
+                omega=result.omega,
+            )
+        )
+    return result

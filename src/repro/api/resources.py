@@ -1,0 +1,52 @@
+"""Execution-resource description consumed by the backend registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["Resources"]
+
+
+@dataclass(frozen=True)
+class Resources:
+    """How much parallel hardware a run may use.
+
+    The facade passes one ``Resources`` object to every backend; backends that
+    do not support a dimension simply ignore it (the result still records the
+    requested configuration, so runs remain comparable).
+
+    Attributes
+    ----------
+    processes:
+        MPI-style ranks ``P`` (the paper's distributed dimension).
+    threads:
+        Sampling threads ``T`` per rank / shared-memory threads.
+    processes_per_node:
+        If set, enables the NUMA-aware node-local pre-aggregation of
+        Section IV-E for backends that support processes.
+    """
+
+    processes: int = 1
+    threads: int = 1
+    processes_per_node: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.processes <= 0:
+            raise ValueError("processes must be positive")
+        if self.threads <= 0:
+            raise ValueError("threads must be positive")
+        if self.processes_per_node is not None and self.processes_per_node <= 0:
+            raise ValueError("processes_per_node must be positive when given")
+
+    @property
+    def total_workers(self) -> int:
+        """Total sampling workers ``P * T``."""
+        return self.processes * self.threads
+
+    def as_dict(self) -> Dict[str, int]:
+        """The resource configuration as a plain dict (for result metadata)."""
+        out = {"processes": self.processes, "threads": self.threads}
+        if self.processes_per_node is not None:
+            out["processes_per_node"] = self.processes_per_node
+        return out

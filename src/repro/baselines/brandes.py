@@ -9,7 +9,7 @@ motivates the paper.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 import numpy as np
 
@@ -17,6 +17,9 @@ from repro.core.result import BetweennessResult
 from repro.graph.csr import CSRGraph
 
 __all__ = ["brandes_betweenness", "brandes_from_sources"]
+
+#: How many SSSP sources between two ``progress`` invocations.
+_PROGRESS_STRIDE = 64
 
 
 def _single_source_dependencies(graph: CSRGraph, source: int) -> np.ndarray:
@@ -77,7 +80,12 @@ def _single_source_dependencies(graph: CSRGraph, source: int) -> np.ndarray:
     return delta
 
 
-def brandes_betweenness(graph: CSRGraph, *, normalized: bool = True) -> BetweennessResult:
+def brandes_betweenness(
+    graph: CSRGraph,
+    *,
+    normalized: bool = True,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> BetweennessResult:
     """Exact betweenness of every vertex.
 
     Parameters
@@ -88,11 +96,18 @@ def brandes_betweenness(graph: CSRGraph, *, normalized: bool = True) -> Betweenn
         If true (default), divide by ``n (n - 1)`` to match the paper's
         normalised definition (values in [0, 1]); otherwise return the raw
         Brandes accumulation (each unordered pair counted twice).
+    progress:
+        Optional hook ``progress(sources_done, num_vertices)`` invoked every
+        few SSSP sources, so the facade can surface progress of the
+        O(|V||E|) computation.
     """
     n = graph.num_vertices
     scores = np.zeros(n, dtype=np.float64)
     for source in range(n):
         scores += _single_source_dependencies(graph, source)
+        done = source + 1
+        if progress is not None and (done % _PROGRESS_STRIDE == 0 or done == n):
+            progress(done, n)
     if normalized and n > 2:
         scores /= float(n * (n - 1))
     return BetweennessResult(scores=scores, num_samples=0)

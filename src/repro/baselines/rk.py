@@ -11,7 +11,8 @@ drivers' tests.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
@@ -22,6 +23,8 @@ from repro.core.stopping import OMEGA_CONSTANT
 from repro.diameter import vertex_diameter_upper_bound
 from repro.graph.csr import CSRGraph
 from repro.core.kadabra import make_sampler
+from repro.util.deprecation import warn_legacy_entry_point
+from repro.util.progress import ProgressCallback, ProgressEvent
 from repro.util.timer import PhaseTimer
 from repro.util.validation import check_positive, check_probability
 
@@ -42,15 +45,17 @@ def rk_sample_size(eps: float, delta: float, vertex_diameter: int, *, constant: 
 
 
 @dataclass
-class RKBetweenness:
+class _RKBetweenness:
     """Fixed-sample-size betweenness approximation (RK algorithm)."""
 
     graph: CSRGraph
-    options: KadabraOptions = KadabraOptions()
+    options: KadabraOptions = field(default_factory=KadabraOptions)
+    progress: Optional[ProgressCallback] = None
 
     def run(self) -> BetweennessResult:
         graph = self.graph
         options = self.options
+        progress = self.progress
         if graph.num_vertices < 2:
             return BetweennessResult(scores=np.zeros(graph.num_vertices), eps=options.eps, delta=options.delta)
         timer = PhaseTimer()
@@ -65,12 +70,24 @@ class RKBetweenness:
         num_samples = rk_sample_size(options.eps, options.delta, vd)
         if options.max_samples_override is not None:
             num_samples = min(num_samples, int(options.max_samples_override))
+        if progress is not None:
+            progress(ProgressEvent(phase="diameter", omega=num_samples))
 
         frame = StateFrame.zeros(graph.num_vertices)
+        block = max(1, options.samples_per_check)
         with timer.phase("sampling"):
-            for _ in range(num_samples):
+            for i in range(num_samples):
                 sample = sampler.sample(rng)
                 frame.record_sample(sample.internal_vertices, edges_touched=sample.edges_touched)
+                if progress is not None and (i + 1) % block == 0:
+                    progress(
+                        ProgressEvent(
+                            phase="sampling",
+                            epoch=(i + 1) // block,
+                            num_samples=i + 1,
+                            omega=num_samples,
+                        )
+                    )
 
         return BetweennessResult(
             scores=frame.betweenness_estimates(),
@@ -82,3 +99,15 @@ class RKBetweenness:
             phase_seconds=timer.as_dict(),
             extra={"edges_touched": float(frame.edges_touched)},
         )
+
+
+class RKBetweenness(_RKBetweenness):
+    """Deprecated entry point for the RK fixed-sample-size approximation.
+
+    Use :func:`repro.estimate_betweenness` with ``algorithm="rk"``; this class
+    remains as a thin shim and will be removed in a future release.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        warn_legacy_entry_point("RKBetweenness", "rk")
+        super().__init__(*args, **kwargs)

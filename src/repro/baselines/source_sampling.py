@@ -20,6 +20,7 @@ import numpy as np
 from repro.baselines.brandes import _single_source_dependencies
 from repro.core.result import BetweennessResult
 from repro.graph.csr import CSRGraph
+from repro.util.progress import ProgressCallback, ProgressEvent
 from repro.util.timer import PhaseTimer
 from repro.util.validation import check_positive, check_probability
 
@@ -49,6 +50,10 @@ class SourceSamplingBetweenness:
     delta: float = 0.1
     seed: Optional[int] = None
     num_sources: Optional[int] = None
+    progress: Optional[ProgressCallback] = None
+
+    #: SSSP sources between two ``progress`` invocations.
+    _PROGRESS_STRIDE = 32
 
     def run(self) -> BetweennessResult:
         graph = self.graph
@@ -64,8 +69,15 @@ class SourceSamplingBetweenness:
         sources = rng.choice(n, size=k, replace=False)
         scores = np.zeros(n, dtype=np.float64)
         with timer.phase("sampling"):
-            for source in sources:
+            for i, source in enumerate(sources):
                 scores += _single_source_dependencies(graph, int(source))
+                done = i + 1
+                if self.progress is not None and (
+                    done % self._PROGRESS_STRIDE == 0 or done == k
+                ):
+                    self.progress(
+                        ProgressEvent(phase="sssp", num_samples=done, omega=int(k))
+                    )
         # Extrapolate to all sources, then normalise like the exact algorithm.
         scores *= n / float(k)
         if n > 2:

@@ -3,12 +3,15 @@
 Usage::
 
     python -m repro.cli INPUT_EDGE_LIST [--eps 0.01] [--delta 0.1]
-        [--algorithm sequential|shared-memory|distributed|rk|exact]
+        [--algorithm auto|sequential|shared-memory|distributed|...]
         [--processes P] [--threads T] [--top 10] [--output scores.json]
+    python -m repro.cli --list-backends
 
-The input is a whitespace-separated edge list (KONECT/SNAP style, ``.gz``
-supported); disconnected inputs are reduced to their largest connected
-component, exactly as in the paper's evaluation.
+The ``--algorithm`` choices are derived from the backend registry in
+:mod:`repro.api`; ``--list-backends`` prints the capability table.  The input
+is a whitespace-separated edge list (KONECT/SNAP style, ``.gz`` supported);
+disconnected inputs are reduced to their largest connected component, exactly
+as in the paper's evaluation.
 """
 
 from __future__ import annotations
@@ -16,10 +19,10 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import Iterable, Optional
 
-from repro.baselines import RKBetweenness, brandes_betweenness
-from repro.core import KadabraBetweenness, KadabraOptions
+from repro.api import AUTO, Resources, backend_names, estimate_betweenness, format_backend_table
 from repro.graph import largest_connected_component, read_edge_list
 from repro.io_utils import save_result, save_scores_csv
 
@@ -31,55 +34,89 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-betweenness",
         description="Approximate betweenness centrality (KADABRA / MPI-style parallel KADABRA).",
     )
-    parser.add_argument("graph", help="edge-list file (whitespace separated, optionally .gz)")
+    parser.add_argument(
+        "graph",
+        nargs="?",
+        help="edge-list file (whitespace separated, optionally .gz)",
+    )
     parser.add_argument("--eps", type=float, default=0.01, help="absolute error bound (default 0.01)")
     parser.add_argument("--delta", type=float, default=0.1, help="failure probability (default 0.1)")
     parser.add_argument("--seed", type=int, default=None, help="RNG seed")
     parser.add_argument(
         "--algorithm",
-        choices=["sequential", "shared-memory", "distributed", "rk", "exact"],
+        choices=[AUTO, *backend_names()],
         default="sequential",
-        help="which driver to run (default: sequential KADABRA)",
+        help="which backend to run, or 'auto' to pick one from graph size and "
+        "resources (default: sequential KADABRA)",
     )
-    parser.add_argument("--processes", type=int, default=2, help="ranks for --algorithm distributed")
-    parser.add_argument("--threads", type=int, default=2, help="threads per rank / shared-memory threads")
+    parser.add_argument(
+        "--processes", type=int, default=1, help="ranks for distributed backends (default 1)"
+    )
+    parser.add_argument(
+        "--threads", type=int, default=1, help="threads per rank / shared-memory threads (default 1)"
+    )
     parser.add_argument("--top", type=int, default=10, help="number of top vertices to print")
     parser.add_argument("--output", default=None, help="write the full result as JSON")
     parser.add_argument("--csv", default=None, help="write per-vertex scores as CSV")
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-phase/per-epoch progress to stderr while running",
+    )
+    parser.add_argument(
+        "--list-backends",
+        action="store_true",
+        help="list the registered backends with their capabilities and exit",
+    )
+    from repro import __version__
+
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
     return parser
 
 
-def _run(args: argparse.Namespace):
-    graph = largest_connected_component(read_edge_list(args.graph))
-    options = KadabraOptions(eps=args.eps, delta=args.delta, seed=args.seed)
-    if args.algorithm == "sequential":
-        return graph, KadabraBetweenness(graph, options).run()
-    if args.algorithm == "shared-memory":
-        from repro.epoch import SharedMemoryKadabra
-
-        return graph, SharedMemoryKadabra(graph, options, num_threads=args.threads).run()
-    if args.algorithm == "distributed":
-        from repro.parallel import DistributedKadabra
-
-        driver = DistributedKadabra(
-            graph, options, num_processes=args.processes, threads_per_process=args.threads
-        )
-        return graph, driver.run()
-    if args.algorithm == "rk":
-        return graph, RKBetweenness(graph, options).run()
-    if args.algorithm == "exact":
-        return graph, brandes_betweenness(graph)
-    raise ValueError(f"unknown algorithm {args.algorithm!r}")  # pragma: no cover
+def _progress_printer(event) -> None:
+    budget = f"/{event.omega}" if event.omega is not None else ""
+    print(
+        f"[{event.backend}] {event.phase}: epoch {event.epoch}, "
+        f"samples {event.num_samples}{budget}",
+        file=sys.stderr,
+    )
 
 
 def main(argv: Optional[Iterable[str]] = None) -> int:
-    args = build_parser().parse_args(list(argv) if argv is not None else None)
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    if args.list_backends:
+        print(format_backend_table())
+        return 0
+    if args.graph is None:
+        print("error: the graph argument is required (or use --list-backends)", file=sys.stderr)
+        return 2
+    if not Path(args.graph).exists():
+        print(f"error: edge-list file not found: {args.graph}", file=sys.stderr)
+        return 2
+
+    try:
+        graph = largest_connected_component(read_edge_list(args.graph))
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read edge-list file {args.graph}: {exc}", file=sys.stderr)
+        return 2
+
     start = time.perf_counter()
-    graph, result = _run(args)
+    result = estimate_betweenness(
+        graph,
+        algorithm=args.algorithm,
+        eps=args.eps,
+        delta=args.delta,
+        seed=args.seed,
+        resources=Resources(processes=args.processes, threads=args.threads),
+        callbacks=_progress_printer if args.progress else None,
+    )
     elapsed = time.perf_counter() - start
 
     print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges (largest component)")
-    print(f"algorithm: {args.algorithm}, eps={args.eps}, delta={args.delta}")
+    print(f"algorithm: {result.backend}, eps={result.eps}, delta={result.delta}")
     if result.num_samples:
         print(f"samples: {result.num_samples} (omega={result.omega}), epochs: {result.num_epochs}")
     print(f"wall-clock time: {elapsed:.2f} s")

@@ -17,12 +17,12 @@ differs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.core.calibration import CalibrationResult, calibrate_deltas, default_calibration_samples
+from repro.core.calibration import calibrate_deltas, default_calibration_samples
 from repro.core.options import KadabraOptions
 from repro.core.result import BetweennessResult
 from repro.core.state_frame import StateFrame
@@ -30,6 +30,8 @@ from repro.core.stopping import StoppingCondition, compute_omega
 from repro.diameter import vertex_diameter_upper_bound
 from repro.graph.csr import CSRGraph
 from repro.sampling import BidirectionalBFSSampler, PathSampler, UnidirectionalBFSSampler
+from repro.util.deprecation import warn_legacy_entry_point
+from repro.util.progress import ProgressCallback, ProgressEvent
 from repro.util.timer import PhaseTimer
 
 __all__ = ["KadabraBetweenness", "prepare_stopping_condition", "make_sampler"]
@@ -49,12 +51,14 @@ def prepare_stopping_condition(
     rng: np.random.Generator,
     *,
     timer: Optional[PhaseTimer] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> Tuple[StoppingCondition, StateFrame, int, int]:
     """Run the diameter and calibration phases.
 
     Returns ``(stopping_condition, calibration_frame, omega, vertex_diameter)``.
     The calibration frame already contains the non-adaptive samples and must be
-    carried into the adaptive phase so that no work is wasted.
+    carried into the adaptive phase so that no work is wasted.  When a
+    ``progress`` callback is given it is invoked after each phase.
     """
     timer = timer if timer is not None else PhaseTimer()
 
@@ -67,6 +71,8 @@ def prepare_stopping_condition(
     omega = compute_omega(options.eps, options.delta, vd)
     if options.max_samples_override is not None:
         omega = min(omega, int(options.max_samples_override))
+    if progress is not None:
+        progress(ProgressEvent(phase="diameter", omega=omega))
 
     with timer.phase("calibration"):
         num_calibration = (
@@ -87,29 +93,35 @@ def prepare_stopping_condition(
         delta_l=calibration.delta_l,
         delta_u=calibration.delta_u,
     )
+    if progress is not None:
+        progress(
+            ProgressEvent(phase="calibration", num_samples=frame.num_samples, omega=omega)
+        )
     return condition, frame, omega, vd
 
 
 @dataclass
-class KadabraBetweenness:
-    """Sequential KADABRA betweenness approximation.
+class _SequentialKadabra:
+    """Sequential KADABRA betweenness approximation (implementation).
 
     Example
     -------
     >>> from repro.graph.generators import barabasi_albert
-    >>> from repro.core import KadabraBetweenness, KadabraOptions
+    >>> from repro.api import estimate_betweenness
     >>> graph = barabasi_albert(200, 3, seed=1)
-    >>> result = KadabraBetweenness(graph, KadabraOptions(eps=0.05, seed=1)).run()
+    >>> result = estimate_betweenness(graph, algorithm="sequential", eps=0.05, seed=1)
     >>> len(result.scores) == graph.num_vertices
     True
     """
 
     graph: CSRGraph
-    options: KadabraOptions = KadabraOptions()
+    options: KadabraOptions = field(default_factory=KadabraOptions)
+    progress: Optional[ProgressCallback] = None
 
     def run(self) -> BetweennessResult:
         graph = self.graph
         options = self.options
+        progress = self.progress
         if graph.num_vertices < 2:
             return BetweennessResult(
                 scores=np.zeros(graph.num_vertices),
@@ -120,7 +132,7 @@ class KadabraBetweenness:
         rng = np.random.default_rng(options.seed)
         sampler = make_sampler(graph, options)
         condition, frame, omega, vd = prepare_stopping_condition(
-            graph, options, sampler, rng, timer=timer
+            graph, options, sampler, rng, timer=timer, progress=progress
         )
 
         checks = 0
@@ -135,6 +147,15 @@ class KadabraBetweenness:
                     if frame.num_samples >= omega:
                         break
                 checks += 1
+                if progress is not None:
+                    progress(
+                        ProgressEvent(
+                            phase="adaptive_sampling",
+                            epoch=checks,
+                            num_samples=frame.num_samples,
+                            omega=omega,
+                        )
+                    )
 
         scores = frame.betweenness_estimates()
         return BetweennessResult(
@@ -148,3 +169,16 @@ class KadabraBetweenness:
             phase_seconds=timer.as_dict(),
             extra={"edges_touched": float(frame.edges_touched)},
         )
+
+
+class KadabraBetweenness(_SequentialKadabra):
+    """Deprecated entry point for sequential KADABRA.
+
+    Use :func:`repro.estimate_betweenness` with ``algorithm="sequential"``
+    (or ``"auto"``); this class remains as a thin shim and will be removed in
+    a future release.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        warn_legacy_entry_point("KadabraBetweenness", "sequential")
+        super().__init__(*args, **kwargs)

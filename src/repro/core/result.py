@@ -21,8 +21,11 @@ class BetweennessResult:
     num_samples:
         Total number of samples used (0 for exact algorithms).
     eps, delta:
-        The accuracy parameters the estimate was computed for (``None`` for
-        exact algorithms).
+        The accuracy parameters the estimate was computed for.  The
+        :func:`repro.api.estimate_betweenness` facade always echoes the
+        requested values, even for exact backends (whose scores are exact
+        regardless); results built directly by an exact algorithm leave them
+        ``None``.
     omega:
         The static maximum sample count computed by KADABRA (``None``
         otherwise).
@@ -31,9 +34,16 @@ class BetweennessResult:
     num_epochs:
         Number of aggregation rounds performed by a parallel driver.
     phase_seconds:
-        Wall-clock (or simulated) seconds per phase.
+        Wall-clock (or simulated) seconds per phase.  The facade guarantees a
+        ``"total"`` entry for every backend, exact baselines included.
     extra:
         Driver-specific metadata (e.g. communication volume).
+    backend:
+        Registry name of the backend that produced the result (set by the
+        facade; ``None`` when a driver is invoked directly).
+    resources:
+        The requested resource configuration (``processes``/``threads``/...)
+        as recorded by the facade.
     """
 
     scores: np.ndarray
@@ -45,6 +55,8 @@ class BetweennessResult:
     num_epochs: int = 0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
+    backend: Optional[str] = None
+    resources: Dict[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.scores = np.asarray(self.scores, dtype=np.float64)
@@ -70,10 +82,15 @@ class BetweennessResult:
 
     @property
     def total_time(self) -> float:
+        # The facade records an explicit end-to-end "total"; summing it
+        # together with the per-phase entries would double-count.
+        if "total" in self.phase_seconds:
+            return float(self.phase_seconds["total"])
         return float(sum(self.phase_seconds.values()))
 
     def __repr__(self) -> str:
+        backend = f", backend={self.backend!r}" if self.backend is not None else ""
         return (
             f"BetweennessResult(n={self.num_vertices}, samples={self.num_samples}, "
-            f"epochs={self.num_epochs})"
+            f"epochs={self.num_epochs}{backend})"
         )

@@ -11,7 +11,7 @@ code paths identical where the paper's are identical.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
@@ -24,19 +24,22 @@ from repro.mpi.interface import SelfComm
 from repro.parallel.algorithm2 import adaptive_sampling_algorithm2
 from repro.parallel.epoch_length import thread_zero_samples_per_epoch
 from repro.sampling.rng import rng_for_rank_thread
+from repro.util.deprecation import warn_legacy_entry_point
+from repro.util.progress import ProgressCallback, ProgressEvent
 from repro.util.timer import PhaseTimer
 
 __all__ = ["SharedMemoryKadabra"]
 
 
 @dataclass
-class SharedMemoryKadabra:
+class _SharedMemoryKadabra:
     """Epoch-based shared-memory KADABRA on ``num_threads`` threads."""
 
     graph: CSRGraph
-    options: KadabraOptions = KadabraOptions()
+    options: KadabraOptions = field(default_factory=KadabraOptions)
     num_threads: int = 2
     max_epochs: Optional[int] = None
+    progress: Optional[ProgressCallback] = None
 
     def __post_init__(self) -> None:
         if self.num_threads <= 0:
@@ -45,6 +48,7 @@ class SharedMemoryKadabra:
     def run(self) -> BetweennessResult:
         graph = self.graph
         options = self.options
+        progress = self.progress
         if graph.num_vertices < 2:
             return BetweennessResult(
                 scores=np.zeros(graph.num_vertices), eps=options.eps, delta=options.delta
@@ -55,8 +59,19 @@ class SharedMemoryKadabra:
         calibration_rng = rng_for_rank_thread(options.seed, 0, 0, num_threads=self.num_threads + 1)
         sampler = make_sampler(graph, options)
         condition, calibration_frame, omega, vd = prepare_stopping_condition(
-            graph, options, sampler, calibration_rng, timer=timer
+            graph, options, sampler, calibration_rng, timer=timer, progress=progress
         )
+        on_epoch = None
+        if progress is not None:
+            def on_epoch(epoch: int, num_samples: int) -> None:
+                progress(
+                    ProgressEvent(
+                        phase="adaptive_sampling",
+                        epoch=epoch,
+                        num_samples=num_samples,
+                        omega=omega,
+                    )
+                )
 
         samples_per_epoch = thread_zero_samples_per_epoch(
             1,
@@ -78,6 +93,7 @@ class SharedMemoryKadabra:
                 samples_per_epoch=samples_per_epoch,
                 initial_frame=calibration_frame,
                 max_epochs=self.max_epochs,
+                on_epoch=on_epoch,
             )
         aggregated = stats.aggregated_frame
         assert aggregated is not None
@@ -97,3 +113,16 @@ class SharedMemoryKadabra:
                 "samples_per_epoch_n0": float(samples_per_epoch),
             },
         )
+
+
+class SharedMemoryKadabra(_SharedMemoryKadabra):
+    """Deprecated entry point for epoch-based shared-memory KADABRA.
+
+    Use :func:`repro.estimate_betweenness` with ``algorithm="shared-memory"``
+    and ``resources=Resources(threads=...)``; this class remains as a thin
+    shim and will be removed in a future release.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        warn_legacy_entry_point("SharedMemoryKadabra", "shared-memory")
+        super().__init__(*args, **kwargs)

@@ -15,7 +15,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-from repro.core import KadabraBetweenness, KadabraOptions
+from repro.api import estimate_betweenness
+from repro.core import KadabraOptions
 from repro.experiments.report import format_series
 from repro.graph.generators import hyperbolic_graph, rmat_graph
 
@@ -81,9 +82,8 @@ def _run_instance(family: str, scale: int, *, edge_factor: float, eps: float, se
         calibration_samples=200,
         max_samples_override=max_samples,
     )
-    algo = KadabraBetweenness(graph, options)
     start = time.perf_counter()
-    result = algo.run()
+    result = estimate_betweenness(graph, algorithm="sequential", options=options)
     elapsed = time.perf_counter() - start
     sequential = result.phase_seconds.get("diameter", 0.0) + result.phase_seconds.get(
         "calibration", 0.0

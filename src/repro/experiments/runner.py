@@ -7,6 +7,7 @@ Usage::
     python -m repro.experiments fig2a fig2b fig3a fig3b
     python -m repro.experiments fig4
     python -m repro.experiments headline
+    python -m repro.experiments backends
     python -m repro.experiments all
 
 (or the installed ``repro-experiments`` console script).
@@ -32,7 +33,19 @@ from repro.experiments.table2 import format_table2, generate_table2
 
 __all__ = ["main", "run_experiment", "EXPERIMENTS"]
 
-EXPERIMENTS = ("table1", "table2", "fig2a", "fig2b", "fig3a", "fig3b", "fig4a", "fig4b", "fig4", "headline")
+EXPERIMENTS = (
+    "table1",
+    "table2",
+    "fig2a",
+    "fig2b",
+    "fig3a",
+    "fig3b",
+    "fig4a",
+    "fig4b",
+    "fig4",
+    "headline",
+    "backends",
+)
 
 
 def run_experiment(name: str, *, fast: bool = False) -> str:
@@ -60,6 +73,11 @@ def run_experiment(name: str, *, fast: bool = False) -> str:
         return format_fig4(result) + "\n" + format_fig4_model(model)
     if name == "headline":
         return format_headline(generate_headline())
+    if name == "backends":
+        # Which execution modes the facade can dispatch to on this install.
+        from repro.api import format_backend_table
+
+        return format_backend_table()
     raise ValueError(f"unknown experiment {name!r}; known: {EXPERIMENTS}")
 
 
@@ -83,7 +101,9 @@ def main(argv: Iterable[str] | None = None) -> int:
     requested: List[str] = []
     for name in args.experiments:
         if name == "all":
-            requested.extend(["table1", "table2", "fig2a", "fig2b", "fig3a", "fig3b", "fig4", "headline"])
+            requested.extend(
+                ["table1", "table2", "fig2a", "fig2b", "fig3a", "fig3b", "fig4", "headline", "backends"]
+            )
         else:
             requested.append(name)
 

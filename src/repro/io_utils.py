@@ -40,6 +40,8 @@ def save_result(result: BetweennessResult, path: PathLike) -> None:
         "num_epochs": result.num_epochs,
         "phase_seconds": result.phase_seconds,
         "extra": result.extra,
+        "backend": result.backend,
+        "resources": result.resources,
     }
     Path(path).write_text(json.dumps(payload))
 
@@ -60,6 +62,8 @@ def load_result(path: PathLike) -> BetweennessResult:
         num_epochs=int(payload.get("num_epochs", 0)),
         phase_seconds=dict(payload.get("phase_seconds", {})),
         extra=dict(payload.get("extra", {})),
+        backend=payload.get("backend"),
+        resources=dict(payload.get("resources", {})),
     )
 
 

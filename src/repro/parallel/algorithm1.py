@@ -16,7 +16,7 @@ threaded MPI runtime (functional reproduction) and by the tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -50,6 +50,7 @@ def adaptive_sampling_algorithm1(
     samples_per_epoch: int,
     initial_frame: Optional[StateFrame] = None,
     max_epochs: Optional[int] = None,
+    on_epoch: Optional[Callable[[int, int], None]] = None,
 ) -> Algorithm1Stats:
     """Run the Algorithm 1 adaptive-sampling loop on this rank.
 
@@ -70,6 +71,9 @@ def adaptive_sampling_algorithm1(
         aggregate at rank 0 before the first check).
     max_epochs:
         Safety bound for tests; ``None`` means unbounded.
+    on_epoch:
+        Optional progress hook ``on_epoch(epochs_done, samples_aggregated)``,
+        invoked at rank 0 after each stopping-rule evaluation.
     """
     if samples_per_epoch <= 0:
         raise ValueError("samples_per_epoch must be positive")
@@ -112,6 +116,8 @@ def adaptive_sampling_algorithm1(
                 decision = condition.should_stop(aggregated)
                 if aggregated.num_samples >= condition.omega:
                     stats.stopped_by_omega = True
+                if on_epoch is not None:
+                    on_epoch(stats.num_epochs + 1, aggregated.num_samples)
         # Line 15-17: broadcast the termination flag, overlapped with sampling.
         with timer.phase("broadcast"):
             bcast_request = comm.ibcast(decision if comm.is_root else None, root=0)

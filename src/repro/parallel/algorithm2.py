@@ -85,6 +85,7 @@ def adaptive_sampling_algorithm2(
     topology: Optional[NodeTopology] = None,
     use_ibarrier_reduce: bool = True,
     max_epochs: Optional[int] = None,
+    on_epoch: Optional[Callable[[int, int], None]] = None,
 ) -> Algorithm2Stats:
     """Run the Algorithm 2 adaptive-sampling loop on this rank.
 
@@ -114,6 +115,10 @@ def adaptive_sampling_algorithm2(
         otherwise use a plain ``Ireduce``.
     max_epochs:
         Safety bound for tests.
+    on_epoch:
+        Optional progress hook ``on_epoch(epochs_done, samples_aggregated)``,
+        invoked at the reduce root (world rank 0) after each stopping-rule
+        evaluation.
     """
     if num_threads <= 0:
         raise ValueError("num_threads must be positive")
@@ -205,6 +210,8 @@ def adaptive_sampling_algorithm2(
                     decision = condition.should_stop(aggregated)
                     if aggregated.num_samples >= condition.omega:
                         stats.stopped_by_omega = True
+                    if on_epoch is not None:
+                        on_epoch(stats.num_epochs + 1, aggregated.num_samples)
 
             # Lines 25-27: broadcast the termination flag over the world
             # communicator, overlapped with sampling.

@@ -23,7 +23,7 @@ performance characteristics of the real cluster are modelled separately in
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
@@ -43,13 +43,15 @@ from repro.parallel.algorithm1 import adaptive_sampling_algorithm1
 from repro.parallel.algorithm2 import adaptive_sampling_algorithm2
 from repro.parallel.epoch_length import thread_zero_samples_per_epoch
 from repro.sampling.rng import rng_for_rank_thread
+from repro.util.deprecation import warn_legacy_entry_point
+from repro.util.progress import ProgressCallback, ProgressEvent
 from repro.util.timer import PhaseTimer
 
 __all__ = ["DistributedKadabra"]
 
 
 @dataclass
-class DistributedKadabra:
+class _DistributedKadabra:
     """MPI-style parallel KADABRA betweenness approximation.
 
     Parameters
@@ -71,15 +73,19 @@ class DistributedKadabra:
         Algorithm 1.
     max_epochs:
         Optional safety bound on the number of epochs (used by tests).
+    progress:
+        Optional progress callback, invoked at rank 0 after the diameter and
+        calibration phases and after each aggregation epoch.
     """
 
     graph: CSRGraph
-    options: KadabraOptions = KadabraOptions()
+    options: KadabraOptions = field(default_factory=KadabraOptions)
     num_processes: int = 1
     threads_per_process: int = 1
     processes_per_node: Optional[int] = None
     algorithm: str = "epoch"
     max_epochs: Optional[int] = None
+    progress: Optional[ProgressCallback] = None
 
     def __post_init__(self) -> None:
         if self.num_processes <= 0:
@@ -130,6 +136,9 @@ class DistributedKadabra:
         omega = compute_omega(options.eps, options.delta, vd)
         if options.max_samples_override is not None:
             omega = min(omega, int(options.max_samples_override))
+        progress = self.progress if comm.is_root else None
+        if progress is not None:
+            progress(ProgressEvent(phase="diameter", omega=omega))
 
         # ---------------- Phase 2: calibration ---------------------------- #
         with timer.phase("calibration"):
@@ -158,6 +167,25 @@ class DistributedKadabra:
                 payload = None
             delta_l, delta_u = comm.bcast(payload, root=0)
         condition = StoppingCondition(eps=options.eps, omega=omega, delta_l=delta_l, delta_u=delta_u)
+        if progress is not None:
+            progress(
+                ProgressEvent(
+                    phase="calibration",
+                    num_samples=calibration_frame.num_samples,
+                    omega=omega,
+                )
+            )
+        on_epoch = None
+        if progress is not None:
+            def on_epoch(epoch: int, num_samples: int) -> None:
+                progress(
+                    ProgressEvent(
+                        phase="adaptive_sampling",
+                        epoch=epoch,
+                        num_samples=num_samples,
+                        omega=omega,
+                    )
+                )
 
         # ---------------- Phase 3: adaptive sampling ---------------------- #
         samples_per_epoch = thread_zero_samples_per_epoch(
@@ -176,6 +204,7 @@ class DistributedKadabra:
                     samples_per_epoch=samples_per_epoch,
                     initial_frame=calibration_frame if comm.is_root else None,
                     max_epochs=self.max_epochs,
+                    on_epoch=on_epoch,
                 )
                 num_epochs = stats.num_epochs
                 aggregated = stats.aggregated_frame
@@ -198,6 +227,7 @@ class DistributedKadabra:
                     initial_frame=calibration_frame if comm.is_root else None,
                     topology=topology,
                     max_epochs=self.max_epochs,
+                    on_epoch=on_epoch,
                 )
                 num_epochs = stats.num_epochs
                 aggregated = stats.aggregated_frame
@@ -224,3 +254,17 @@ class DistributedKadabra:
                 "samples_per_epoch_n0": float(samples_per_epoch),
             },
         )
+
+
+class DistributedKadabra(_DistributedKadabra):
+    """Deprecated entry point for MPI-style distributed KADABRA.
+
+    Use :func:`repro.estimate_betweenness` with ``algorithm="distributed"``
+    (or ``"mpi-only"`` for Algorithm 1) and ``resources=Resources(processes=...,
+    threads=...)``; this class remains as a thin shim and will be removed in a
+    future release.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        warn_legacy_entry_point("DistributedKadabra", "distributed")
+        super().__init__(*args, **kwargs)

@@ -1,0 +1,21 @@
+"""Deprecation helper for the legacy per-algorithm entry points."""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_legacy_entry_point"]
+
+
+def warn_legacy_entry_point(old: str, replacement: str) -> None:
+    """Emit the standard ``DeprecationWarning`` for a legacy driver class.
+
+    ``stacklevel=3`` points the warning at the caller of the deprecated
+    constructor (helper -> shim ``__init__`` -> user code).
+    """
+    warnings.warn(
+        f"{old} is deprecated; use repro.estimate_betweenness("
+        f"graph, algorithm={replacement!r}, ...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )

@@ -1,0 +1,87 @@
+"""Progress-event primitives shared by every betweenness driver.
+
+The facade in :mod:`repro.api` lets callers observe long runs through
+*progress callbacks*.  The event type and callback signature live here, below
+the driver layer, so that :mod:`repro.core`, :mod:`repro.epoch`,
+:mod:`repro.parallel` and :mod:`repro.baselines` can emit events without
+importing the facade (which imports them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Optional, Tuple, Union
+
+__all__ = ["ProgressEvent", "ProgressCallback", "combine_callbacks", "tag_backend"]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One observable step of a betweenness run.
+
+    Attributes
+    ----------
+    phase:
+        Which part of the algorithm produced the event (``"diameter"``,
+        ``"calibration"``, ``"adaptive_sampling"``, ``"sampling"``,
+        ``"sssp"`` or the final ``"done"``).
+    epoch:
+        Aggregation rounds (or stopping-rule checks) completed so far.
+    num_samples:
+        Samples aggregated so far as seen by the rank evaluating the stopping
+        rule (for exact algorithms: SSSP sources completed).
+    omega:
+        The static sample budget, once known (``None`` before the diameter
+        phase finishes and for exact algorithms).
+    backend:
+        Registry name of the backend that emitted the event.  Drivers emit
+        ``None``; the facade tags events with the resolved backend name.
+    """
+
+    phase: str
+    epoch: int = 0
+    num_samples: int = 0
+    omega: Optional[int] = None
+    backend: Optional[str] = None
+
+
+ProgressCallback = Callable[[ProgressEvent], None]
+
+
+def combine_callbacks(
+    callbacks: Union[ProgressCallback, Iterable[ProgressCallback], None],
+) -> Optional[ProgressCallback]:
+    """Normalise ``callbacks`` (one callable, a sequence, or ``None``) to a
+    single callable (or ``None`` when there is nothing to call)."""
+    if callbacks is None:
+        return None
+    if callable(callbacks):
+        return callbacks
+    chain: Tuple[ProgressCallback, ...] = tuple(callbacks)
+    if not chain:
+        return None
+    if any(not callable(cb) for cb in chain):
+        raise TypeError("callbacks must be callables taking a ProgressEvent")
+    if len(chain) == 1:
+        return chain[0]
+
+    def fan_out(event: ProgressEvent) -> None:
+        for cb in chain:
+            cb(event)
+
+    return fan_out
+
+
+def tag_backend(
+    callback: Optional[ProgressCallback], backend: str
+) -> Optional[ProgressCallback]:
+    """Wrap ``callback`` so every event it sees carries the backend name."""
+    if callback is None:
+        return None
+
+    def tagged(event: ProgressEvent) -> None:
+        if event.backend is None:
+            event = replace(event, backend=backend)
+        callback(event)
+
+    return tagged
