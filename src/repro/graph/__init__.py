@@ -16,7 +16,13 @@ from repro.graph.traversal import (
     eccentricity,
     farthest_vertex,
 )
-from repro.graph.io import read_edge_list, write_edge_list, read_metis, write_metis
+from repro.graph.io import (
+    iter_edge_chunks,
+    read_edge_list,
+    write_edge_list,
+    read_metis,
+    write_metis,
+)
 
 __all__ = [
     "CSRGraph",
@@ -31,6 +37,7 @@ __all__ = [
     "bfs_tree_parents",
     "eccentricity",
     "farthest_vertex",
+    "iter_edge_chunks",
     "read_edge_list",
     "write_edge_list",
     "read_metis",

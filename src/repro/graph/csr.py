@@ -31,7 +31,7 @@ class CSRGraph:
         If true (default), check structural invariants at construction time.
     """
 
-    __slots__ = ("_indptr", "_indices", "_num_edges")
+    __slots__ = ("_indptr", "_indices", "_num_edges", "_source_path")
 
     def __init__(
         self,
@@ -66,6 +66,7 @@ class CSRGraph:
         self._indices = indices
         self._indices.setflags(write=False)
         self._num_edges = int(indices.size) // 2
+        self._source_path = None
 
     # ------------------------------------------------------------------ #
     # Basic properties
@@ -89,6 +90,21 @@ class CSRGraph:
     def indices(self) -> np.ndarray:
         """The CSR adjacency array (read-only view)."""
         return self._indices
+
+    @property
+    def source_path(self):
+        """Path of the ``.rcsr`` file backing this graph, or ``None``.
+
+        Set by :func:`repro.store.open_rcsr`; drivers with multiple workers
+        use it to re-open the memory map per worker instead of shipping the
+        arrays.
+        """
+        return self._source_path
+
+    @property
+    def is_memory_mapped(self) -> bool:
+        """Whether the CSR arrays are memory-mapped from an ``.rcsr`` file."""
+        return isinstance(self._indptr, np.memmap) or isinstance(self._indices, np.memmap)
 
     @property
     def degrees(self) -> np.ndarray:
@@ -196,6 +212,47 @@ class CSRGraph:
         builder = GraphBuilder(num_vertices=num_vertices)
         builder.add_edges(edges)
         return builder.build()
+
+    @classmethod
+    def from_validated_arrays(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        *,
+        source_path=None,
+    ) -> "CSRGraph":
+        """Wrap already-canonical CSR arrays without copying or scanning them.
+
+        Unlike ``__init__`` (which coerces dtypes — an O(m) scan), this trusts
+        the caller: the store uses it so that a memory-mapped open touches no
+        array pages.  ``indptr`` must be int64, ``indices`` uint32 or int64.
+        """
+        obj = cls.__new__(cls)
+        obj._indptr = indptr
+        obj._indices = indices
+        obj._num_edges = int(indices.size) // 2
+        obj._source_path = source_path
+        return obj
+
+    def save(self, path) -> "CSRGraph":
+        """Write the graph as an ``.rcsr`` container (see :mod:`repro.store`).
+
+        Returns ``self`` so that ``graph.save(path)`` chains.
+        """
+        from repro.store.format import write_rcsr
+
+        write_rcsr(self, path)
+        return self
+
+    @classmethod
+    def load(cls, path, *, mmap: bool = True) -> "CSRGraph":
+        """Open an ``.rcsr`` container written by :meth:`save`.
+
+        With ``mmap=True`` (default) the arrays are zero-copy memory maps.
+        """
+        from repro.store.format import open_rcsr
+
+        return open_rcsr(path, mmap=mmap)
 
     @classmethod
     def empty(cls, num_vertices: int) -> "CSRGraph":

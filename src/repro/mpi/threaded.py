@@ -36,13 +36,29 @@ __all__ = ["ThreadedCommWorld", "ThreadedComm", "run_threaded"]
 
 
 def _payload_bytes(value: Any) -> int:
-    """Approximate wire size of a collective payload."""
+    """Approximate wire size of a collective payload.
+
+    Sizes are derived structurally — ``nbytes`` for arrays (and anything
+    array-like that exposes it), buffer lengths for bytes, recursion for
+    containers — so that accounting the traffic of a reduction never
+    serializes a multi-gigabyte array just to measure it.  ``pickle.dumps``
+    remains only as the last resort for exotic scalar payloads.
+    """
     if isinstance(value, StateFrame):
         return value.serialized_bytes()
-    if isinstance(value, np.ndarray):
-        return int(value.nbytes)
+    nbytes = getattr(value, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
     if isinstance(value, (bool, int, float)) or value is None:
         return 8
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return len(value)
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return sum(_payload_bytes(item) for item in value)
+    if isinstance(value, dict):
+        return sum(_payload_bytes(k) + _payload_bytes(v) for k, v in value.items())
     try:
         return len(pickle.dumps(value))
     except Exception:  # pragma: no cover - exotic payloads

@@ -98,6 +98,26 @@ class _DistributedKadabra:
             raise ValueError("processes_per_node must be positive when given")
 
     # ------------------------------------------------------------------ #
+    def _graph_for_rank(self) -> CSRGraph:
+        """The graph this rank samples from.
+
+        When the input graph is backed by an ``.rcsr`` store, every rank opens
+        its own memory map instead of inheriting the driver's arrays — the OS
+        page cache shares the read-only pages, so this models the paper's
+        "one replicated read-only CSR per rank" at near-zero per-rank cost
+        (and, unlike shipping a pickled graph, works unchanged for real
+        multi-process deployments).
+        """
+        source = getattr(self.graph, "source_path", None)
+        if source is not None and self.num_processes > 1:
+            from repro.store.format import open_rcsr
+
+            try:
+                return open_rcsr(source)
+            except (OSError, ValueError):  # pragma: no cover - store file vanished
+                return self.graph
+        return self.graph
+
     def run(self) -> BetweennessResult:
         """Execute the distributed algorithm and return rank 0's result."""
         graph = self.graph
@@ -118,7 +138,7 @@ class _DistributedKadabra:
 
     # ------------------------------------------------------------------ #
     def _rank_body(self, comm: Communicator, rank: int) -> Optional[BetweennessResult]:
-        graph = self.graph
+        graph = self._graph_for_rank()
         options = self.options
         num_threads = self.threads_per_process
         timer = PhaseTimer()

@@ -1,0 +1,443 @@
+"""Dataset catalog: name/path resolution, auto-conversion and metadata cache.
+
+The catalog is the piece that lets every experiment driver say "give me
+``roadNet-PA``" (or a file path) and get a memory-mapped
+:class:`~repro.graph.csr.CSRGraph` back:
+
+* paths ending in ``.rcsr`` open directly (zero-copy, O(ms));
+* text edge lists / METIS files are converted into the cache directory on
+  first touch and opened from the ``.rcsr`` from then on — the text is parsed
+  exactly once per (path, mtime, size);
+* registered names (``catalog.json`` in the cache directory) resolve to their
+  recorded ``.rcsr`` files.
+
+Every cached graph carries a JSON sidecar (``<file>.rcsr.json``) holding the
+statistics experiment drivers keep recomputing — vertex/edge counts, max
+degree, component count, a double-sweep diameter estimate and the container
+checksum — so ``repro info`` and instance resolution are metadata reads, not
+graph traversals.
+
+The cache directory defaults to ``$REPRO_GRAPH_CACHE`` or
+``~/.cache/repro/graphs``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.store.convert import ConversionReport, convert_any
+from repro.store.format import (
+    RcsrHeader,
+    StoreFormatError,
+    atomic_replace,
+    open_rcsr,
+    read_header,
+    write_rcsr,
+)
+
+__all__ = [
+    "CACHE_ENV_VAR",
+    "GraphCatalog",
+    "GraphInfo",
+    "default_cache_dir",
+    "load_graph",
+    "graph_info",
+]
+
+PathLike = Union[str, Path]
+
+CACHE_ENV_VAR = "REPRO_GRAPH_CACHE"
+
+_SIDECAR_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """The cache directory: ``$REPRO_GRAPH_CACHE`` or ``~/.cache/repro/graphs``."""
+    env = os.environ.get(CACHE_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "graphs"
+
+
+@dataclass
+class GraphInfo:
+    """Sidecar metadata of one stored graph."""
+
+    name: str
+    path: str
+    num_vertices: int
+    num_edges: int
+    max_degree: int
+    num_components: int
+    diameter_estimate: int
+    checksum: str
+    source: Optional[str] = None
+    source_size: Optional[int] = None
+    source_mtime_ns: Optional[int] = None
+    #: semantic conversion parameters (fmt / zero_indexed / num_vertices plus
+    #: the detected index base); a cached conversion is only reused when a new
+    #: request asks for the same semantics.
+    conversion: Optional[Dict[str, object]] = None
+
+    @property
+    def is_connected(self) -> bool:
+        return self.num_components <= 1
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"sidecar_version": _SIDECAR_VERSION, **asdict(self)}
+
+
+def _sidecar_path(rcsr_path: Path) -> Path:
+    return rcsr_path.with_name(rcsr_path.name + ".json")
+
+
+def _header_checksum(header: RcsrHeader) -> str:
+    return f"crc32:{header.crc_indptr:08x}{header.crc_indices:08x}"
+
+
+def _read_valid_sidecar(rcsr_path: Path) -> Optional[GraphInfo]:
+    """The sidecar of ``rcsr_path`` — only if it describes the current file.
+
+    The recorded checksum is compared against the container header (one cheap
+    header read): a sidecar left behind by an interrupted conversion, or by a
+    ``CSRGraph.save()`` over a cataloged path, must not be trusted (the CLI
+    uses the component count to skip the largest-component pass).
+    """
+    info = _read_sidecar(rcsr_path)
+    if info is None:
+        return None
+    try:
+        header = read_header(rcsr_path)
+    except (OSError, StoreFormatError):
+        return None
+    if info.checksum != _header_checksum(header):
+        return None
+    return info
+
+
+def _compute_info(rcsr_path: Path, *, name: str, source: Optional[Path]) -> GraphInfo:
+    """Derive the sidecar statistics from a stored graph (one-off, at convert
+    time; opens the graph memory-mapped so peak memory stays O(n))."""
+    from repro.diameter import double_sweep_estimate
+    from repro.graph.components import connected_components
+
+    header = read_header(rcsr_path)
+    graph = open_rcsr(rcsr_path)
+    if graph.num_vertices > 0:
+        max_degree = int(np.diff(graph.indptr).max())
+        components = connected_components(graph)
+        num_components = components.num_components
+        if graph.num_edges > 0:
+            diameter_estimate = int(double_sweep_estimate(graph, seed=0).lower)
+        else:
+            diameter_estimate = 0
+    else:
+        max_degree = 0
+        num_components = 0
+        diameter_estimate = 0
+    info = GraphInfo(
+        name=name,
+        path=str(rcsr_path),
+        num_vertices=header.num_vertices,
+        num_edges=header.num_edges,
+        max_degree=max_degree,
+        num_components=num_components,
+        diameter_estimate=diameter_estimate,
+        checksum=_header_checksum(header),
+    )
+    if source is not None:
+        stat = source.stat()
+        info.source = str(source)
+        info.source_size = stat.st_size
+        info.source_mtime_ns = stat.st_mtime_ns
+    return info
+
+
+def _read_sidecar(rcsr_path: Path) -> Optional[GraphInfo]:
+    sidecar = _sidecar_path(rcsr_path)
+    if not sidecar.exists():
+        return None
+    try:
+        payload = json.loads(sidecar.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if payload.get("sidecar_version") != _SIDECAR_VERSION:
+        return None
+    payload.pop("sidecar_version", None)
+    try:
+        return GraphInfo(**payload)
+    except TypeError:
+        return None
+
+
+class GraphCatalog:
+    """Resolves graph names and paths to memory-mapped ``.rcsr`` graphs.
+
+    Parameters
+    ----------
+    cache_dir:
+        Where converted graphs, sidecars and the name registry live.  Defaults
+        to :func:`default_cache_dir`.  All catalog state is on disk, so
+        multiple :class:`GraphCatalog` instances over the same directory see
+        the same datasets.
+    """
+
+    def __init__(self, cache_dir: Optional[PathLike] = None) -> None:
+        self._cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def cache_dir(self) -> Path:
+        return self._cache_dir
+
+    @property
+    def _registry_path(self) -> Path:
+        return self._cache_dir / "catalog.json"
+
+    def _read_registry(self) -> Dict[str, str]:
+        try:
+            payload = json.loads(self._registry_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+        return {str(k): str(v) for k, v in payload.get("datasets", {}).items()}
+
+    def _write_registry(self, registry: Dict[str, str]) -> None:
+        self._cache_dir.mkdir(parents=True, exist_ok=True)
+        with atomic_replace(self._registry_path) as tmp:
+            tmp.write_text(
+                json.dumps({"version": 1, "datasets": registry}, indent=2, sort_keys=True)
+            )
+
+    @contextmanager
+    def _registry_lock(self):
+        """Serialize read-modify-write cycles on ``catalog.json``.
+
+        Concurrent processes sharing a cache directory register datasets; a
+        plain read-modify-write would let the last writer drop the other's
+        entry.  Uses ``flock`` where available, degrades to unlocked
+        elsewhere.
+        """
+        self._cache_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            import fcntl
+        except ImportError:  # pragma: no cover - non-POSIX platform
+            yield
+            return
+        with open(self._cache_dir / "catalog.lock", "w") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+    # ------------------------------------------------------------------ #
+    # Name registry
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, path: PathLike) -> None:
+        """Record ``name`` as an alias for a stored ``.rcsr`` file."""
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"cannot register {name!r}: {path} does not exist")
+        with self._registry_lock():
+            registry = self._read_registry()
+            registry[name] = str(path)
+            self._write_registry(registry)
+
+    def names(self) -> List[str]:
+        """Registered dataset names, sorted."""
+        return sorted(self._read_registry())
+
+    # ------------------------------------------------------------------ #
+    # Conversion / resolution
+    # ------------------------------------------------------------------ #
+    def rcsr_path_for(self, source: PathLike) -> Path:
+        """Deterministic cache location for a text input's converted form."""
+        source = Path(source).resolve()
+        digest = hashlib.sha1(str(source).encode()).hexdigest()[:10]
+        stem = source.name
+        for suffix in (".gz", ".txt", ".tsv", ".csv", ".edges", ".el", ".metis", ".graph"):
+            if stem.lower().endswith(suffix):
+                stem = stem[: -len(suffix)]
+        return self._cache_dir / f"{stem or 'graph'}-{digest}.rcsr"
+
+    def _fresh_cached_info(
+        self, rcsr_path: Path, source: Path, requested: Optional[Dict[str, object]] = None
+    ) -> Optional[GraphInfo]:
+        """The validated sidecar of a conversion that is still fresh, or None.
+
+        Fresh means: the container matches its sidecar checksum, the recorded
+        source fingerprint (path, size, mtime) matches the file on disk, and
+        the recorded semantic conversion parameters match ``requested``.
+        Returning the info (not a bool) lets the caller reuse it without a
+        re-read that could race with a concurrent writer.
+        """
+        if not rcsr_path.exists():
+            return None
+        info = _read_valid_sidecar(rcsr_path)
+        if info is None or info.source is None:
+            return None
+        try:
+            stat = source.stat()
+        except OSError:
+            return None
+        if requested is not None:
+            recorded = info.conversion or {}
+            if any(recorded.get(key) != value for key, value in requested.items()):
+                return None
+        if (
+            info.source == str(source.resolve())
+            and info.source_size == stat.st_size
+            and info.source_mtime_ns == stat.st_mtime_ns
+        ):
+            return info
+        return None
+
+    def convert(
+        self,
+        source: PathLike,
+        dest: Optional[PathLike] = None,
+        *,
+        force: bool = False,
+        fmt: str = "auto",
+        **convert_kwargs,
+    ) -> ConversionReport:
+        """Convert a text input to ``.rcsr`` and write its sidecar.
+
+        Without ``dest`` the output goes to the cache directory.  A fresh
+        cached conversion (same source path, size, mtime *and* semantic
+        conversion parameters) is reused unless ``force=True``; the report has
+        ``cache_hit=True`` and ``num_input_edges == 0`` on a cache hit.
+        """
+        from repro.store.convert import resolve_format
+
+        source = Path(source)
+        dest = Path(dest) if dest is not None else self.rcsr_path_for(source)
+        requested: Dict[str, object] = {
+            # Record the *concrete* format: fmt='auto' and fmt='edgelist' on
+            # the same file are the same conversion and must share the cache.
+            "fmt": resolve_format(source, fmt),
+            "zero_indexed": convert_kwargs.get("zero_indexed"),
+            "num_vertices": convert_kwargs.get("num_vertices"),
+        }
+        cached = None if force else self._fresh_cached_info(dest, source, requested)
+        if cached is not None:
+            header = read_header(dest)
+            return ConversionReport(
+                source=str(source),
+                dest=str(dest),
+                num_vertices=cached.num_vertices,
+                num_edges=cached.num_edges,
+                num_input_edges=0,
+                indices_dtype=str(header.indices_dtype),
+                output_bytes=dest.stat().st_size,
+                zero_indexed=bool(
+                    (cached.conversion or {}).get("detected_zero_indexed", True)
+                ),
+                cache_hit=True,
+            )
+        report = convert_any(source, dest, fmt=fmt, **convert_kwargs)
+        self._write_sidecar(
+            dest,
+            name=source.name,
+            source=source,
+            conversion={**requested, "detected_zero_indexed": report.zero_indexed},
+        )
+        return report
+
+    def _write_sidecar(
+        self,
+        rcsr_path: Path,
+        *,
+        name: str,
+        source: Optional[Path],
+        conversion: Optional[Dict[str, object]] = None,
+    ) -> GraphInfo:
+        info = _compute_info(rcsr_path, name=name, source=source.resolve() if source else None)
+        info.conversion = conversion
+        try:
+            with atomic_replace(_sidecar_path(rcsr_path)) as tmp:
+                tmp.write_text(json.dumps(info.as_dict(), indent=2, sort_keys=True))
+        except OSError:
+            # Read-only dataset location: the computed stats are still valid
+            # and usable this run — they just cannot be cached next to the
+            # container.  (Conversions never hit this: they already wrote the
+            # .rcsr to the same directory.)
+            pass
+        return info
+
+    def store_graph(self, graph: CSRGraph, name: str, *, path: Optional[PathLike] = None) -> Path:
+        """Persist an in-memory graph into the catalog under ``name``."""
+        path = Path(path) if path is not None else self._cache_dir / f"{name}.rcsr"
+        write_rcsr(graph, path)
+        self._write_sidecar(path, name=name, source=None)
+        self.register(name, path)
+        return path
+
+    def resolve(self, spec: PathLike) -> Path:
+        """Resolve a name or path to an ``.rcsr`` file, converting on first touch."""
+        path = Path(spec)
+        if path.suffix == ".rcsr" and path.exists():
+            return path
+        if path.exists():
+            return Path(self.convert(path).dest)
+        registry = self._read_registry()
+        key = str(spec)
+        if key in registry:
+            recorded = Path(registry[key])
+            if not recorded.exists():
+                raise FileNotFoundError(
+                    f"catalog entry {key!r} points to missing file {recorded}"
+                )
+            return recorded
+        raise FileNotFoundError(
+            f"graph not found: {spec!r} is neither an existing file nor a "
+            f"registered dataset (known: {self.names() or 'none'})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Loading / metadata
+    # ------------------------------------------------------------------ #
+    def load(self, spec: PathLike, *, mmap: bool = True) -> CSRGraph:
+        """Open a graph by name or path (memory-mapped by default)."""
+        return open_rcsr(self.resolve(spec), mmap=mmap)
+
+    def info(self, spec: PathLike) -> GraphInfo:
+        """Sidecar metadata for a graph, computing (and caching) it if absent
+        or stale (checksum mismatch with the container)."""
+        rcsr_path = self.resolve(spec)
+        info = _read_valid_sidecar(rcsr_path)
+        if info is not None:
+            return info
+        return self._write_sidecar(rcsr_path, name=rcsr_path.stem, source=None)
+
+    def cached_info(self, rcsr_path: PathLike) -> Optional[GraphInfo]:
+        """The sidecar of a stored graph if a valid one exists — never computes.
+
+        Cheap by construction (one JSON read plus one header read); callers
+        that only *benefit* from the metadata (e.g. the CLI's
+        connected-component skip) use this so a bare ``.rcsr`` input never
+        pays for whole-graph statistics, and a stale sidecar returns ``None``
+        rather than wrong answers.
+        """
+        return _read_valid_sidecar(Path(rcsr_path))
+
+
+def load_graph(
+    spec: PathLike, *, catalog: Optional[GraphCatalog] = None, mmap: bool = True
+) -> CSRGraph:
+    """Module-level convenience: load a graph through a (default) catalog."""
+    return (catalog or GraphCatalog()).load(spec, mmap=mmap)
+
+
+def graph_info(spec: PathLike, *, catalog: Optional[GraphCatalog] = None) -> GraphInfo:
+    """Module-level convenience: sidecar metadata through a (default) catalog."""
+    return (catalog or GraphCatalog()).info(spec)

@@ -1,0 +1,352 @@
+"""Out-of-core edge-list → ``.rcsr`` conversion.
+
+Ingests KONECT/SNAP-style edge lists (and METIS files) whose text form may be
+far larger than RAM.  The text is parsed exactly once, by the vectorized
+chunked front end :func:`repro.graph.io.iter_edge_chunks`; each chunk is
+normalised (self-loops dropped, edges canonicalised to ``(min, max)``,
+per-chunk dedup) and spilled to a compact binary scratch file.  The CSR build
+then runs over the spill in the classic two passes — degree count, then fill —
+followed by a blocked sort/dedup pass that removes duplicates *across* chunks,
+so the result is bit-identical to an in-memory
+:class:`~repro.graph.builder.GraphBuilder` build.
+
+Peak memory is O(n) for the row pointers plus O(chunk); the edge data only
+ever lives on disk (spill + scratch memmap + output), which is what lets
+graphs with billions of edges be ingested on a workstation.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.io import DEFAULT_CHUNK_BYTES, iter_edge_chunks
+from repro.store.format import (
+    FORMAT_VERSION,
+    HEADER_SIZE,
+    RcsrHeader,
+    _align_up,
+    atomic_replace,
+    pack_header,
+    write_rcsr,
+)
+
+__all__ = ["ConversionReport", "convert_edge_list", "convert_metis", "convert_any"]
+
+PathLike = Union[str, Path]
+
+#: arcs held in memory at once during the fill and dedup passes.
+_DEFAULT_BLOCK_ARCS = 8_000_000
+
+_SPILL_RECORD = np.dtype([("lo", np.int64), ("hi", np.int64)])
+
+
+@dataclass(frozen=True)
+class ConversionReport:
+    """What a conversion produced (returned by the converters, shown by the CLI)."""
+
+    source: str
+    dest: str
+    num_vertices: int
+    num_edges: int
+    num_input_edges: int
+    indices_dtype: str
+    output_bytes: int
+    zero_indexed: bool
+    cache_hit: bool = False
+
+
+def _indices_dtype_for(num_vertices: int) -> np.dtype:
+    # Same convention as CSRGraph: 32-bit ids unless the graph needs int64.
+    if num_vertices > 0 and num_vertices - 1 >= np.iinfo(np.uint32).max:
+        return np.dtype(np.int64)
+    return np.dtype(np.uint32)
+
+
+def _iter_spill(spill: Path, block_pairs: int) -> Iterator[np.ndarray]:
+    with open(spill, "rb") as handle:
+        while True:
+            chunk = np.fromfile(handle, dtype=_SPILL_RECORD, count=block_pairs)
+            if chunk.size == 0:
+                return
+            yield chunk
+
+
+def _scatter_fill(
+    scratch: np.memmap, cursor: np.ndarray, heads: np.ndarray, tails: np.ndarray
+) -> None:
+    """Write ``tails`` into per-``head`` CSR segments, advancing ``cursor``."""
+    order = np.argsort(heads, kind="stable")
+    h = heads[order]
+    t = tails[order]
+    uniq, first, counts = np.unique(h, return_index=True, return_counts=True)
+    within = np.arange(h.size, dtype=np.int64) - np.repeat(first, counts)
+    positions = np.repeat(cursor[uniq], counts) + within
+    scratch[positions] = t
+    cursor[uniq] += counts
+
+
+def convert_edge_list(
+    source: PathLike,
+    dest: PathLike,
+    *,
+    zero_indexed: Optional[bool] = None,
+    num_vertices: Optional[int] = None,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    block_arcs: int = _DEFAULT_BLOCK_ARCS,
+) -> ConversionReport:
+    """Convert a whitespace edge list to an ``.rcsr`` container, out of core.
+
+    Semantics match :func:`repro.graph.io.read_edge_list` exactly (index-base
+    auto-detection, self-loop dropping, duplicate merging) — only the memory
+    profile differs.
+    """
+    source = Path(source)
+    dest = Path(dest)
+    dest.parent.mkdir(parents=True, exist_ok=True)
+    if block_arcs < 2:
+        raise ValueError("block_arcs must be at least 2")
+
+    with tempfile.TemporaryDirectory(dir=dest.parent, prefix=".rcsr-build-") as workdir:
+        return _convert_edge_list_in(
+            source,
+            dest,
+            Path(workdir),
+            zero_indexed=zero_indexed,
+            num_vertices=num_vertices,
+            chunk_bytes=chunk_bytes,
+            block_arcs=block_arcs,
+        )
+
+
+def _convert_edge_list_in(
+    source: Path,
+    dest: Path,
+    workdir: Path,
+    *,
+    zero_indexed: Optional[bool],
+    num_vertices: Optional[int],
+    chunk_bytes: int,
+    block_arcs: int,
+) -> ConversionReport:
+    # ---- Pass 1: parse text once; spill normalised pairs to binary. ------- #
+    spill = workdir / "pairs.spill"
+    min_id = None
+    max_id = -1
+    num_input_edges = 0
+    spilled_pairs = 0
+    with open(spill, "wb") as spill_handle:
+        for chunk in iter_edge_chunks(source, chunk_bytes=chunk_bytes):
+            num_input_edges += chunk.shape[0]
+            chunk_min = int(chunk.min())
+            chunk_max = int(chunk.max())
+            min_id = chunk_min if min_id is None else min(min_id, chunk_min)
+            max_id = max(max_id, chunk_max)
+            u, v = chunk[:, 0], chunk[:, 1]
+            loop_mask = u != v
+            if not loop_mask.all():
+                u, v = u[loop_mask], v[loop_mask]
+            if u.size == 0:
+                continue
+            pairs = np.empty(u.size, dtype=_SPILL_RECORD)
+            np.minimum(u, v, out=pairs["lo"])
+            np.maximum(u, v, out=pairs["hi"])
+            pairs = np.unique(pairs)  # per-chunk dedup (cross-chunk comes later)
+            pairs.tofile(spill_handle)
+            spilled_pairs += pairs.size
+
+    # Index-base handling and vertex count, shared by the empty-edge path so
+    # that e.g. a self-loops-only file still yields the read_edge_list vertex
+    # count (self-loop ids contribute to n even though the edges are dropped).
+    if min_id is None:  # no parsed edges at all
+        zero_indexed = True if zero_indexed is None else zero_indexed
+        shift = 0
+        inferred_n = 0
+    else:
+        if zero_indexed is None:
+            zero_indexed = min_id == 0
+        shift = 0 if zero_indexed else 1
+        if not zero_indexed and min_id < 1:
+            raise ValueError("one-indexed edge list contains vertex id < 1")
+        if min_id < 0:
+            raise ValueError("vertex ids must be non-negative")
+        inferred_n = max_id - shift + 1
+    if num_vertices is not None:
+        if inferred_n > num_vertices:
+            raise ValueError(
+                f"edge references vertex {inferred_n - 1} but num_vertices={num_vertices}"
+            )
+        n = num_vertices
+    else:
+        n = inferred_n
+
+    if spilled_pairs == 0:
+        write_rcsr(CSRGraph.empty(n), dest)
+        return ConversionReport(
+            source=str(source),
+            dest=str(dest),
+            num_vertices=n,
+            num_edges=0,
+            num_input_edges=num_input_edges,
+            indices_dtype=str(_indices_dtype_for(n)),
+            output_bytes=dest.stat().st_size,
+            zero_indexed=zero_indexed,
+        )
+
+    # ---- Pass 2 (spill): count degrees, build provisional row pointers. --- #
+    degrees = np.zeros(n, dtype=np.int64)
+    for pairs in _iter_spill(spill, block_arcs // 2):
+        degrees += np.bincount(pairs["lo"] - shift, minlength=n)
+        degrees += np.bincount(pairs["hi"] - shift, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    num_arcs = int(indptr[-1])
+
+    # ---- Pass 3 (spill): scatter-fill tails into a scratch memmap. -------- #
+    scratch_path = workdir / "tails.scratch"
+    scratch = np.memmap(scratch_path, mode="w+", dtype=np.int64, shape=(num_arcs,))
+    cursor = indptr[:-1].copy()
+    for pairs in _iter_spill(spill, block_arcs // 2):
+        lo = pairs["lo"] - shift
+        hi = pairs["hi"] - shift
+        _scatter_fill(
+            scratch, cursor, np.concatenate((lo, hi)), np.concatenate((hi, lo))
+        )
+    scratch.flush()
+
+    # ---- Pass 4: blocked per-vertex sort + cross-chunk dedup, stream out. - #
+    indices_dtype = _indices_dtype_for(n)
+    indptr_offset = HEADER_SIZE
+    indices_offset = _align_up(indptr_offset + (n + 1) * 8)
+    final_degrees = np.zeros(n, dtype=np.int64)
+    crc_indices = 0
+    with atomic_replace(dest) as tmp:
+        with open(tmp, "wb") as out:
+            # Leave a hole for header + indptr (written after the dedup pass);
+            # seeking instead of writing zeros avoids an O(n)-byte allocation.
+            out.seek(indices_offset)
+            v0 = 0
+            while v0 < n:
+                v1 = int(
+                    np.searchsorted(indptr, indptr[v0] + max(block_arcs, 1), side="right") - 1
+                )
+                v1 = max(v0 + 1, min(v1, n))
+                lo_arc, hi_arc = int(indptr[v0]), int(indptr[v1])
+                tails = np.asarray(scratch[lo_arc:hi_arc])
+                heads = np.repeat(
+                    np.arange(v0, v1, dtype=np.int64), np.diff(indptr[v0 : v1 + 1])
+                )
+                order = np.lexsort((tails, heads))
+                heads = heads[order]
+                tails = tails[order]
+                keep = np.ones(tails.size, dtype=bool)
+                keep[1:] = (heads[1:] != heads[:-1]) | (tails[1:] != tails[:-1])
+                heads = heads[keep]
+                tails = tails[keep].astype(indices_dtype)
+                final_degrees[v0:v1] = np.bincount(heads - v0, minlength=v1 - v0)
+                crc_indices = zlib.crc32(memoryview(tails).cast("B"), crc_indices)
+                tails.tofile(out)
+                v0 = v1
+
+            final_indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(final_degrees, out=final_indptr[1:])
+            final_arcs = int(final_indptr[-1])
+            crc_indptr = zlib.crc32(memoryview(final_indptr).cast("B")) & 0xFFFFFFFF
+            header = RcsrHeader(
+                version=FORMAT_VERSION,
+                indptr_dtype=np.dtype(np.int64),
+                indices_dtype=indices_dtype,
+                num_vertices=n,
+                num_arcs=final_arcs,
+                indptr_offset=indptr_offset,
+                indices_offset=indices_offset,
+                file_size=indices_offset + final_arcs * indices_dtype.itemsize,
+                crc_indptr=crc_indptr,
+                crc_indices=crc_indices & 0xFFFFFFFF,
+            )
+            out.seek(0)
+            out.write(pack_header(header))
+            out.seek(indptr_offset)
+            final_indptr.tofile(out)
+        del scratch
+
+    return ConversionReport(
+        source=str(source),
+        dest=str(dest),
+        num_vertices=n,
+        num_edges=final_arcs // 2,
+        num_input_edges=num_input_edges,
+        indices_dtype=str(indices_dtype),
+        output_bytes=dest.stat().st_size,
+        zero_indexed=zero_indexed,
+    )
+
+
+def convert_metis(source: PathLike, dest: PathLike) -> ConversionReport:
+    """Convert a METIS adjacency file to ``.rcsr`` (in-memory; METIS files of
+    out-of-core size are not a target of the paper's pipeline)."""
+    from repro.graph.io import read_metis
+
+    source = Path(source)
+    dest = Path(dest)
+    graph = read_metis(source)
+    write_rcsr(graph, dest)
+    return ConversionReport(
+        source=str(source),
+        dest=str(dest),
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        num_input_edges=graph.num_edges,
+        indices_dtype=str(graph.indices.dtype),
+        output_bytes=dest.stat().st_size,
+        zero_indexed=True,
+    )
+
+
+def resolve_format(source: PathLike, fmt: str = "auto") -> str:
+    """Resolve ``"auto"`` to the concrete input format by file suffix.
+
+    Only the *final* suffix decides (after stripping ``.gz``): ``.metis`` and
+    ``.graph`` are METIS, everything else — including ``web.graph.txt`` — is
+    an edge list.
+    """
+    if fmt != "auto":
+        if fmt not in ("edgelist", "metis"):
+            raise ValueError(
+                f"unknown input format {fmt!r} (expected 'edgelist', 'metis' or 'auto')"
+            )
+        return fmt
+    name = Path(source).name.lower()
+    if name.endswith(".gz"):
+        name = name[:-3]
+    return "metis" if name.endswith((".metis", ".graph")) else "edgelist"
+
+
+def convert_any(
+    source: PathLike, dest: PathLike, *, fmt: str = "auto", **kwargs
+) -> ConversionReport:
+    """Convert ``source`` to ``.rcsr``, sniffing the input format by suffix.
+
+    ``fmt`` may be ``"edgelist"``, ``"metis"`` or ``"auto"`` (see
+    :func:`resolve_format`).
+    """
+    source = Path(source)
+    fmt = resolve_format(source, fmt)
+    if fmt == "metis":
+        semantic = {
+            k for k, v in kwargs.items() if k in ("zero_indexed", "num_vertices") and v is not None
+        }
+        if semantic:
+            raise ValueError(
+                f"option(s) {sorted(semantic)} are not supported for METIS inputs"
+            )
+        # chunk_bytes/block_arcs are edge-list streaming knobs; the in-memory
+        # METIS path has no use for them.
+        return convert_metis(source, dest)
+    return convert_edge_list(source, dest, **kwargs)

@@ -18,6 +18,17 @@ from repro.graph.generators import (
 collect_ignore_glob = []
 
 
+@pytest.fixture(autouse=True)
+def _isolated_graph_cache(monkeypatch, tmp_path):
+    """Point the graph-store cache at a per-test directory.
+
+    Anything resolving graphs through :class:`repro.store.GraphCatalog` (the
+    facade with path inputs, the CLI, instance resolution) writes converted
+    ``.rcsr`` files to the cache; tests must never touch ``~/.cache``.
+    """
+    monkeypatch.setenv("REPRO_GRAPH_CACHE", str(tmp_path / "graph-cache"))
+
+
 @pytest.fixture(scope="session")
 def small_social_graph() -> CSRGraph:
     """A small power-law graph (Barabási–Albert), connected by construction."""
