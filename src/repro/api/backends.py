@@ -39,7 +39,9 @@ def _run_sequential(
     resources: Resources,
     progress: Optional[ProgressCallback],
 ) -> BetweennessResult:
-    return _SequentialKadabra(graph, options, progress=progress).run()
+    return _SequentialKadabra(
+        graph, options, progress=progress, batch_size=resources.batch_size
+    ).run()
 
 
 def _run_shared_memory(
@@ -49,7 +51,11 @@ def _run_shared_memory(
     progress: Optional[ProgressCallback],
 ) -> BetweennessResult:
     return _SharedMemoryKadabra(
-        graph, options, num_threads=resources.threads, progress=progress
+        graph,
+        options,
+        num_threads=resources.threads,
+        progress=progress,
+        batch_size=resources.batch_size,
     ).run()
 
 
@@ -67,6 +73,7 @@ def _run_distributed(
         processes_per_node=resources.processes_per_node,
         algorithm="epoch",
         progress=progress,
+        batch_size=resources.batch_size,
     ).run()
 
 
@@ -83,6 +90,7 @@ def _run_mpi_only(
         threads_per_process=1,
         algorithm="mpi-only",
         progress=progress,
+        batch_size=resources.batch_size,
     ).run()
 
 
@@ -92,7 +100,9 @@ def _run_rk(
     resources: Resources,
     progress: Optional[ProgressCallback],
 ) -> BetweennessResult:
-    return _RKBetweenness(graph, options, progress=progress).run()
+    return _RKBetweenness(
+        graph, options, progress=progress, batch_size=resources.batch_size
+    ).run()
 
 
 def _run_exact(
@@ -141,6 +151,7 @@ def register_default_backends(*, replace: bool = False) -> None:
         "sequential",
         _run_sequential,
         description="Sequential KADABRA adaptive sampling (Section III)",
+        supports_batching=True,
         cost_hint="adaptive-sampling",
         auto_rank=10,
         replace=replace,
@@ -150,6 +161,7 @@ def register_default_backends(*, replace: bool = False) -> None:
         _run_shared_memory,
         description="Epoch-based shared-memory KADABRA (state-of-the-art competitor)",
         supports_threads=True,
+        supports_batching=True,
         cost_hint="adaptive-sampling",
         auto_rank=20,
         replace=replace,
@@ -160,6 +172,7 @@ def register_default_backends(*, replace: bool = False) -> None:
         description="Epoch-based MPI KADABRA, Algorithm 2 (optionally NUMA-aware)",
         supports_threads=True,
         supports_processes=True,
+        supports_batching=True,
         cost_hint="adaptive-sampling",
         auto_rank=30,
         replace=replace,
@@ -169,6 +182,7 @@ def register_default_backends(*, replace: bool = False) -> None:
         _run_mpi_only,
         description="MPI-only KADABRA without multithreading, Algorithm 1",
         supports_processes=True,
+        supports_batching=True,
         cost_hint="adaptive-sampling",
         auto_rank=40,
         replace=replace,
@@ -177,6 +191,7 @@ def register_default_backends(*, replace: bool = False) -> None:
         "rk",
         _run_rk,
         description="Riondato-Kornaropoulos fixed-sample-size approximation",
+        supports_batching=True,
         cost_hint="fixed-sampling",
         auto_rank=50,
         replace=replace,

@@ -54,6 +54,9 @@ class BackendSpec:
     supports_threads / supports_processes:
         Which dimensions of :class:`~repro.api.resources.Resources` the
         backend honours.
+    supports_batching:
+        Whether the backend honours ``Resources.batch_size`` (i.e. samples
+        through the batch-oriented kernels of :mod:`repro.kernels`).
     cost_hint:
         Coarse cost model: ``"adaptive-sampling"`` (KADABRA-style),
         ``"fixed-sampling"`` (a-priori bound) or ``"n-sssp"`` (per-source
@@ -73,6 +76,7 @@ class BackendSpec:
     exact: bool = False
     supports_threads: bool = False
     supports_processes: bool = False
+    supports_batching: bool = False
     cost_hint: str = "adaptive-sampling"
     auto_rank: int = 100
     max_auto_vertices: Optional[int] = None
@@ -89,6 +93,7 @@ def register_backend(
     exact: bool = False,
     supports_threads: bool = False,
     supports_processes: bool = False,
+    supports_batching: bool = False,
     cost_hint: str = "adaptive-sampling",
     auto_rank: int = 100,
     max_auto_vertices: Optional[int] = None,
@@ -114,6 +119,7 @@ def register_backend(
         exact=exact,
         supports_threads=supports_threads,
         supports_processes=supports_processes,
+        supports_batching=supports_batching,
         cost_hint=cost_hint,
         auto_rank=auto_rank,
         max_auto_vertices=max_auto_vertices,
@@ -184,13 +190,14 @@ def select_backend(num_vertices: int, resources: Resources) -> BackendSpec:
 
 def format_backend_table() -> str:
     """A plain-text capability table of all registered backends."""
-    headers = ("name", "kind", "threads", "processes", "cost", "description")
+    headers = ("name", "kind", "threads", "processes", "batching", "cost", "description")
     rows = [
         (
             spec.name,
             "exact" if spec.exact else "approx",
             "yes" if spec.supports_threads else "no",
             "yes" if spec.supports_processes else "no",
+            "yes" if spec.supports_batching else "no",
             spec.cost_hint,
             spec.description,
         )

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.result import BetweennessResult
 from repro.graph.csr import CSRGraph
+from repro.kernels import ScratchPool, gather_csr
 
 __all__ = ["brandes_betweenness", "brandes_from_sources"]
 
@@ -22,62 +23,81 @@ __all__ = ["brandes_betweenness", "brandes_from_sources"]
 _PROGRESS_STRIDE = 64
 
 
-def _single_source_dependencies(graph: CSRGraph, source: int) -> np.ndarray:
-    """Dependency values delta_s(v) for one source (unnormalised)."""
-    n = graph.num_vertices
-    indptr = graph.indptr
-    indices = graph.indices
-    distances = np.full(n, -1, dtype=np.int64)
-    sigma = np.zeros(n, dtype=np.float64)
-    distances[source] = 0
+def _accumulate_source_dependencies(
+    graph: CSRGraph, source: int, scores: np.ndarray, pool: ScratchPool
+) -> None:
+    """Add the dependency values delta_s(v) of one source into ``scores``.
+
+    Runs the augmented BFS and the bottom-up accumulation entirely on the
+    pool's generation-stamped scratch (``mark_a``/``sigma_a`` for the BFS,
+    ``sigma_b`` as the dependency accumulator), so a sweep over many sources
+    performs no O(n) allocation per source.
+    """
+    indptr = np.asarray(graph.indptr)
+    indices = np.asarray(graph.indices)
+    base = pool.begin_sample()
+    mark = pool.mark_a
+    sigma = pool.sigma_a
+    delta = pool.sigma_b
+
+    mark[source] = base
     sigma[source] = 1.0
+    delta[source] = 0.0
     frontier = np.array([source], dtype=np.int64)
     levels = [frontier]
     level = 0
     while frontier.size > 0:
         level += 1
-        starts = indptr[frontier]
-        stops = indptr[frontier + 1]
-        degs = stops - starts
-        if int(np.sum(degs)) == 0:
+        neighbors, degs = gather_csr(indptr, indices, frontier)
+        if neighbors.size == 0:
             break
-        neighbors = np.concatenate([indices[s:e] for s, e in zip(starts, stops)]).astype(
-            np.int64, copy=False
-        )
-        origins = np.repeat(frontier, degs)
-        fresh = np.unique(neighbors[distances[neighbors] == -1])
-        if fresh.size > 0:
-            distances[fresh] = level
-        onlevel = distances[neighbors] == level
-        if np.any(onlevel):
-            np.add.at(sigma, neighbors[onlevel], sigma[origins[onlevel]])
+        # A neighbour settles on this level iff it was unvisited before the
+        # level was processed (same argument as in the sampling kernels).
+        fresh_mask = mark[neighbors] < base
+        fresh = np.unique(neighbors[fresh_mask])
         if fresh.size == 0:
             break
+        mark[fresh] = base + level
+        sigma[fresh] = 0.0
+        delta[fresh] = 0.0
+        origin_sigma = np.repeat(sigma[frontier], degs)
+        np.add.at(sigma, neighbors[fresh_mask], origin_sigma[fresh_mask])
         frontier = fresh
         levels.append(frontier)
 
-    delta = np.zeros(n, dtype=np.float64)
     # Accumulate dependencies bottom-up, level by level (vectorized per level).
     for frontier in reversed(levels[1:]):
-        starts = indptr[frontier]
-        stops = indptr[frontier + 1]
-        degs = stops - starts
-        if int(np.sum(degs)) == 0:
+        neighbors, degs = gather_csr(indptr, indices, frontier)
+        if neighbors.size == 0:
             continue
-        neighbors = np.concatenate([indices[s:e] for s, e in zip(starts, stops)]).astype(
-            np.int64, copy=False
-        )
-        origins = np.repeat(frontier, degs)
         # Edges from w (on this level) to its predecessors v (previous level).
-        pred_mask = distances[neighbors] == distances[origins] - 1
-        if not np.any(pred_mask):
+        origin_marks = np.repeat(mark[frontier], degs)
+        pred_mask = mark[neighbors] == origin_marks - 1
+        if not pred_mask.any():
             continue
-        w = origins[pred_mask]
+        w = np.repeat(frontier, degs)[pred_mask]
         v = neighbors[pred_mask]
         contrib = sigma[v] / sigma[w] * (1.0 + delta[w])
         np.add.at(delta, v, contrib)
-    delta[source] = 0.0
-    return delta
+
+    # Only settled vertices carry valid delta values; the source contributes 0.
+    for frontier in levels[1:]:
+        scores[frontier] += delta[frontier]
+
+
+def _single_source_dependencies(
+    graph: CSRGraph, source: int, *, pool: Optional[ScratchPool] = None
+) -> np.ndarray:
+    """Dependency values delta_s(v) for one source (unnormalised).
+
+    Standalone variant returning a fresh array; sweeps over many sources use
+    :func:`_accumulate_source_dependencies` with a shared pool instead.
+    """
+    deps = np.zeros(graph.num_vertices, dtype=np.float64)
+    _accumulate_source_dependencies(
+        graph, source, deps, pool if pool is not None else ScratchPool(graph.num_vertices)
+    )
+    return deps
 
 
 def brandes_betweenness(
@@ -103,8 +123,9 @@ def brandes_betweenness(
     """
     n = graph.num_vertices
     scores = np.zeros(n, dtype=np.float64)
+    pool = ScratchPool(n)
     for source in range(n):
-        scores += _single_source_dependencies(graph, source)
+        _accumulate_source_dependencies(graph, source, scores, pool)
         done = source + 1
         if progress is not None and (done % _PROGRESS_STRIDE == 0 or done == n):
             progress(done, n)
@@ -127,8 +148,9 @@ def brandes_from_sources(
     if any(s < 0 or s >= n for s in sources):
         raise ValueError("source id out of range")
     scores = np.zeros(n, dtype=np.float64)
+    pool = ScratchPool(n)
     for source in sources:
-        scores += _single_source_dependencies(graph, source)
+        _accumulate_source_dependencies(graph, source, scores, pool)
     if sources:
         scores *= n / float(len(sources))
     if normalized and n > 2:

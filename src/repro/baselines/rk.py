@@ -22,7 +22,8 @@ from repro.core.state_frame import StateFrame
 from repro.core.stopping import OMEGA_CONSTANT
 from repro.diameter import vertex_diameter_upper_bound
 from repro.graph.csr import CSRGraph
-from repro.core.kadabra import make_sampler
+from repro.core.kadabra import make_batch_sampler
+from repro.kernels import plan_batches, resolve_batch_size
 from repro.util.deprecation import warn_legacy_entry_point
 from repro.util.progress import ProgressCallback, ProgressEvent
 from repro.util.timer import PhaseTimer
@@ -46,21 +47,30 @@ def rk_sample_size(eps: float, delta: float, vertex_diameter: int, *, constant: 
 
 @dataclass
 class _RKBetweenness:
-    """Fixed-sample-size betweenness approximation (RK algorithm)."""
+    """Fixed-sample-size betweenness approximation (RK algorithm).
+
+    Because the sample count is fixed a priori there is no adaptivity to
+    stay stream-compatible with, so the driver uses the batch sampler's
+    *vectorized* pair strategy: all pairs of a batch are rejection-sampled
+    with bulk ``rng.integers`` calls (one call per round) instead of two
+    scalar draws per sample.
+    """
 
     graph: CSRGraph
     options: KadabraOptions = field(default_factory=KadabraOptions)
     progress: Optional[ProgressCallback] = None
+    batch_size: object = "auto"
 
     def run(self) -> BetweennessResult:
         graph = self.graph
         options = self.options
         progress = self.progress
+        batch_size = resolve_batch_size(self.batch_size)
         if graph.num_vertices < 2:
             return BetweennessResult(scores=np.zeros(graph.num_vertices), eps=options.eps, delta=options.delta)
         timer = PhaseTimer()
         rng = np.random.default_rng(options.seed)
-        sampler = make_sampler(graph, options)
+        sampler = make_batch_sampler(graph, options, pair_strategy="vectorized")
 
         with timer.phase("diameter"):
             if options.vertex_diameter_override is not None:
@@ -76,15 +86,17 @@ class _RKBetweenness:
         frame = StateFrame.zeros(graph.num_vertices)
         block = max(1, options.samples_per_check)
         with timer.phase("sampling"):
-            for i in range(num_samples):
-                sample = sampler.sample(rng)
-                frame.record_sample(sample.internal_vertices, edges_touched=sample.edges_touched)
-                if progress is not None and (i + 1) % block == 0:
+            reported = 0
+            for take in plan_batches(num_samples, batch_size):
+                frame.record_batch(sampler.sample_batch(take, rng))
+                done = frame.num_samples
+                if progress is not None and done // block > reported:
+                    reported = done // block
                     progress(
                         ProgressEvent(
                             phase="sampling",
-                            epoch=(i + 1) // block,
-                            num_samples=i + 1,
+                            epoch=reported,
+                            num_samples=done,
                             omega=num_samples,
                         )
                     )

@@ -17,9 +17,10 @@ from typing import Optional
 
 import numpy as np
 
-from repro.baselines.brandes import _single_source_dependencies
+from repro.baselines.brandes import _accumulate_source_dependencies
 from repro.core.result import BetweennessResult
 from repro.graph.csr import CSRGraph
+from repro.kernels import ScratchPool
 from repro.util.progress import ProgressCallback, ProgressEvent
 from repro.util.timer import PhaseTimer
 from repro.util.validation import check_positive, check_probability
@@ -68,9 +69,10 @@ class SourceSamplingBetweenness:
         k = max(1, min(k, n))
         sources = rng.choice(n, size=k, replace=False)
         scores = np.zeros(n, dtype=np.float64)
+        pool = ScratchPool(n)
         with timer.phase("sampling"):
             for i, source in enumerate(sources):
-                scores += _single_source_dependencies(graph, int(source))
+                _accumulate_source_dependencies(graph, int(source), scores, pool)
                 done = i + 1
                 if self.progress is not None and (
                     done % self._PROGRESS_STRIDE == 0 or done == k

@@ -69,6 +69,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--threads", type=int, default=1, help="threads per rank / shared-memory threads (default 1)"
     )
+    parser.add_argument(
+        "--batch-size",
+        default="auto",
+        help="sampling batch size for kernel-backed backends: 'auto' (adaptive "
+        "ramp, default) or a positive integer (1 = per-sample driving)",
+    )
     parser.add_argument("--top", type=int, default=10, help="number of top vertices to print")
     parser.add_argument("--output", default=None, help="write the full result as JSON")
     parser.add_argument("--csv", default=None, help="write per-vertex scores as CSV")
@@ -235,6 +241,22 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         print("error: the graph argument is required (or use --list-backends)", file=sys.stderr)
         return 2
 
+    # Validate the resource configuration before paying the graph-load cost.
+    batch_size = args.batch_size
+    if batch_size != "auto":
+        try:
+            batch_size = int(batch_size)
+        except ValueError:
+            print(f"error: invalid --batch-size {batch_size!r}", file=sys.stderr)
+            return 2
+    try:
+        resources = Resources(
+            processes=args.processes, threads=args.threads, batch_size=batch_size
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
     from repro.store import StoreFormatError
 
     try:
@@ -252,7 +274,7 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         eps=args.eps,
         delta=args.delta,
         seed=args.seed,
-        resources=Resources(processes=args.processes, threads=args.threads),
+        resources=resources,
         callbacks=_progress_printer if args.progress else None,
     )
     elapsed = time.perf_counter() - start

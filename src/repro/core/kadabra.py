@@ -29,19 +29,46 @@ from repro.core.state_frame import StateFrame
 from repro.core.stopping import StoppingCondition, compute_omega
 from repro.diameter import vertex_diameter_upper_bound
 from repro.graph.csr import CSRGraph
+from repro.kernels import plan_batches, resolve_batch_size
 from repro.sampling import BidirectionalBFSSampler, PathSampler, UnidirectionalBFSSampler
 from repro.util.deprecation import warn_legacy_entry_point
 from repro.util.progress import ProgressCallback, ProgressEvent
 from repro.util.timer import PhaseTimer
 
-__all__ = ["KadabraBetweenness", "prepare_stopping_condition", "make_sampler"]
+__all__ = [
+    "KadabraBetweenness",
+    "prepare_stopping_condition",
+    "make_sampler",
+    "make_batch_sampler",
+]
 
 
 def make_sampler(graph: CSRGraph, options: KadabraOptions) -> PathSampler:
-    """Instantiate the path sampler selected by the options."""
+    """Instantiate the path sampler selected by the options.
+
+    The returned sampler is a scalar shim over the pooled batch kernels; the
+    drivers call its :meth:`~repro.sampling.base.PathSampler.sample_batch` to
+    amortise per-sample overhead.  Each call creates an independent sampler
+    (and scratch pool), so per-thread factories stay thread safe.
+    """
     if options.use_bidirectional_bfs:
         return BidirectionalBFSSampler(graph)
     return UnidirectionalBFSSampler(graph)
+
+
+def make_batch_sampler(
+    graph: CSRGraph, options: KadabraOptions, *, pair_strategy: str = "interleaved"
+):
+    """A :class:`~repro.kernels.BatchPathSampler` for the selected kernel.
+
+    ``pair_strategy="interleaved"`` (default) keeps the RNG stream identical
+    to the scalar samplers; ``"vectorized"`` draws all pairs of a batch with
+    bulk ``rng.integers`` calls (used by the non-adaptive RK baseline).
+    """
+    from repro.kernels import BatchPathSampler
+
+    method = "bidirectional" if options.use_bidirectional_bfs else "unidirectional"
+    return BatchPathSampler(graph, method=method, pair_strategy=pair_strategy)
 
 
 def prepare_stopping_condition(
@@ -52,15 +79,20 @@ def prepare_stopping_condition(
     *,
     timer: Optional[PhaseTimer] = None,
     progress: Optional[ProgressCallback] = None,
+    batch_size="auto",
 ) -> Tuple[StoppingCondition, StateFrame, int, int]:
     """Run the diameter and calibration phases.
 
     Returns ``(stopping_condition, calibration_frame, omega, vertex_diameter)``.
     The calibration frame already contains the non-adaptive samples and must be
     carried into the adaptive phase so that no work is wasted.  When a
-    ``progress`` callback is given it is invoked after each phase.
+    ``progress`` callback is given it is invoked after each phase.  The
+    calibration samples are drawn in batches (``batch_size`` as in
+    :func:`repro.kernels.plan_batches`); the interleaved pair strategy keeps
+    the stream identical to per-sample drawing.
     """
     timer = timer if timer is not None else PhaseTimer()
+    batch_size = resolve_batch_size(batch_size)
 
     with timer.phase("diameter"):
         if options.vertex_diameter_override is not None:
@@ -82,9 +114,8 @@ def prepare_stopping_condition(
         )
         num_calibration = min(num_calibration, omega)
         frame = StateFrame.zeros(graph.num_vertices)
-        for _ in range(num_calibration):
-            sample = sampler.sample(rng)
-            frame.record_sample(sample.internal_vertices, edges_touched=sample.edges_touched)
+        for take in plan_batches(num_calibration, batch_size):
+            frame.record_batch(sampler.sample_batch(take, rng))
         calibration = calibrate_deltas(frame, options.delta, eps=options.eps)
 
     condition = StoppingCondition(
@@ -117,11 +148,13 @@ class _SequentialKadabra:
     graph: CSRGraph
     options: KadabraOptions = field(default_factory=KadabraOptions)
     progress: Optional[ProgressCallback] = None
+    batch_size: object = "auto"
 
     def run(self) -> BetweennessResult:
         graph = self.graph
         options = self.options
         progress = self.progress
+        batch_size = resolve_batch_size(self.batch_size)
         if graph.num_vertices < 2:
             return BetweennessResult(
                 scores=np.zeros(graph.num_vertices),
@@ -132,20 +165,20 @@ class _SequentialKadabra:
         rng = np.random.default_rng(options.seed)
         sampler = make_sampler(graph, options)
         condition, frame, omega, vd = prepare_stopping_condition(
-            graph, options, sampler, rng, timer=timer, progress=progress
+            graph, options, sampler, rng, timer=timer, progress=progress,
+            batch_size=batch_size,
         )
 
         checks = 0
         with timer.phase("adaptive_sampling"):
             block = max(1, options.samples_per_check)
             while not condition.should_stop(frame):
-                for _ in range(block):
-                    sample = sampler.sample(rng)
-                    frame.record_sample(
-                        sample.internal_vertices, edges_touched=sample.edges_touched
-                    )
-                    if frame.num_samples >= omega:
-                        break
+                # should_stop is true at tau >= omega, so the block never
+                # needs to overshoot the static budget: take exactly as many
+                # samples as the scalar loop did, in adaptively sized batches.
+                take_total = min(block, omega - frame.num_samples)
+                for take in plan_batches(take_total, batch_size):
+                    frame.record_batch(sampler.sample_batch(take, rng))
                 checks += 1
                 if progress is not None:
                     progress(

@@ -8,7 +8,7 @@ the property the MPI reduction and the epoch-based aggregation rely on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -74,6 +74,20 @@ class StateFrame:
         if internal_vertices is not None and len(internal_vertices) > 0:
             # Internal vertices of a simple path are distinct, so += suffices.
             self.counts[np.asarray(internal_vertices, dtype=np.int64)] += 1.0
+
+    def record_batch(self, batch) -> None:
+        """Account one :class:`~repro.kernels.batch.SampleBatch` of paths.
+
+        Equivalent to calling :meth:`record_sample` once per sample of the
+        batch (the counters are integer-valued, so the accumulation order
+        does not change the float result), but performs a single vectorized
+        ``np.add.at`` over the batch's flat contribution arrays.
+        """
+        self.num_samples += batch.num_samples
+        self.edges_touched += int(batch.edges_touched.sum())
+        vertices = batch.contrib_vertices
+        if vertices.size > 0:
+            np.add.at(self.counts, vertices, 1.0)
 
     def add_into(self, other: "StateFrame") -> "StateFrame":
         """In-place accumulate ``other`` into ``self`` and return ``self``."""

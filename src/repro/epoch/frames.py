@@ -60,14 +60,33 @@ class FramePool:
         frame.reset()
         return frame
 
-    def aggregate_epoch(self, epoch: int, *, exclude_thread_zero: bool = False) -> StateFrame:
-        """Sum the epoch-``epoch`` frames of all threads into a fresh frame.
+    def aggregate_epoch(
+        self,
+        epoch: int,
+        *,
+        exclude_thread_zero: bool = False,
+        out: StateFrame | None = None,
+    ) -> StateFrame:
+        """Sum the epoch-``epoch`` frames of all threads.
 
         ``exclude_thread_zero`` mirrors line 17 of Algorithm 2, where thread 0
         aggregates frames ``S_1^e .. S_T^e`` separately before adding its own.
+
+        ``out`` is a reusable accumulator frame: it is zeroed in place
+        (``ndarray.fill``) and returned, so per-epoch aggregation performs no
+        O(n) allocation.  Callers that pass ``out`` must be done with the
+        previous epoch's aggregate before the next call — the drivers are,
+        because the aggregate is reduced and folded before a new epoch
+        starts.  Without ``out`` a fresh frame is allocated (the legacy
+        behaviour).
         """
-        total = StateFrame.zeros(self._num_vertices)
+        if out is None:
+            out = StateFrame.zeros(self._num_vertices)
+        else:
+            if out.num_vertices != self._num_vertices:
+                raise ValueError("reusable aggregate frame has the wrong size")
+            out.reset()
         start = 1 if exclude_thread_zero else 0
         for thread in range(start, self._num_threads):
-            total.add_into(self.frame(thread, epoch))
-        return total
+            out.add_into(self.frame(thread, epoch))
+        return out

@@ -20,6 +20,7 @@ from repro.core.options import KadabraOptions
 from repro.core.result import BetweennessResult
 from repro.core.kadabra import make_sampler, prepare_stopping_condition
 from repro.graph.csr import CSRGraph
+from repro.kernels import resolve_batch_size
 from repro.mpi.interface import SelfComm
 from repro.parallel.algorithm2 import adaptive_sampling_algorithm2
 from repro.parallel.epoch_length import thread_zero_samples_per_epoch
@@ -40,10 +41,12 @@ class _SharedMemoryKadabra:
     num_threads: int = 2
     max_epochs: Optional[int] = None
     progress: Optional[ProgressCallback] = None
+    batch_size: object = "auto"
 
     def __post_init__(self) -> None:
         if self.num_threads <= 0:
             raise ValueError("num_threads must be positive")
+        self.batch_size = resolve_batch_size(self.batch_size)
 
     def run(self) -> BetweennessResult:
         graph = self.graph
@@ -59,7 +62,8 @@ class _SharedMemoryKadabra:
         calibration_rng = rng_for_rank_thread(options.seed, 0, 0, num_threads=self.num_threads + 1)
         sampler = make_sampler(graph, options)
         condition, calibration_frame, omega, vd = prepare_stopping_condition(
-            graph, options, sampler, calibration_rng, timer=timer, progress=progress
+            graph, options, sampler, calibration_rng, timer=timer, progress=progress,
+            batch_size=self.batch_size,
         )
         on_epoch = None
         if progress is not None:
@@ -94,6 +98,7 @@ class _SharedMemoryKadabra:
                 initial_frame=calibration_frame,
                 max_epochs=self.max_epochs,
                 on_epoch=on_epoch,
+                batch_size=self.batch_size,
             )
         aggregated = stats.aggregated_frame
         assert aggregated is not None

@@ -1,0 +1,50 @@
+"""Batch-oriented sampling kernels: the zero-allocation inner loop.
+
+The paper's speedup story rests on per-sample cost being dominated by graph
+traversal, not by language overhead.  This package provides the pieces that
+make that true for the Python reproduction:
+
+* :class:`ScratchPool` — per-worker reusable search buffers with
+  generation-stamped visited marks (no O(n) allocation or clearing between
+  samples);
+* :func:`bidirectional_sample` / :func:`unidirectional_sample` — pooled path
+  sampling kernels, bit-compatible with the legacy scalar samplers for a
+  fixed RNG state;
+* :class:`BatchPathSampler` / :class:`SampleBatch` — draw K pairs per call
+  and return flat contribution arrays for single-``np.add.at`` accumulation
+  into epoch frames;
+* :mod:`~repro.kernels.policy` — adaptive batch sizing (small batches near
+  stopping-condition checks, large batches mid-epoch).
+"""
+
+from repro.kernels.batch import BatchPathSampler, SampleBatch
+from repro.kernels.bidirectional import bidirectional_sample
+from repro.kernels.policy import (
+    AUTO_BATCH,
+    MAX_AUTO_BATCH,
+    MIN_AUTO_BATCH,
+    WORKER_BATCH,
+    plan_batches,
+    resolve_batch_size,
+    worker_batch_size,
+)
+from repro.kernels.scratch import ScratchPool, gather_csr
+from repro.kernels.unidirectional import unidirectional_sample
+from repro.kernels.weighted import weighted_index
+
+__all__ = [
+    "AUTO_BATCH",
+    "BatchPathSampler",
+    "MAX_AUTO_BATCH",
+    "MIN_AUTO_BATCH",
+    "SampleBatch",
+    "ScratchPool",
+    "WORKER_BATCH",
+    "bidirectional_sample",
+    "gather_csr",
+    "plan_batches",
+    "resolve_batch_size",
+    "unidirectional_sample",
+    "weighted_index",
+    "worker_batch_size",
+]

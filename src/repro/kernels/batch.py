@@ -1,0 +1,335 @@
+"""Batch-oriented sampler API: draw K paths per call, return flat arrays.
+
+The legacy samplers returned one freshly allocated :class:`PathSample` object
+per call, which the drivers then fed one by one into
+``StateFrame.record_sample``.  :class:`BatchPathSampler` amortises all of
+that: one call draws ``k`` (s, t) pairs, runs the pooled kernel per pair, and
+returns a :class:`SampleBatch` whose path contributions are two flat arrays
+(vertex ids + CSR-style offsets) ready for a single ``np.add.at`` into an
+epoch frame.
+
+Pair drawing strategies
+-----------------------
+``interleaved`` (default)
+    Each pair is drawn immediately before its search with the same two scalar
+    draws the legacy ``sample_vertex_pair`` performed.  This keeps the RNG
+    stream *identical* to the pre-batch code for any batch size, which is what
+    lets the adaptive drivers switch to batching without changing a single
+    betweenness estimate for a fixed seed.
+``vectorized``
+    All pairs of the batch are rejection-sampled up front with one bulk
+    ``rng.integers`` call per round (:func:`repro.sampling.rng
+    .draw_vertex_pairs`).  Statistically identical, faster, but a different
+    stream — used by the non-adaptive RK driver where no legacy stream
+    compatibility is required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.kernels.bidirectional import bidirectional_sample
+from repro.kernels.scratch import ScratchPool
+from repro.kernels.smallgraph import (
+    SMALL_GRAPH_ENTRY_LIMIT,
+    SMALL_GRAPH_VERTEX_LIMIT,
+    bidirectional_sample_small,
+)
+from repro.kernels.unidirectional import unidirectional_sample
+
+__all__ = ["SampleBatch", "BatchPathSampler"]
+
+_KERNELS = {
+    "bidirectional": bidirectional_sample,
+    "unidirectional": unidirectional_sample,
+}
+
+_PAIR_STRATEGIES = ("interleaved", "vectorized")
+
+
+@dataclass
+class SampleBatch:
+    """Flat-array outcome of sampling ``k`` vertex pairs.
+
+    Attributes
+    ----------
+    sources, targets:
+        The sampled pairs (length ``k``).
+    connected:
+        Whether a path exists, per sample.
+    lengths:
+        Hop length of the sampled shortest path (0 when disconnected).
+    edges_touched:
+        Adjacency entries scanned per sample (cost-model accounting).
+    contrib_vertices:
+        All internal path vertices of the batch, concatenated — the vertices
+        whose betweenness counters are incremented, ready for ``np.add.at``.
+    contrib_indptr:
+        CSR-style offsets (length ``k + 1``): sample ``i`` contributed
+        ``contrib_vertices[contrib_indptr[i]:contrib_indptr[i + 1]]``.
+    """
+
+    sources: np.ndarray
+    targets: np.ndarray
+    connected: np.ndarray
+    lengths: np.ndarray
+    edges_touched: np.ndarray
+    contrib_vertices: np.ndarray
+    contrib_indptr: np.ndarray
+
+    @property
+    def num_samples(self) -> int:
+        return int(self.sources.size)
+
+    @property
+    def sample_ids(self) -> np.ndarray:
+        """Sample index of every entry of ``contrib_vertices``."""
+        return np.repeat(
+            np.arange(self.num_samples, dtype=np.int64), np.diff(self.contrib_indptr)
+        )
+
+    @property
+    def total_edges_touched(self) -> int:
+        return int(self.edges_touched.sum())
+
+    def contributions_of(self, i: int) -> np.ndarray:
+        """Internal vertices of sample ``i`` (a view, no copy)."""
+        return self.contrib_vertices[self.contrib_indptr[i] : self.contrib_indptr[i + 1]]
+
+    def iter_samples(self) -> Iterator["PathSample"]:
+        """Materialise per-sample :class:`PathSample` objects (compat shim)."""
+        from repro.sampling.base import PathSample
+
+        for i in range(self.num_samples):
+            yield PathSample(
+                source=int(self.sources[i]),
+                target=int(self.targets[i]),
+                connected=bool(self.connected[i]),
+                length=int(self.lengths[i]),
+                internal_vertices=self.contributions_of(i).copy(),
+                edges_touched=int(self.edges_touched[i]),
+            )
+
+
+class _ContribRecorder:
+    """Amortised growable int64 buffer for batch path contributions."""
+
+    __slots__ = ("_buf", "_len")
+
+    def __init__(self, capacity: int = 256) -> None:
+        self._buf = np.empty(max(int(capacity), 16), dtype=np.int64)
+        self._len = 0
+
+    def extend(self, values: Sequence[int]) -> None:
+        k = len(values)
+        if k == 0:
+            return
+        needed = self._len + k
+        if needed > self._buf.size:
+            new = np.empty(max(needed, self._buf.size * 2), dtype=np.int64)
+            new[: self._len] = self._buf[: self._len]
+            self._buf = new
+        self._buf[self._len : needed] = values
+        self._len = needed
+
+    @property
+    def length(self) -> int:
+        return self._len
+
+    def finish(self) -> np.ndarray:
+        return self._buf[: self._len].copy()
+
+
+class BatchPathSampler:
+    """Batch-oriented uniform shortest-path sampler over a fixed graph.
+
+    Parameters
+    ----------
+    graph:
+        The input :class:`~repro.graph.csr.CSRGraph`.  Memory-mapped CSR
+        arrays are re-wrapped as plain ndarray views once, so the hot loops
+        skip ``np.memmap``'s per-slice subclass overhead.
+    method:
+        ``"bidirectional"`` (KADABRA's default) or ``"unidirectional"``.
+    pool:
+        Optional :class:`ScratchPool` to reuse; one is created when omitted.
+        A pool must not be shared between concurrently sampling workers.
+    pair_strategy:
+        ``"interleaved"`` or ``"vectorized"`` — see the module docstring.
+    """
+
+    def __init__(
+        self,
+        graph,
+        *,
+        method: str = "bidirectional",
+        pool: Optional[ScratchPool] = None,
+        pair_strategy: str = "interleaved",
+    ) -> None:
+        if graph.num_vertices < 2:
+            raise ValueError("BatchPathSampler requires a graph with at least 2 vertices")
+        if method not in _KERNELS:
+            raise ValueError(f"unknown kernel method {method!r}; use one of {sorted(_KERNELS)}")
+        if pair_strategy not in _PAIR_STRATEGIES:
+            raise ValueError(
+                f"unknown pair strategy {pair_strategy!r}; use one of {_PAIR_STRATEGIES}"
+            )
+        if pool is not None and pool.num_vertices != graph.num_vertices:
+            raise ValueError("scratch pool size does not match the graph")
+        self._graph = graph
+        # Plain ndarray views: identical memory, none of np.memmap's
+        # __array_finalize__ cost on every slice in the kernel hot loop.
+        self._indptr = np.asarray(graph.indptr)
+        self._indices = np.asarray(graph.indices)
+        self._kernel = _KERNELS[method]
+        self._method = method
+        self._pool = pool if pool is not None else ScratchPool(graph.num_vertices)
+        self._pair_strategy = pair_strategy
+        # Kernel operands: ndarray CSR by default; small graphs switch to the
+        # pure-Python kernel over tolist-materialised adjacency, where the
+        # per-sample cost is numpy dispatch overhead rather than traversal.
+        self._kernel_indptr = self._indptr
+        self._kernel_indices = self._indices
+        if (
+            method == "bidirectional"
+            and graph.num_vertices <= SMALL_GRAPH_VERTEX_LIMIT
+            and self._indices.size <= SMALL_GRAPH_ENTRY_LIMIT
+        ):
+            self._kernel = bidirectional_sample_small
+            self._kernel_indptr = self._indptr.tolist()
+            self._kernel_indices = self._indices.tolist()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self):
+        return self._graph
+
+    @property
+    def method(self) -> str:
+        return self._method
+
+    @property
+    def pool(self) -> ScratchPool:
+        return self._pool
+
+    @property
+    def pair_strategy(self) -> str:
+        return self._pair_strategy
+
+    # ------------------------------------------------------------------ #
+    def sample_batch(self, batch_size: int, rng: np.random.Generator) -> SampleBatch:
+        """Draw ``batch_size`` uniform pairs and one shortest path per pair."""
+        k = int(batch_size)
+        if k <= 0:
+            raise ValueError("batch_size must be positive")
+        if self._pair_strategy == "vectorized":
+            from repro.sampling.rng import draw_vertex_pairs
+
+            pairs = draw_vertex_pairs(self._graph.num_vertices, k, rng)
+            return self.sample_pairs(pairs[:, 0], pairs[:, 1], rng)
+        return self._sample_interleaved(k, rng)
+
+    def sample_pairs(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        rng: np.random.Generator,
+    ) -> SampleBatch:
+        """Sample one shortest path per given (source, target) pair."""
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        if sources.shape != targets.shape or sources.ndim != 1:
+            raise ValueError("sources and targets must be 1-d arrays of equal length")
+        n = self._graph.num_vertices
+        if sources.size and (
+            int(sources.min()) < 0
+            or int(sources.max()) >= n
+            or int(targets.min()) < 0
+            or int(targets.max()) >= n
+        ):
+            raise ValueError("source/target out of range")
+        if np.any(sources == targets):
+            raise ValueError("source and target must be distinct")
+        k = int(sources.size)
+        out = _BatchAccumulator(k)
+        kernel = self._kernel
+        indptr, indices, pool = self._kernel_indptr, self._kernel_indices, self._pool
+        for i in range(k):
+            result = kernel(indptr, indices, pool, int(sources[i]), int(targets[i]), rng)
+            out.record(i, result)
+        return out.finish(sources, targets)
+
+    def sample_path(self, source: int, target: int, rng: np.random.Generator):
+        """Scalar compatibility shim: one pair, one :class:`PathSample`."""
+        from repro.sampling.base import PathSample
+
+        n = self._graph.num_vertices
+        source = int(source)
+        target = int(target)
+        if not (0 <= source < n) or not (0 <= target < n):
+            raise ValueError("source/target out of range")
+        if source == target:
+            raise ValueError("source and target must be distinct")
+        connected, length, internal, edges = self._kernel(
+            self._kernel_indptr, self._kernel_indices, self._pool, source, target, rng
+        )
+        return PathSample(
+            source=source,
+            target=target,
+            connected=connected,
+            length=length,
+            internal_vertices=np.asarray(internal, dtype=np.int64),
+            edges_touched=edges,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _sample_interleaved(self, k: int, rng: np.random.Generator) -> SampleBatch:
+        from repro.sampling.base import sample_vertex_pair
+
+        n = self._graph.num_vertices
+        sources = np.empty(k, dtype=np.int64)
+        targets = np.empty(k, dtype=np.int64)
+        out = _BatchAccumulator(k)
+        kernel = self._kernel
+        indptr, indices, pool = self._kernel_indptr, self._kernel_indices, self._pool
+        for i in range(k):
+            s, t = sample_vertex_pair(n, rng)
+            sources[i] = s
+            targets[i] = t
+            out.record(i, kernel(indptr, indices, pool, s, t, rng))
+        return out.finish(sources, targets)
+
+
+class _BatchAccumulator:
+    """Collects per-sample kernel results into the flat batch arrays."""
+
+    __slots__ = ("connected", "lengths", "edges", "indptr", "contribs")
+
+    def __init__(self, k: int) -> None:
+        self.connected = np.zeros(k, dtype=bool)
+        self.lengths = np.zeros(k, dtype=np.int64)
+        self.edges = np.zeros(k, dtype=np.int64)
+        self.indptr = np.zeros(k + 1, dtype=np.int64)
+        self.contribs = _ContribRecorder()
+
+    def record(self, i: int, result) -> None:
+        connected, length, internal, edges_touched = result
+        self.connected[i] = connected
+        self.lengths[i] = length
+        self.edges[i] = edges_touched
+        self.contribs.extend(internal)
+        self.indptr[i + 1] = self.contribs.length
+
+    def finish(self, sources: np.ndarray, targets: np.ndarray) -> SampleBatch:
+        return SampleBatch(
+            sources=sources,
+            targets=targets,
+            connected=self.connected,
+            lengths=self.lengths,
+            edges_touched=self.edges,
+            contrib_vertices=self.contribs.finish(),
+            contrib_indptr=self.indptr,
+        )

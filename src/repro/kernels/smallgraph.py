@@ -1,0 +1,241 @@
+"""Pure-Python bidirectional kernel for small graphs.
+
+On graphs with a few hundred to a few thousand vertices, a path sample
+touches so few edges that the cost of the numpy kernel is dominated by
+per-call dispatch overhead (~1 µs per numpy operation, ~35 operations per
+sample), not by the traversal itself.  Below
+:data:`SMALL_GRAPH_VERTEX_LIMIT` the batch sampler therefore switches to this
+kernel, which walks Python-list adjacency with generation-stamped list marks
+— no numpy calls at all in the BFS inner loop.
+
+Bit-compatibility with the legacy sampler is preserved exactly:
+
+* integer mark state is exact; sigma values are Python floats, i.e. the same
+  IEEE-754 doubles numpy uses, accumulated in the same order the vectorized
+  ``np.add.at`` scatter processes them;
+* every *weighted pick* still goes through numpy: the weight list is packed
+  into an ndarray, summed with ``ndarray.sum()`` (numpy's pairwise summation
+  — bitwise what the legacy code computed) and drawn with
+  :func:`~repro.kernels.weighted.weighted_index`, consuming one
+  ``rng.random()`` exactly like ``Generator.choice``;
+* candidate sets are enumerated in the same sorted/CSR order.
+
+The equivalence property tests drive this kernel and the numpy kernel against
+the reference sampler on the same streams.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.kernels.scratch import ScratchPool
+from repro.kernels.weighted import weighted_index
+
+__all__ = [
+    "SMALL_GRAPH_VERTEX_LIMIT",
+    "SMALL_GRAPH_ENTRY_LIMIT",
+    "bidirectional_sample_small",
+]
+
+#: Largest graph (vertices) the Python kernel is selected for.
+SMALL_GRAPH_VERTEX_LIMIT = 20_000
+#: Largest adjacency array (directed entries) the Python kernel is selected
+#: for — bounds the one-time ``tolist`` materialisation.
+SMALL_GRAPH_ENTRY_LIMIT = 1_000_000
+
+
+def _weighted_pick(weights: List[float], rng: np.random.Generator) -> int:
+    """Index drawn ~ weights; bit-compatible with the legacy ``rng.choice``.
+
+    For fewer than 8 weights the cumulative distribution is built in pure
+    Python: ``np.sum`` is a plain sequential accumulation below numpy's
+    8-lane unroll threshold and ``np.cumsum`` is sequential at any size, so
+    the Python floats match the ndarray computation bit for bit (pinned by
+    the weighted-pick equivalence test).  Larger weight lists take the
+    ndarray path.
+    """
+    k = len(weights)
+    if k == 1:
+        rng.random()  # rng.choice consumes one uniform draw even for k == 1
+        return 0
+    if k < 8:
+        total = 0.0
+        for w in weights:
+            total += w
+        cdf = []
+        running = 0.0
+        for w in weights:
+            running += w / total
+            cdf.append(running)
+        last = cdf[-1]
+        return min(bisect_right([c / last for c in cdf], rng.random()), k - 1)
+    arr = np.asarray(weights, dtype=np.float64)
+    return weighted_index(arr, float(arr.sum()), rng)
+
+
+def _walk_to_root(
+    indptr: List[int],
+    indices: List[int],
+    mark: List[int],
+    sigma: List[float],
+    base: int,
+    start: int,
+    rng: np.random.Generator,
+) -> List[int]:
+    """Sigma-weighted backward walk from ``start`` towards the side's root."""
+    path: List[int] = []
+    current = start
+    depth = mark[current] - base
+    while depth > 1:
+        want = base + depth - 1
+        preds = [w for w in indices[indptr[current] : indptr[current + 1]] if mark[w] == want]
+        if not preds:  # pragma: no cover - defensive
+            raise RuntimeError("inconsistent sigma values during backtracking")
+        current = preds[_weighted_pick([sigma[w] for w in preds], rng)]
+        path.append(current)
+        depth -= 1
+    return path
+
+
+def bidirectional_sample_small(
+    indptr: List[int],
+    indices: List[int],
+    pool: ScratchPool,
+    source: int,
+    target: int,
+    rng: np.random.Generator,
+) -> Tuple[bool, int, List[int], int]:
+    """Sample one uniform shortest source-target path (Python-list graph).
+
+    Same contract as :func:`~repro.kernels.bidirectional.bidirectional_sample`
+    but over ``tolist``-materialised CSR arrays and the pool's Python-list
+    scratch state.
+    """
+    base = pool.begin_sample()
+    f_mark, b_mark, f_sigma, b_sigma = pool.python_state()
+
+    s_start = indptr[source]
+    s_stop = indptr[source + 1]
+    row = indices[s_start:s_stop]
+    pos = bisect_left(row, target)
+    if pos < len(row) and row[pos] == target:
+        return True, 1, [], s_stop - s_start
+
+    f_mark[source] = base
+    f_sigma[source] = 1.0
+    b_mark[target] = base
+    b_sigma[target] = 1.0
+    # Side state: [mark, sigma, frontier, level, frontier_degree, levels].
+    fwd = [f_mark, f_sigma, [source], 0, s_stop - s_start, [[source]]]
+    bwd = [b_mark, b_sigma, [target], 0, indptr[target + 1] - indptr[target], [[target]]]
+    edges_touched = 0
+    best_length = -1
+
+    while True:
+        if 0 <= best_length <= fwd[3] + bwd[3] + 1:
+            break
+        if not fwd[2] or not bwd[2]:
+            break
+        side, other = (fwd, bwd) if fwd[4] <= bwd[4] else (bwd, fwd)
+        mark, sigma, frontier, level = side[0], side[1], side[2], side[3]
+        other_mark = other[0]
+        new_level = level + 1
+        new_mark = base + new_level
+        fresh: List[int] = []
+        touched = 0
+        for u in frontier:
+            su = sigma[u]
+            for v in indices[indptr[u] : indptr[u + 1]]:
+                touched += 1
+                mv = mark[v]
+                if mv < base:
+                    mark[v] = new_mark
+                    sigma[v] = su
+                    fresh.append(v)
+                elif mv == new_mark:
+                    sigma[v] += su
+        edges_touched += touched
+        if touched == 0:
+            side[2] = []
+            continue
+        fresh.sort()
+        side[2] = fresh
+        side[3] = new_level
+        if not fresh:
+            side[4] = 0
+            continue
+        side[5].append(fresh)
+
+        # Vertex meets among the newly settled vertices and edge meets via
+        # their adjacency rows (which also yields the next frontier degree);
+        # both only feed a min, so one fused pass is equivalent.
+        fresh_degree = 0
+        for v in fresh:
+            om = other_mark[v]
+            if om >= base:
+                candidate = new_level + om - base
+                if best_length < 0 or candidate < best_length:
+                    best_length = candidate
+            for w in indices[indptr[v] : indptr[v + 1]]:
+                fresh_degree += 1
+                om = other_mark[w]
+                if om >= base:
+                    candidate = new_level + 1 + om - base
+                    if best_length < 0 or candidate < best_length:
+                        best_length = candidate
+        side[4] = fresh_degree
+        edges_touched += fresh_degree
+
+    if best_length < 0:
+        return False, 0, [], edges_touched
+
+    length = best_length
+    level_s, level_t = fwd[3], bwd[3]
+    internal: List[int]
+    if length <= level_s + level_t:
+        # Vertex cut at a fixed split position k.
+        k = min(level_s, length)
+        if length - k > level_t:
+            k = length - level_t
+        settled = fwd[5][k] if k < len(fwd[5]) else []
+        want = base + (length - k)
+        candidates = [v for v in settled if b_mark[v] == want]
+        if not candidates:  # pragma: no cover - defensive
+            raise RuntimeError("bidirectional search found no cut vertices")
+        weights = [f_sigma[v] * b_sigma[v] for v in candidates]
+        cut_vertex = candidates[_weighted_pick(weights, rng)]
+        prefix = _walk_to_root(indptr, indices, f_mark, f_sigma, base, cut_vertex, rng)
+        suffix = _walk_to_root(indptr, indices, b_mark, b_sigma, base, cut_vertex, rng)
+        internal = prefix[::-1]
+        if cut_vertex != source and cut_vertex != target:
+            internal.append(cut_vertex)
+        internal.extend(suffix)
+    else:
+        # Edge cut between the deepest settled levels of the two sides.
+        us = fwd[5][level_s] if level_s < len(fwd[5]) else []
+        want = base + level_t
+        cut_edges: List[Tuple[int, int]] = []
+        cut_weights: List[float] = []
+        for u in us:
+            fu = f_sigma[u]
+            for w in indices[indptr[u] : indptr[u + 1]]:
+                if b_mark[w] == want:
+                    cut_edges.append((u, w))
+                    cut_weights.append(fu * b_sigma[w])
+        if not cut_edges:  # pragma: no cover - defensive
+            raise RuntimeError("bidirectional search found no cut edges")
+        u, v = cut_edges[_weighted_pick(cut_weights, rng)]
+        prefix = _walk_to_root(indptr, indices, f_mark, f_sigma, base, u, rng)
+        suffix = _walk_to_root(indptr, indices, b_mark, b_sigma, base, v, rng)
+        internal = prefix[::-1]
+        if u != source and u != target:
+            internal.append(u)
+        if v != source and v != target:
+            internal.append(v)
+        internal.extend(suffix)
+
+    internal = [x for x in internal if x != source and x != target]
+    return True, length, internal, edges_touched

@@ -1,0 +1,87 @@
+"""Pooled unidirectional (truncated sigma-BFS) sampling kernel.
+
+Zero-allocation port of :mod:`repro.sampling.bfs_sampler` onto the
+generation-stamped :class:`~repro.kernels.scratch.ScratchPool`; like the
+bidirectional kernel it reproduces the legacy sampler's output exactly for a
+fixed RNG state (same settle order, same weighted-pick stream).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.kernels.scratch import ScratchPool, gather_csr
+from repro.kernels.weighted import weighted_index
+
+__all__ = ["unidirectional_sample"]
+
+
+def unidirectional_sample(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    pool: ScratchPool,
+    source: int,
+    target: int,
+    rng: np.random.Generator,
+) -> Tuple[bool, int, List[int], int]:
+    """Sample one uniform shortest source-target path with a single BFS.
+
+    Returns ``(connected, length, internal_vertices, edges_touched)``.
+    """
+    base = pool.begin_sample()
+    mark = pool.mark_a
+    sigma = pool.sigma_a
+
+    mark[source] = base
+    sigma[source] = 1.0
+    frontier = np.array([source], dtype=np.int64)
+    level = 0
+    edges_touched = 0
+    while frontier.size > 0:
+        level += 1
+        neighbors, degs = gather_csr(indptr, indices, frontier)
+        total = int(neighbors.size)
+        edges_touched += total
+        if total == 0:
+            break
+        new_mark = base + level
+        # A neighbour lies on the new level iff it was unvisited before this
+        # level was processed, so the freshness mask doubles as the sigma
+        # scatter mask.
+        fresh_mask = mark[neighbors] < base
+        fresh = np.unique(neighbors[fresh_mask])
+        if fresh.size == 0:
+            break
+        mark[fresh] = new_mark
+        sigma[fresh] = 0.0
+        origin_sigma = np.repeat(sigma[frontier], degs)
+        np.add.at(sigma, neighbors[fresh_mask], origin_sigma[fresh_mask])
+        frontier = fresh
+        if mark[target] == new_mark:
+            # The sigma values of this level are complete once the level has
+            # been fully processed, which is the case here.
+            break
+
+    if mark[target] < base:
+        return False, 0, [], edges_touched
+    length = int(mark[target] - base)
+
+    # Backward walk from the target choosing predecessors ~ sigma.
+    internal: List[int] = []
+    current = target
+    depth = length
+    while depth > 1:
+        nbrs = indices[indptr[current] : indptr[current + 1]]
+        edges_touched += int(nbrs.size)
+        preds = nbrs[mark[nbrs] == base + depth - 1]
+        weights = sigma[preds]
+        total_weight = float(weights.sum())
+        if total_weight <= 0.0:  # pragma: no cover - defensive
+            raise RuntimeError("inconsistent sigma values during backtracking")
+        current = int(preds[weighted_index(weights, total_weight, rng)])
+        internal.append(current)
+        depth -= 1
+    internal.reverse()
+    return True, length, internal, edges_touched

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.state_frame import StateFrame
 from repro.core.stopping import StoppingCondition
+from repro.kernels import plan_batches, resolve_batch_size
 from repro.mpi.interface import Communicator
 from repro.sampling.base import PathSampler
 from repro.util.timer import PhaseTimer
@@ -51,6 +52,7 @@ def adaptive_sampling_algorithm1(
     initial_frame: Optional[StateFrame] = None,
     max_epochs: Optional[int] = None,
     on_epoch: Optional[Callable[[int, int], None]] = None,
+    batch_size="auto",
 ) -> Algorithm1Stats:
     """Run the Algorithm 1 adaptive-sampling loop on this rank.
 
@@ -74,9 +76,16 @@ def adaptive_sampling_algorithm1(
     on_epoch:
         Optional progress hook ``on_epoch(epochs_done, samples_aggregated)``,
         invoked at rank 0 after each stopping-rule evaluation.
+    batch_size:
+        Sampling batch size (``"auto"`` or a positive int).  The ``n0`` bulk
+        samples of each epoch are drawn in adaptively sized batches; the
+        overlap loops (waiting on the reduction / broadcast) keep single-
+        sample batches so the requests are polled between every sample,
+        exactly as in the paper.
     """
     if samples_per_epoch <= 0:
         raise ValueError("samples_per_epoch must be positive")
+    batch_size = resolve_batch_size(batch_size)
     num_vertices = condition.num_vertices
     timer = PhaseTimer()
 
@@ -92,11 +101,15 @@ def adaptive_sampling_algorithm1(
         frame.record_sample(sample.internal_vertices, edges_touched=sample.edges_touched)
         stats.local_samples += 1
 
+    def take_batch(frame: StateFrame, size: int) -> None:
+        frame.record_batch(sampler.sample_batch(size, rng))
+        stats.local_samples += size
+
     while not terminated:
-        # Line 5-6: n0 local samples.
+        # Line 5-6: n0 local samples, drawn in adaptively sized batches.
         with timer.phase("sampling"):
-            for _ in range(samples_per_epoch):
-                take_sample(local)
+            for take in plan_batches(samples_per_epoch, batch_size):
+                take_batch(local, take)
         # Line 7-8: snapshot the frame so overlapped sampling does not modify
         # the communication buffer.
         snapshot = local.copy()

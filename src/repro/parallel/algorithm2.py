@@ -31,6 +31,7 @@ from repro.core.state_frame import StateFrame
 from repro.core.stopping import StoppingCondition
 from repro.epoch.frames import FramePool
 from repro.epoch.framework import EpochManager
+from repro.kernels import plan_batches, resolve_batch_size, worker_batch_size
 from repro.mpi.interface import Communicator
 from repro.mpi.topology import NodeTopology
 from repro.sampling.base import PathSampler
@@ -60,14 +61,21 @@ def _worker_loop(
     manager: EpochManager,
     pool: FramePool,
     sample_counter: List[int],
+    batch: int,
 ) -> None:
-    """Body of sampling threads ``t != 0`` (lines 5-9 of Algorithm 2)."""
+    """Body of sampling threads ``t != 0`` (lines 5-9 of Algorithm 2).
+
+    Samples are drawn in small batches (:func:`repro.kernels.
+    worker_batch_size`): large enough to amortise per-sample overhead, small
+    enough that pending epoch transitions are acknowledged promptly —
+    ``check_transition`` runs between batches, so a frame is only ever
+    written by its owner inside one epoch, exactly as in the scalar protocol.
+    """
     epoch = 0
     frame = pool.frame(thread_index, epoch)
     while not manager.terminated:
-        sample = sampler.sample(rng)
-        frame.record_sample(sample.internal_vertices, edges_touched=sample.edges_touched)
-        sample_counter[thread_index] += 1
+        frame.record_batch(sampler.sample_batch(batch, rng))
+        sample_counter[thread_index] += batch
         if manager.check_transition(thread_index, epoch):
             epoch += 1
             frame = pool.reset_for_epoch(thread_index, epoch)
@@ -86,6 +94,7 @@ def adaptive_sampling_algorithm2(
     use_ibarrier_reduce: bool = True,
     max_epochs: Optional[int] = None,
     on_epoch: Optional[Callable[[int, int], None]] = None,
+    batch_size="auto",
 ) -> Algorithm2Stats:
     """Run the Algorithm 2 adaptive-sampling loop on this rank.
 
@@ -119,6 +128,13 @@ def adaptive_sampling_algorithm2(
         Optional progress hook ``on_epoch(epochs_done, samples_aggregated)``,
         invoked at the reduce root (world rank 0) after each stopping-rule
         evaluation.
+    batch_size:
+        Sampling batch size (``"auto"`` or a positive int).  Thread 0 draws
+        its ``n0`` bulk samples in adaptively sized batches and keeps
+        single-sample batches in the overlap loops (where transitions,
+        barriers and broadcasts are polled between samples); worker threads
+        use the small constant worker batch so they acknowledge epoch
+        transitions promptly.
     """
     if num_threads <= 0:
         raise ValueError("num_threads must be positive")
@@ -126,6 +142,7 @@ def adaptive_sampling_algorithm2(
         raise ValueError("samples_per_epoch must be positive")
     if len(rngs) < num_threads:
         raise ValueError("need one RNG per thread")
+    batch_size = resolve_batch_size(batch_size)
 
     num_vertices = condition.num_vertices
     timer = PhaseTimer()
@@ -143,10 +160,11 @@ def adaptive_sampling_algorithm2(
     reduce_comm = topology.global_ if topology is not None else comm
     is_reduce_root = comm.is_root
 
+    worker_batch = worker_batch_size(batch_size)
     workers = [
         threading.Thread(
             target=_worker_loop,
-            args=(t, sampler_factory(t), rngs[t], manager, pool, sample_counter),
+            args=(t, sampler_factory(t), rngs[t], manager, pool, sample_counter, worker_batch),
             daemon=True,
         )
         for t in range(1, num_threads)
@@ -162,15 +180,21 @@ def adaptive_sampling_algorithm2(
         frame.record_sample(sample.internal_vertices, edges_touched=sample.edges_touched)
         sample_counter[0] += 1
 
+    # Reused every epoch by aggregate_epoch (zeroed in place, never
+    # reallocated); safe because the aggregate is reduced and folded before
+    # the next epoch's aggregation starts.
+    aggregate_scratch = StateFrame.zeros(num_vertices)
+
     epoch = 0
     terminated = False
     try:
         while not terminated:
             current_frame = pool.frame(0, epoch)
-            # Lines 12-13: n0 samples by thread 0.
+            # Lines 12-13: n0 samples by thread 0, in adaptive batches.
             with timer.phase("sampling"):
-                for _ in range(samples_per_epoch):
-                    sample_into(current_frame)
+                for take in plan_batches(samples_per_epoch, batch_size):
+                    current_frame.record_batch(sampler0.sample_batch(take, rng0))
+                    sample_counter[0] += take
             # Lines 14-15: force the epoch transition, sampling while waiting.
             next_frame = pool.reset_for_epoch(0, epoch + 1)
             with timer.phase("epoch_transition"):
@@ -179,7 +203,7 @@ def adaptive_sampling_algorithm2(
                     sample_into(next_frame)
             # Lines 16-18: aggregate this process' epoch frames.
             with timer.phase("local_aggregation"):
-                epoch_frame = pool.aggregate_epoch(epoch)
+                epoch_frame = pool.aggregate_epoch(epoch, out=aggregate_scratch)
                 if local_comm is not None and local_comm.size > 1:
                     reduced_local = local_comm.reduce(epoch_frame, op="sum", root=0)
                     epoch_frame = reduced_local if reduced_local is not None else None

@@ -35,6 +35,7 @@ from repro.core.state_frame import StateFrame
 from repro.core.stopping import StoppingCondition, compute_omega
 from repro.core.kadabra import make_sampler
 from repro.diameter import vertex_diameter_upper_bound
+from repro.kernels import plan_batches, resolve_batch_size
 from repro.graph.csr import CSRGraph
 from repro.mpi.interface import Communicator, SelfComm
 from repro.mpi.threaded import run_threaded
@@ -76,6 +77,9 @@ class _DistributedKadabra:
     progress:
         Optional progress callback, invoked at rank 0 after the diameter and
         calibration phases and after each aggregation epoch.
+    batch_size:
+        Sampling batch size (``"auto"`` or a positive int), forwarded to the
+        adaptive-sampling algorithms; see :mod:`repro.kernels.policy`.
     """
 
     graph: CSRGraph
@@ -86,6 +90,7 @@ class _DistributedKadabra:
     algorithm: str = "epoch"
     max_epochs: Optional[int] = None
     progress: Optional[ProgressCallback] = None
+    batch_size: object = "auto"
 
     def __post_init__(self) -> None:
         if self.num_processes <= 0:
@@ -96,6 +101,7 @@ class _DistributedKadabra:
             raise ValueError("algorithm must be 'epoch' or 'mpi-only'")
         if self.processes_per_node is not None and self.processes_per_node <= 0:
             raise ValueError("processes_per_node must be positive when given")
+        self.batch_size = resolve_batch_size(self.batch_size)
 
     # ------------------------------------------------------------------ #
     def _graph_for_rank(self) -> CSRGraph:
@@ -174,11 +180,8 @@ class _DistributedKadabra:
             # phase (slots 1..T) never replays the calibration sample stream.
             rng = rng_for_rank_thread(options.seed, rank, 0, num_threads=num_threads + 1)
             local_frame = StateFrame.zeros(graph.num_vertices)
-            for _ in range(per_rank):
-                sample = sampler.sample(rng)
-                local_frame.record_sample(
-                    sample.internal_vertices, edges_touched=sample.edges_touched
-                )
+            for take in plan_batches(per_rank, self.batch_size):
+                local_frame.record_batch(sampler.sample_batch(take, rng))
             calibration_frame = comm.reduce(local_frame, op="sum", root=0)
             if comm.is_root:
                 calibration = calibrate_deltas(calibration_frame, options.delta, eps=options.eps)
@@ -225,6 +228,7 @@ class _DistributedKadabra:
                     initial_frame=calibration_frame if comm.is_root else None,
                     max_epochs=self.max_epochs,
                     on_epoch=on_epoch,
+                    batch_size=self.batch_size,
                 )
                 num_epochs = stats.num_epochs
                 aggregated = stats.aggregated_frame
@@ -248,6 +252,7 @@ class _DistributedKadabra:
                     topology=topology,
                     max_epochs=self.max_epochs,
                     on_epoch=on_epoch,
+                    batch_size=self.batch_size,
                 )
                 num_epochs = stats.num_epochs
                 aggregated = stats.aggregated_frame

@@ -1,11 +1,28 @@
-"""Shortest-path sampling: the per-sample kernel of KADABRA."""
+"""Shortest-path sampling: the per-sample kernel of KADABRA.
 
-from repro.sampling.base import PathSample, PathSampler, sample_vertex_pair
+The scalar samplers here are thin shims over the batch-oriented,
+zero-allocation kernels in :mod:`repro.kernels`; drivers that want the fast
+path use :meth:`PathSampler.sample_batch` (or a
+:class:`~repro.kernels.BatchPathSampler` directly).
+"""
+
+from repro.sampling.base import (
+    KernelPathSampler,
+    PathSample,
+    PathSampler,
+    sample_vertex_pair,
+)
 from repro.sampling.bfs_sampler import UnidirectionalBFSSampler
 from repro.sampling.bidirectional import BidirectionalBFSSampler
-from repro.sampling.rng import spawn_rngs, rng_for_rank_thread, derive_seed
+from repro.sampling.rng import (
+    derive_seed,
+    draw_vertex_pairs,
+    rng_for_rank_thread,
+    spawn_rngs,
+)
 
 __all__ = [
+    "KernelPathSampler",
     "PathSample",
     "PathSampler",
     "sample_vertex_pair",
@@ -14,4 +31,5 @@ __all__ = [
     "spawn_rngs",
     "rng_for_rank_thread",
     "derive_seed",
+    "draw_vertex_pairs",
 ]

@@ -1,4 +1,4 @@
-"""Unidirectional BFS shortest-path sampler.
+"""Unidirectional BFS shortest-path sampler (kernel-backed shim).
 
 This is the "ordinary BFS" sampler the KADABRA paper contrasts against its
 bidirectional sampler: a full forward BFS from the source with shortest-path
@@ -6,99 +6,21 @@ counting (sigma), truncated once the target's level is complete, followed by a
 backward random walk that picks each predecessor with probability proportional
 to its sigma value.  The resulting path is uniform among all shortest
 source-target paths.
+
+The search lives in :func:`repro.kernels.unidirectional.unidirectional_sample`
+on a reusable :class:`~repro.kernels.scratch.ScratchPool`; this class is the
+scalar compatibility shim on top of the batch kernel and is bit-identical to
+the original implementation for a fixed RNG state.
 """
 
 from __future__ import annotations
 
-from typing import List
-
-import numpy as np
-
-from repro.graph.csr import CSRGraph
-from repro.sampling.base import PathSample, PathSampler
+from repro.sampling.base import KernelPathSampler
 
 __all__ = ["UnidirectionalBFSSampler"]
 
 
-class UnidirectionalBFSSampler(PathSampler):
+class UnidirectionalBFSSampler(KernelPathSampler):
     """Samples uniform shortest paths with a single truncated sigma-BFS."""
 
-    def sample_path(self, source: int, target: int, rng: np.random.Generator) -> PathSample:
-        graph = self._graph
-        n = graph.num_vertices
-        if not (0 <= source < n) or not (0 <= target < n):
-            raise ValueError("source/target out of range")
-        if source == target:
-            raise ValueError("source and target must be distinct")
-        indptr = graph.indptr
-        indices = graph.indices
-
-        distances = np.full(n, -1, dtype=np.int64)
-        sigma = np.zeros(n, dtype=np.float64)
-        distances[source] = 0
-        sigma[source] = 1.0
-        frontier = np.array([source], dtype=np.int64)
-        level = 0
-        edges_touched = 0
-        target_level = -1
-        while frontier.size > 0:
-            level += 1
-            starts = indptr[frontier]
-            stops = indptr[frontier + 1]
-            degs = stops - starts
-            total = int(np.sum(degs))
-            edges_touched += total
-            if total == 0:
-                break
-            neighbors = np.concatenate([indices[s:e] for s, e in zip(starts, stops)]).astype(
-                np.int64, copy=False
-            )
-            origins = np.repeat(frontier, degs)
-            fresh_mask = distances[neighbors] == -1
-            fresh = np.unique(neighbors[fresh_mask])
-            if fresh.size > 0:
-                distances[fresh] = level
-            onlevel = distances[neighbors] == level
-            if np.any(onlevel):
-                np.add.at(sigma, neighbors[onlevel], sigma[origins[onlevel]])
-            if fresh.size == 0:
-                break
-            frontier = fresh
-            if distances[target] == level:
-                target_level = level
-                # The sigma values of this level are complete once the level
-                # has been fully processed, which is the case here.
-                break
-
-        if distances[target] < 0:
-            return PathSample(
-                source=source,
-                target=target,
-                connected=False,
-                edges_touched=edges_touched,
-            )
-        length = int(distances[target]) if target_level < 0 else target_level
-
-        # Backward walk from the target choosing predecessors ~ sigma.
-        internal: List[int] = []
-        current = target
-        while distances[current] > 1:
-            nbrs = graph.neighbors(current).astype(np.int64, copy=False)
-            edges_touched += int(nbrs.size)
-            preds = nbrs[distances[nbrs] == distances[current] - 1]
-            weights = sigma[preds]
-            total_weight = float(weights.sum())
-            if total_weight <= 0.0:  # pragma: no cover - defensive
-                raise RuntimeError("inconsistent sigma values during backtracking")
-            pick = int(rng.choice(preds, p=weights / total_weight))
-            internal.append(pick)
-            current = pick
-        internal.reverse()
-        return PathSample(
-            source=source,
-            target=target,
-            connected=True,
-            length=length,
-            internal_vertices=np.asarray(internal, dtype=np.int64),
-            edges_touched=edges_touched,
-        )
+    _kernel_method = "unidirectional"

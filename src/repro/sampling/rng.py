@@ -12,7 +12,38 @@ from typing import List, Sequence
 
 import numpy as np
 
-__all__ = ["spawn_rngs", "rng_for_rank_thread", "derive_seed"]
+__all__ = ["spawn_rngs", "rng_for_rank_thread", "derive_seed", "draw_vertex_pairs"]
+
+
+def draw_vertex_pairs(
+    num_vertices: int, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw ``count`` uniform ordered pairs of *distinct* vertices, batched.
+
+    Rejection sampling with one bulk ``rng.integers`` call per round instead
+    of two scalar draws per pair: a round draws ``(need, 2)`` candidates and
+    keeps the rows with distinct entries, so the expected number of rounds is
+    ``1 / (1 - 1/n)`` — about one for any non-trivial graph.  Returns an
+    ``(count, 2)`` int64 array.
+
+    Note the RNG stream differs from ``count`` scalar
+    :func:`~repro.sampling.base.sample_vertex_pair` calls (the distribution
+    is identical); stream-compatible drivers use the interleaved strategy of
+    :class:`~repro.kernels.BatchPathSampler` instead.
+    """
+    if num_vertices < 2:
+        raise ValueError("need at least two vertices to sample a pair")
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    out = np.empty((count, 2), dtype=np.int64)
+    filled = 0
+    while filled < count:
+        need = count - filled
+        cand = rng.integers(0, num_vertices, size=(need, 2), dtype=np.int64)
+        kept = cand[cand[:, 0] != cand[:, 1]]
+        out[filled : filled + kept.shape[0]] = kept
+        filled += kept.shape[0]
+    return out
 
 
 def spawn_rngs(seed: int | None, count: int) -> List[np.random.Generator]:

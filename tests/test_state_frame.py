@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.state_frame import StateFrame
+from repro.epoch.frames import FramePool
 
 
 class TestStateFrame:
@@ -117,3 +118,63 @@ class TestStateFrame:
         for other in (right, shuffled):
             assert left.num_samples == other.num_samples
             assert np.allclose(left.counts, other.counts)
+
+    def test_record_batch_equals_per_sample_recording(self, rng):
+        from repro.graph.generators import barabasi_albert
+        from repro.kernels import BatchPathSampler
+
+        graph = barabasi_albert(40, 3, seed=2)
+        batch = BatchPathSampler(graph).sample_batch(30, rng)
+        batched = StateFrame.zeros(40)
+        batched.record_batch(batch)
+        scalar = StateFrame.zeros(40)
+        for sample in batch.iter_samples():
+            scalar.record_sample(sample.internal_vertices, edges_touched=sample.edges_touched)
+        assert batched.num_samples == scalar.num_samples == 30
+        assert batched.edges_touched == scalar.edges_touched
+        assert np.array_equal(batched.counts, scalar.counts)
+
+
+class TestFramePoolMemory:
+    """The epoch framework must run on a bounded set of reusable buffers."""
+
+    def test_per_thread_frames_reused_across_epochs(self):
+        pool = FramePool(num_threads=3, num_vertices=16)
+        buffers = set()
+        for epoch in range(10):
+            for thread in range(3):
+                frame = pool.reset_for_epoch(thread, epoch)
+                frame.record_sample([epoch % 16])
+                buffers.add(id(frame.counts))
+        # Two frames per thread, regardless of how many epochs ran.
+        assert len(buffers) == 2 * 3
+
+    def test_aggregate_epoch_reuses_out_frame(self):
+        pool = FramePool(num_threads=2, num_vertices=8)
+        scratch = StateFrame.zeros(8)
+        scratch_buffer = id(scratch.counts)
+        for epoch in range(6):
+            for thread in range(2):
+                pool.reset_for_epoch(thread, epoch).record_sample([thread])
+            total = pool.aggregate_epoch(epoch, out=scratch)
+            assert total is scratch
+            assert id(total.counts) == scratch_buffer
+            assert total.num_samples == 2
+        # Without ``out`` the legacy allocating behaviour is preserved.
+        fresh = pool.aggregate_epoch(5)
+        assert fresh is not scratch
+
+    def test_aggregate_out_reset_before_accumulation(self):
+        pool = FramePool(num_threads=1, num_vertices=4)
+        scratch = StateFrame.zeros(4)
+        scratch.record_sample([0, 1], edges_touched=9)  # stale content
+        pool.reset_for_epoch(0, 0).record_sample([2])
+        total = pool.aggregate_epoch(0, out=scratch)
+        assert total.num_samples == 1
+        assert list(total.counts) == [0, 0, 1, 0]
+        assert total.edges_touched == 0
+
+    def test_aggregate_out_size_mismatch_rejected(self):
+        pool = FramePool(num_threads=1, num_vertices=4)
+        with pytest.raises(ValueError):
+            pool.aggregate_epoch(0, out=StateFrame.zeros(5))
