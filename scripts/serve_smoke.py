@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Smoke test + benchmark of the query service: cache hits must not sample.
+
+Starts a real :class:`repro.service.BetweennessService` (ephemeral port,
+process-pool workers — the production configuration), then issues over HTTP:
+
+1. a **fresh** query on the bundled example graph (populates the cache),
+2. the **identical** query again — must report ``served_from_cache`` and be
+   at least ``REQUIRED_SPEEDUP``x faster than the fresh run,
+3. a **looser** (eps, delta) query — must also hit, via the dominance policy.
+
+Everything runs against scratch cache directories, so the invoking user's
+real graph/result caches are untouched.  The measured latencies land in a
+``BENCH_service.json`` artifact (schema: ``docs/benchmarks.md``)::
+
+    python scripts/serve_smoke.py [output.json]
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+EXAMPLE_GRAPH = REPO_ROOT / "examples" / "data" / "example-social.txt"
+
+#: A cache hit must beat the fresh run by at least this factor.  Real hits
+#: are O(ms) against seconds of sampling; the floor only guards against the
+#: cache silently re-sampling.
+REQUIRED_SPEEDUP = 5.0
+
+QUERY = {
+    "graph": str(EXAMPLE_GRAPH),
+    "eps": 0.05,
+    "delta": 0.1,
+    "k": 5,
+    "algorithm": "sequential",
+    "seed": 1,
+}
+
+
+async def run_smoke() -> dict:
+    from repro.service import BetweennessService, ServiceClient
+
+    service = BetweennessService(port=0, worker_mode="process", max_workers=1)
+    await service.start()
+    client = ServiceClient(service.host, service.port, timeout=600.0)
+
+    async def timed_query(**fields):
+        start = time.perf_counter()
+        response = await asyncio.to_thread(client.query, **fields)
+        return response, time.perf_counter() - start
+
+    try:
+        health = await asyncio.to_thread(client.health)
+        assert health.get("ok") is True, f"healthz failed: {health}"
+
+        fresh, fresh_seconds = await timed_query(**QUERY)
+        assert fresh["status"] == "done", f"fresh query did not finish: {fresh}"
+        assert fresh["served_from_cache"] is False, "first query cannot be a cache hit"
+        assert fresh["result"]["num_samples"] > 0, "fresh query did not sample"
+
+        cached, cached_seconds = await timed_query(**QUERY)
+        assert cached["served_from_cache"] is True, (
+            f"second identical query was not served from cache: {cached}"
+        )
+        assert cached["result"]["top"] == fresh["result"]["top"], (
+            "cache returned different scores than the run that populated it"
+        )
+
+        dominated, dominated_seconds = await timed_query(
+            **{**QUERY, "eps": 0.2, "delta": 0.3, "seed": None}
+        )
+        assert dominated["served_from_cache"] is True, (
+            f"looser (eps, delta) query was not served via dominance: {dominated}"
+        )
+        assert dominated["cached_eps"] == QUERY["eps"], (
+            "dominated hit did not come from the tighter cached entry"
+        )
+
+        stats = await asyncio.to_thread(client.stats)
+        assert stats["cache_hits"] == 2 and stats["completed"] == 1, stats
+    finally:
+        await service.stop()
+
+    speedup = fresh_seconds / max(cached_seconds, 1e-9)
+    return {
+        "graph": EXAMPLE_GRAPH.name,
+        "eps": QUERY["eps"],
+        "delta": QUERY["delta"],
+        "num_samples_fresh": fresh["result"]["num_samples"],
+        "fresh_seconds": round(fresh_seconds, 4),
+        "cached_seconds": round(cached_seconds, 4),
+        "dominated_seconds": round(dominated_seconds, 4),
+        "cache_hit": True,
+        "dominated_hit": True,
+        "speedup": round(speedup, 2),
+        "required_speedup": REQUIRED_SPEEDUP,
+    }
+
+
+def main(argv: list) -> int:
+    output = Path(argv[1]) if len(argv) > 1 else Path("BENCH_service.json")
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as scratch:
+        os.environ["REPRO_GRAPH_CACHE"] = str(Path(scratch) / "graphs")
+        os.environ["REPRO_RESULT_CACHE"] = str(Path(scratch) / "results")
+        report = asyncio.run(run_smoke())
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if report["speedup"] < REQUIRED_SPEEDUP:
+        print(
+            f"FAIL: cache hit only {report['speedup']}x faster than the fresh run "
+            f"(required {REQUIRED_SPEEDUP}x)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: identical and dominated queries served from cache "
+        f"({report['speedup']}x faster than sampling)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

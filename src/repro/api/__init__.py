@@ -8,6 +8,13 @@ name (or ``"auto"``), a :class:`Resources` description and optional progress
 registry, and new backends (sharded, cached, async, ...) are added with
 :func:`register_backend` instead of a fork of the dispatch code.
 
+Results carry a uniform schema (:class:`~repro.core.result.BetweennessResult`)
+that serializes to the JSON documented in ``docs/serving.md``; the query
+service (:mod:`repro.service`) builds its dominance-aware result cache on
+exactly this surface — the registry supplies its ``algorithm`` choices and
+capability metadata, the facade runs its jobs, and the result schema is its
+wire format.
+
 >>> from repro.api import estimate_betweenness, Resources
 >>> from repro.graph.generators import barabasi_albert
 >>> graph = barabasi_albert(500, 3, seed=0)

@@ -119,7 +119,11 @@ def estimate_betweenness(
     BetweennessResult
         With the uniform facade schema: ``backend``, ``resources`` and a
         ``"total"`` phase timing are always populated and ``eps``/``delta``
-        echo the request.
+        echo the request.  The result serializes to the stable JSON schema
+        of ``docs/serving.md`` via
+        :meth:`~repro.core.result.BetweennessResult.to_json` — the same
+        representation the query service (:mod:`repro.service`) caches,
+        reuses under (eps, delta) dominance, and returns over HTTP.
     """
     if isinstance(graph, (str, Path)):
         from repro.store import load_graph

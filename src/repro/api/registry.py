@@ -6,7 +6,11 @@ and source-sampling baselines and exact Brandes — is one :class:`BackendSpec`
 in a process-global registry.  The facade (:func:`repro.api.facade.
 estimate_betweenness`) and the CLI derive their ``algorithm`` choices from the
 registry, so adding a backend (sharded, cached, async, ...) is a single
-:func:`register_backend` call instead of a fork of the dispatch code.
+:func:`register_backend` call instead of a fork of the dispatch code.  The
+query service goes one step further and derives its cache-reuse *algorithm
+families* from the capability metadata (``exact`` + ``cost_hint``; see
+:mod:`repro.service.dominance`), so registered backends participate in
+dominance-aware result reuse automatically.
 """
 
 from __future__ import annotations

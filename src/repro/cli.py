@@ -7,6 +7,9 @@ Usage::
         [--processes P] [--threads T] [--top 10] [--output scores.json]
     python -m repro.cli convert INPUT [OUTPUT] [--format auto|edgelist|metis]
     python -m repro.cli info GRAPH_OR_NAME [--json]
+    python -m repro.cli serve [--host H] [--port P] [--workers N]
+    python -m repro.cli query GRAPH [--eps 0.01] [--delta 0.1] [--port P]
+    python -m repro.cli cache ls|evict [...]
     python -m repro.cli --list-backends
 
 The ``--algorithm`` choices are derived from the backend registry in
@@ -18,6 +21,10 @@ binary form zero-copy; ``--no-cache`` forces a plain text parse.  Disconnected
 inputs are reduced to their largest connected component, exactly as in the
 paper's evaluation (skipped without a copy when the catalog metadata already
 proves the graph connected).
+
+``serve`` starts the cached query service of :mod:`repro.service` (see
+``docs/serving.md``), ``query`` talks to a running one, and ``cache``
+inspects/evicts its on-disk result cache.
 """
 
 from __future__ import annotations
@@ -33,19 +40,31 @@ from repro.api import AUTO, Resources, backend_names, estimate_betweenness, form
 from repro.graph import CSRGraph, largest_connected_component, read_edge_list
 from repro.io_utils import save_result, save_scores_csv
 
-__all__ = ["main", "build_parser", "build_convert_parser", "build_info_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "build_convert_parser",
+    "build_info_parser",
+    "build_serve_parser",
+    "build_query_parser",
+    "build_cache_parser",
+]
 
-SUBCOMMANDS = ("convert", "info")
+SUBCOMMANDS = ("convert", "info", "serve", "query", "cache")
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-betweenness",
         description="Approximate betweenness centrality (KADABRA / MPI-style parallel KADABRA).",
-        epilog="Subcommands: 'convert' (edge list -> .rcsr store) and 'info' "
-        "(stored-graph metadata); see 'repro-betweenness convert --help'.  "
-        "A graph file literally named like a subcommand can be forced "
-        "positional with '--', e.g. 'repro-betweenness --eps 0.1 -- convert'.",
+        epilog="Subcommands: 'convert' (edge list -> .rcsr store), 'info' "
+        "(stored-graph metadata), 'serve' (cached query service), 'query' "
+        "(ask a running service) and 'cache' (result-cache ls/evict); each "
+        "has its own --help.  A graph file literally named like a subcommand "
+        "can be forced positional with '--', e.g. 'repro-betweenness --eps "
+        "0.1 -- convert'.  Docs: README.md (quickstart), docs/architecture.md "
+        "(pipeline), docs/serving.md (service API), docs/formats.md "
+        "(.rcsr container).",
     )
     parser.add_argument(
         "graph",
@@ -128,6 +147,10 @@ def build_convert_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--force", action="store_true", help="re-convert even if a fresh cached conversion exists"
     )
+    parser.epilog = (
+        "The on-disk container format and the conversion pipeline are "
+        "documented in docs/formats.md."
+    )
     return parser
 
 
@@ -140,6 +163,105 @@ def build_info_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("graph", help=".rcsr file, text graph file, or registered dataset name")
     parser.add_argument("--json", action="store_true", help="emit the sidecar as JSON")
+    parser.epilog = "The sidecar fields are documented in docs/formats.md."
+    return parser
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-betweenness serve",
+        description="Start the cached betweenness query service: JSON-over-HTTP "
+        "queries, an asyncio job queue with in-flight deduplication, and a "
+        "persistent dominance-aware result cache (a cached run at tighter "
+        "eps/delta on the same graph answers looser requests in O(ms)).",
+        epilog="Endpoints, request/response JSON and the reuse semantics are "
+        "documented in docs/serving.md.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    parser.add_argument(
+        "--port", type=int, default=8321, help="bind port (default 8321; 0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="concurrent estimation workers (default 1)"
+    )
+    parser.add_argument(
+        "--worker-mode",
+        choices=("process", "thread"),
+        default="process",
+        help="run estimations in a process pool (default; sampling is CPU-bound) "
+        "or a thread pool",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=1,
+        help="sampling threads per estimation (Resources.threads, default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache directory (default: $REPRO_RESULT_CACHE or "
+        "'results' next to the graph cache)",
+    )
+    return parser
+
+
+def build_query_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-betweenness query",
+        description="Ask a running betweenness service (see 'serve') for the "
+        "top-k vertices of a graph.  Identical and dominated requests are "
+        "served from the service's result cache without sampling.",
+        epilog="The JSON request/response schema is documented in docs/serving.md.",
+    )
+    parser.add_argument("graph", help="graph name or path, resolved by the *service*")
+    parser.add_argument("--eps", type=float, default=0.01, help="absolute error bound (default 0.01)")
+    parser.add_argument("--delta", type=float, default=0.1, help="failure probability (default 0.1)")
+    parser.add_argument("--seed", type=int, default=None, help="RNG seed")
+    parser.add_argument(
+        "--algorithm",
+        choices=[AUTO, *backend_names()],
+        default=AUTO,
+        help="backend to request (default: auto)",
+    )
+    parser.add_argument("--top", type=int, default=10, help="number of top vertices (default 10)")
+    parser.add_argument("--host", default="127.0.0.1", help="service host (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8321, help="service port (default 8321)")
+    parser.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="submit the job and poll its progress instead of one blocking request",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=600.0, help="client timeout in seconds (default 600)"
+    )
+    parser.add_argument("--json", action="store_true", help="print the raw JSON response")
+    return parser
+
+
+def build_cache_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-betweenness cache",
+        description="Inspect or evict the service's on-disk result cache "
+        "(works directly on the cache directory; no running service needed).",
+        epilog="The cache layout (one directory per graph checksum, meta + "
+        "result JSON per entry) is documented in docs/serving.md.",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+    ls = sub.add_parser("ls", help="list cached results")
+    ls.add_argument("--json", action="store_true", help="emit entries as JSON")
+    ls.add_argument(
+        "--cache-dir", default=None, help="result-cache directory (default: see 'serve')"
+    )
+    evict = sub.add_parser("evict", help="remove cached results")
+    evict.add_argument(
+        "--graph", default=None, help="evict entries of one graph (name or path)"
+    )
+    evict.add_argument("--key", default=None, help="evict one entry by its key")
+    evict.add_argument("--all", action="store_true", help="clear the whole cache")
+    evict.add_argument(
+        "--cache-dir", default=None, help="result-cache directory (default: see 'serve')"
+    )
     return parser
 
 
@@ -206,6 +328,136 @@ def _cmd_info(argv: list) -> int:
     return 0
 
 
+def _cmd_serve(argv: list) -> int:
+    from repro.service import run_server
+
+    args = build_serve_parser().parse_args(argv)
+    if args.workers <= 0:
+        print("error: --workers must be positive", file=sys.stderr)
+        return 2
+    try:
+        resources = Resources(threads=args.threads)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    run_server(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        worker_mode=args.worker_mode,
+        max_workers=args.workers,
+        resources=resources,
+    )
+    return 0
+
+
+def _print_query_result(payload: dict, top: int) -> None:
+    result = payload["result"]
+    origin = "result cache" if payload.get("served_from_cache") else "fresh run"
+    print(
+        f"graph checksum: {payload.get('graph_checksum')} (served from {origin})"
+    )
+    print(
+        f"algorithm: {result.get('backend')}, eps={result.get('eps')}, "
+        f"delta={result.get('delta')}"
+    )
+    if result.get("num_samples"):
+        print(
+            f"samples: {result['num_samples']} (omega={result.get('omega')}), "
+            f"epochs: {result.get('num_epochs')}"
+        )
+    print(f"top-{top} vertices:")
+    for vertex, score in result.get("top", []):
+        print(f"  {int(vertex):10d}  {score:.6f}")
+
+
+def _cmd_query(argv: list) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    args = build_query_parser().parse_args(argv)
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    fields = {
+        "graph": args.graph,
+        "eps": args.eps,
+        "delta": args.delta,
+        "k": args.top,
+        "algorithm": args.algorithm,
+        "wait": not args.no_wait,
+    }
+    if args.seed is not None:
+        fields["seed"] = args.seed
+    try:
+        payload = client.query(**fields)
+        if args.no_wait and payload.get("job_id") and payload.get("status") != "done":
+            print(f"job {payload['job_id']} submitted; polling...", file=sys.stderr)
+
+            def on_progress(event: dict) -> None:
+                budget = f"/{event['omega']}" if event.get("omega") is not None else ""
+                print(
+                    f"[{event.get('backend')}] {event.get('phase')}: "
+                    f"epoch {event.get('epoch')}, samples {event.get('num_samples')}{budget}",
+                    file=sys.stderr,
+                )
+
+            status = client.wait_for_job(
+                payload["job_id"], timeout=args.timeout, on_progress=on_progress
+            )
+            if status.get("status") == "error":
+                print(f"error: job failed: {status.get('error')}", file=sys.stderr)
+                return 1
+            payload = status
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    _print_query_result(payload, args.top)
+    return 0
+
+
+def _cmd_cache(argv: list) -> int:
+    from repro.service import ResultCache
+    from repro.store import GraphCatalog
+
+    args = build_cache_parser().parse_args(argv)
+    cache = ResultCache(args.cache_dir)
+    if args.action == "ls":
+        entries = cache.entries()
+        if args.json:
+            print(json.dumps([e.as_dict() for e in entries], indent=2, sort_keys=True))
+            return 0
+        print(f"result cache: {cache.cache_dir} ({len(entries)} entries)")
+        for e in entries:
+            accuracy = (
+                "exact" if e.family == "exact" else f"eps={e.eps:g} delta={e.delta:g}"
+            )
+            print(
+                f"  {e.key}  {e.graph_checksum}  {e.algorithm:<15s} {accuracy:<22s} "
+                f"n={e.num_vertices} samples={e.num_samples}  ({e.graph})"
+            )
+        return 0
+    # action == "evict"
+    if args.graph is None and args.key is None and not args.all:
+        print("error: specify --graph, --key, or --all", file=sys.stderr)
+        return 2
+    if args.graph is not None:
+        # Never convert just to evict: match by the already-stored checksum
+        # when one exists, and by the recorded request string otherwise.
+        checksum = GraphCatalog().cached_checksum(args.graph)
+        removed = 0
+        for entry in cache.entries():
+            if entry.graph != args.graph and entry.graph_checksum != checksum:
+                continue
+            if args.key is not None and entry.key != args.key:
+                continue
+            removed += cache.evict(entry.graph_checksum, key=entry.key)
+    else:
+        removed = cache.evict(key=args.key)
+    print(f"evicted {removed} cached result(s)")
+    return 0
+
+
 def _load_cli_graph(spec: str, *, use_cache: bool) -> Tuple[CSRGraph, Optional[int]]:
     """Load the graph for the estimation command.
 
@@ -229,7 +481,14 @@ def _load_cli_graph(spec: str, *, use_cache: bool) -> Tuple[CSRGraph, Optional[i
 def main(argv: Optional[Iterable[str]] = None) -> int:
     raw = list(argv) if argv is not None else sys.argv[1:]
     if raw and raw[0] in SUBCOMMANDS:
-        return _cmd_convert(raw[1:]) if raw[0] == "convert" else _cmd_info(raw[1:])
+        dispatch = {
+            "convert": _cmd_convert,
+            "info": _cmd_info,
+            "serve": _cmd_serve,
+            "query": _cmd_query,
+            "cache": _cmd_cache,
+        }
+        return dispatch[raw[0]](raw[1:])
 
     parser = build_parser()
     args = parser.parse_args(raw)

@@ -2,12 +2,18 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["BetweennessResult"]
+__all__ = ["BetweennessResult", "RESULT_FORMAT_VERSION"]
+
+#: Version tag of the JSON result schema produced by
+#: :meth:`BetweennessResult.to_json` (and consumed by ``from_json``).  Bumped
+#: whenever a field changes meaning; readers reject unknown versions.
+RESULT_FORMAT_VERSION = 1
 
 
 @dataclass
@@ -44,6 +50,11 @@ class BetweennessResult:
     resources:
         The requested resource configuration (``processes``/``threads``/...)
         as recorded by the facade.
+
+    Results serialize to the stable JSON schema documented in
+    ``docs/serving.md`` via :meth:`to_json` / :meth:`to_json_dict` and load
+    back with :meth:`from_json` / :meth:`from_json_dict`; the query service
+    (:mod:`repro.service`) caches and returns exactly this representation.
     """
 
     scores: np.ndarray
@@ -78,7 +89,76 @@ class BetweennessResult:
         return np.argsort(-self.scores, kind="stable")
 
     def score_of(self, v: int) -> float:
+        """The estimated betweenness of one vertex ``v``."""
         return float(self.scores[int(v)])
+
+    # ------------------------------------------------------------------ #
+    # JSON serialization (the schema documented in docs/serving.md)
+    # ------------------------------------------------------------------ #
+    def to_json_dict(self) -> Dict[str, object]:
+        """The result as a plain JSON-serializable dict.
+
+        Schema (``format_version`` 1) — identical to what
+        :func:`repro.io_utils.save_result` writes and what the query service
+        caches and returns over HTTP::
+
+            {"format_version": 1,
+             "scores": [..per-vertex float..],
+             "num_samples": int, "eps": float|null, "delta": float|null,
+             "omega": int|null, "vertex_diameter": int|null,
+             "num_epochs": int, "phase_seconds": {phase: seconds},
+             "extra": {...}, "backend": str|null,
+             "resources": {"processes": int, "threads": int, ...}}
+        """
+        return {
+            "format_version": RESULT_FORMAT_VERSION,
+            "scores": self.scores.tolist(),
+            "num_samples": int(self.num_samples),
+            "eps": self.eps,
+            "delta": self.delta,
+            "omega": None if self.omega is None else int(self.omega),
+            "vertex_diameter": (
+                None if self.vertex_diameter is None else int(self.vertex_diameter)
+            ),
+            "num_epochs": int(self.num_epochs),
+            "phase_seconds": {k: float(v) for k, v in self.phase_seconds.items()},
+            "extra": dict(self.extra),
+            "backend": self.backend,
+            "resources": dict(self.resources),
+        }
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string (see :meth:`to_json_dict` for the schema)."""
+        return json.dumps(self.to_json_dict())
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, object]) -> "BetweennessResult":
+        """Rebuild a result from a dict produced by :meth:`to_json_dict`.
+
+        Raises :class:`ValueError` for missing/unsupported ``format_version``
+        so stale cache files fail loudly instead of deserializing garbage.
+        """
+        version = payload.get("format_version")
+        if version != RESULT_FORMAT_VERSION:
+            raise ValueError(f"unsupported result format version {version!r}")
+        return cls(
+            scores=np.asarray(payload["scores"], dtype=np.float64),
+            num_samples=int(payload["num_samples"]),
+            eps=payload.get("eps"),
+            delta=payload.get("delta"),
+            omega=payload.get("omega"),
+            vertex_diameter=payload.get("vertex_diameter"),
+            num_epochs=int(payload.get("num_epochs", 0)),
+            phase_seconds=dict(payload.get("phase_seconds", {})),
+            extra=dict(payload.get("extra", {})),
+            backend=payload.get("backend"),
+            resources=dict(payload.get("resources", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "BetweennessResult":
+        """Rebuild a result from a :meth:`to_json` string."""
+        return cls.from_json_dict(json.loads(text))
 
     @property
     def total_time(self) -> float:

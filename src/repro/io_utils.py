@@ -12,7 +12,6 @@ formats:
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 from typing import Union
 
@@ -24,47 +23,18 @@ __all__ = ["save_result", "load_result", "save_scores_csv", "load_scores_csv"]
 
 PathLike = Union[str, Path]
 
-_FORMAT_VERSION = 1
-
-
 def save_result(result: BetweennessResult, path: PathLike) -> None:
-    """Serialize a result (scores and metadata) to a JSON file."""
-    payload = {
-        "format_version": _FORMAT_VERSION,
-        "scores": result.scores.tolist(),
-        "num_samples": result.num_samples,
-        "eps": result.eps,
-        "delta": result.delta,
-        "omega": result.omega,
-        "vertex_diameter": result.vertex_diameter,
-        "num_epochs": result.num_epochs,
-        "phase_seconds": result.phase_seconds,
-        "extra": result.extra,
-        "backend": result.backend,
-        "resources": result.resources,
-    }
-    Path(path).write_text(json.dumps(payload))
+    """Serialize a result (scores and metadata) to a JSON file.
+
+    The file holds exactly :meth:`BetweennessResult.to_json_dict` — the same
+    schema the query service caches and returns (see ``docs/serving.md``).
+    """
+    Path(path).write_text(result.to_json())
 
 
 def load_result(path: PathLike) -> BetweennessResult:
     """Load a result previously written by :func:`save_result`."""
-    payload = json.loads(Path(path).read_text())
-    version = payload.get("format_version")
-    if version != _FORMAT_VERSION:
-        raise ValueError(f"unsupported result format version {version!r}")
-    return BetweennessResult(
-        scores=np.asarray(payload["scores"], dtype=np.float64),
-        num_samples=int(payload["num_samples"]),
-        eps=payload.get("eps"),
-        delta=payload.get("delta"),
-        omega=payload.get("omega"),
-        vertex_diameter=payload.get("vertex_diameter"),
-        num_epochs=int(payload.get("num_epochs", 0)),
-        phase_seconds=dict(payload.get("phase_seconds", {})),
-        extra=dict(payload.get("extra", {})),
-        backend=payload.get("backend"),
-        resources=dict(payload.get("resources", {})),
-    )
+    return BetweennessResult.from_json(Path(path).read_text())
 
 
 def save_scores_csv(result: BetweennessResult, path: PathLike, *, header: bool = True) -> None:

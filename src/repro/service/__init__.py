@@ -1,0 +1,48 @@
+"""``repro.service`` — cached betweenness query service.
+
+The serving layer the paper's speed enables: adaptive sampling makes a
+betweenness estimate cheap enough to answer on demand, and (eps, delta)
+guarantees compose into a cache — a finished run at tighter accuracy on the
+same graph *dominates* any looser request and serves it in O(ms) with zero
+sampling.  The pieces:
+
+* :mod:`repro.service.schema` — the validated JSON request
+  (:class:`QueryRequest`) and response shaping;
+* :mod:`repro.service.dominance` — when a cached result may answer a new
+  query (checksum identity, algorithm families, eps/delta dominance);
+* :mod:`repro.service.cache` — the persistent on-disk
+  :class:`ResultCache` next to the graph cache;
+* :mod:`repro.service.jobs` — the asyncio :class:`JobManager`: in-flight
+  deduplication, process/thread worker pools, progress streaming;
+* :mod:`repro.service.server` — :class:`BetweennessService`, the minimal
+  JSON-over-HTTP front end (``repro-betweenness serve``);
+* :mod:`repro.service.client` — :class:`ServiceClient`, the blocking
+  stdlib client (``repro-betweenness query``).
+
+See ``docs/serving.md`` for the HTTP API and the reuse semantics.
+"""
+
+from repro.service.cache import CacheEntry, ResultCache
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.dominance import algorithm_family, dominates, select_dominating
+from repro.service.jobs import Job, JobManager, SubmitOutcome
+from repro.service.schema import QueryRequest, SchemaError, result_payload
+from repro.service.server import BetweennessService, run_server
+
+__all__ = [
+    "BetweennessService",
+    "CacheEntry",
+    "Job",
+    "JobManager",
+    "QueryRequest",
+    "ResultCache",
+    "SchemaError",
+    "ServiceClient",
+    "ServiceError",
+    "SubmitOutcome",
+    "algorithm_family",
+    "dominates",
+    "result_payload",
+    "run_server",
+    "select_dominating",
+]

@@ -1,0 +1,237 @@
+"""Persistent on-disk cache of betweenness results, keyed by graph contents.
+
+Layout (rooted at :func:`repro.store.default_result_cache_dir`, i.e.
+``$REPRO_RESULT_CACHE`` or ``results/`` next to the graph cache)::
+
+    results/
+      crc32-<16 hex>/                 one directory per graph *checksum*
+        <key>.meta.json               small: accuracy, family, backend, counts
+        <key>.result.json             full BetweennessResult (to_json_dict)
+
+Splitting each entry into a tiny meta file and the (potentially large) score
+payload keeps the dominance scan cheap: finding a reusable entry reads only
+meta files; the score vector is loaded once, for the single entry that wins.
+Writes go through ``atomic_replace`` and the meta file is written *after* the
+result payload, so a crash can leave an orphaned payload (harmless, ignored)
+but never a meta file pointing at a missing/truncated result.
+
+Keying by the ``.rcsr`` container checksum — not the request's graph string —
+is what makes reuse safe across renames and stale across edits: two paths to
+the same converted graph share entries, and re-converting a changed source
+produces a new checksum directory, so every old entry silently misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.result import BetweennessResult
+from repro.service.dominance import algorithm_family, select_dominating
+from repro.service.schema import QueryRequest
+from repro.store.catalog import default_result_cache_dir
+from repro.store.format import atomic_replace
+
+__all__ = ["CacheEntry", "ResultCache"]
+
+PathLike = Union[str, Path]
+
+_CACHE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """Metadata of one cached result (the ``.meta.json`` contents)."""
+
+    key: str
+    graph_checksum: str
+    graph: str
+    algorithm: str
+    family: str
+    eps: Optional[float]
+    delta: Optional[float]
+    seed: Optional[int]
+    backend: Optional[str]
+    num_vertices: int
+    num_samples: int
+    created_at: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"cache_version": _CACHE_VERSION, **asdict(self)}
+
+
+def _checksum_dirname(checksum: str) -> str:
+    # "crc32:0123...":  ':' is awkward in paths (and illegal on some
+    # filesystems), so directories use '-' instead.
+    return checksum.replace(":", "-")
+
+
+def _entry_key(algorithm: str, eps: float, delta: float, seed: Optional[int]) -> str:
+    material = f"{algorithm}|{eps!r}|{delta!r}|{seed!r}"
+    return hashlib.sha1(material.encode()).hexdigest()[:16]
+
+
+class ResultCache:
+    """Dominance-aware persistent cache of :class:`BetweennessResult` objects.
+
+    All state is on disk; any number of :class:`ResultCache` instances (and
+    processes) over the same directory see the same entries, mirroring how
+    :class:`~repro.store.GraphCatalog` treats the graph cache.
+    """
+
+    def __init__(self, cache_dir: Optional[PathLike] = None) -> None:
+        self._cache_dir = (
+            Path(cache_dir) if cache_dir is not None else default_result_cache_dir()
+        )
+
+    @property
+    def cache_dir(self) -> Path:
+        return self._cache_dir
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def put(
+        self, checksum: str, request: QueryRequest, result: BetweennessResult
+    ) -> CacheEntry:
+        """Store a finished run; returns the entry that now serves it.
+
+        The entry records the *achieved* guarantee (the eps/delta echoed in
+        the result, which the facade always populates) and the family of the
+        backend that actually ran — not the request's ``"auto"``.
+        """
+        algorithm = result.backend or request.algorithm
+        eps = result.eps if result.eps is not None else request.eps
+        delta = result.delta if result.delta is not None else request.delta
+        family = algorithm_family(algorithm)
+        entry = CacheEntry(
+            key=_entry_key(algorithm, eps, delta, request.seed),
+            graph_checksum=checksum,
+            graph=request.graph,
+            algorithm=algorithm,
+            family=family,
+            eps=None if family == "exact" else float(eps),
+            delta=None if family == "exact" else float(delta),
+            seed=request.seed,
+            backend=result.backend,
+            num_vertices=result.num_vertices,
+            num_samples=int(result.num_samples),
+            created_at=time.time(),
+        )
+        entry_dir = self._cache_dir / _checksum_dirname(checksum)
+        entry_dir.mkdir(parents=True, exist_ok=True)
+        # Payload first, meta last: a meta file implies a complete payload.
+        with atomic_replace(self._result_path(entry_dir, entry.key)) as tmp:
+            tmp.write_text(result.to_json())
+        with atomic_replace(self._meta_path(entry_dir, entry.key)) as tmp:
+            tmp.write_text(json.dumps(entry.as_dict(), indent=2, sort_keys=True))
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # Scanning / lookup
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _meta_path(entry_dir: Path, key: str) -> Path:
+        return entry_dir / f"{key}.meta.json"
+
+    @staticmethod
+    def _result_path(entry_dir: Path, key: str) -> Path:
+        return entry_dir / f"{key}.result.json"
+
+    def _read_entry(self, meta_path: Path) -> Optional[CacheEntry]:
+        try:
+            payload = json.loads(meta_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("cache_version") != _CACHE_VERSION:
+            return None
+        payload.pop("cache_version", None)
+        try:
+            return CacheEntry(**payload)
+        except TypeError:
+            return None
+
+    def entries(self, checksum: Optional[str] = None) -> List[CacheEntry]:
+        """All valid entries (for one graph checksum, or the whole cache)."""
+        if checksum is not None:
+            dirs = [self._cache_dir / _checksum_dirname(checksum)]
+        elif self._cache_dir.is_dir():
+            dirs = sorted(d for d in self._cache_dir.iterdir() if d.is_dir())
+        else:
+            dirs = []
+        out: List[CacheEntry] = []
+        for entry_dir in dirs:
+            if not entry_dir.is_dir():
+                continue
+            for meta_path in sorted(entry_dir.glob("*.meta.json")):
+                entry = self._read_entry(meta_path)
+                if entry is not None:
+                    out.append(entry)
+        return out
+
+    def load(self, entry: CacheEntry) -> BetweennessResult:
+        """The full result of a cache entry (raises if the payload is gone)."""
+        entry_dir = self._cache_dir / _checksum_dirname(entry.graph_checksum)
+        return BetweennessResult.from_json(
+            self._result_path(entry_dir, entry.key).read_text()
+        )
+
+    def find(
+        self, checksum: str, *, family: str, eps: float, delta: float
+    ) -> Optional[Tuple[CacheEntry, BetweennessResult]]:
+        """The best cached result dominating ``(family, eps, delta)``, or None.
+
+        An entry whose payload turns out unreadable (corruption, concurrent
+        eviction) is skipped and the next-best dominating entry is tried.
+        """
+        candidates = self.entries(checksum)
+        while candidates:
+            rows = [(e.family, e.eps, e.delta) for e in candidates]
+            index = select_dominating(rows, family=family, eps=eps, delta=delta)
+            if index is None:
+                return None
+            entry = candidates.pop(index)
+            try:
+                return entry, self.load(entry)
+            except (OSError, ValueError, KeyError):
+                continue
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Eviction
+    # ------------------------------------------------------------------ #
+    def evict(
+        self, checksum: Optional[str] = None, *, key: Optional[str] = None
+    ) -> int:
+        """Remove entries; returns how many were evicted.
+
+        ``checksum`` limits eviction to one graph; ``key`` (with or without a
+        checksum) to one entry.  With neither, the whole cache is cleared.
+        """
+        removed = 0
+        for entry in self.entries(checksum):
+            if key is not None and entry.key != key:
+                continue
+            entry_dir = self._cache_dir / _checksum_dirname(entry.graph_checksum)
+            for path in (
+                self._meta_path(entry_dir, entry.key),
+                self._result_path(entry_dir, entry.key),
+            ):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            removed += 1
+        # Drop directories left empty (missing-ok semantics throughout).
+        if self._cache_dir.is_dir():
+            for entry_dir in self._cache_dir.iterdir():
+                if entry_dir.is_dir():
+                    try:
+                        entry_dir.rmdir()
+                    except OSError:
+                        pass
+        return removed

@@ -1,0 +1,142 @@
+"""Blocking stdlib client for the betweenness query service.
+
+A thin convenience over :mod:`http.client` so the CLI (``repro-betweenness
+query`` / ``cache``) and scripts can talk to a running service without any
+third-party HTTP dependency.  Every method returns the decoded JSON payload;
+non-2xx responses raise :class:`ServiceError` carrying the server's
+``error`` message and status code.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Callable, Dict, Optional
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response (or transport failure) from the service."""
+
+    def __init__(self, message: str, *, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Talks JSON-over-HTTP to one :class:`~repro.service.BetweennessService`."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8321, *, timeout: float = 600.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    def request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> Dict[str, object]:
+        """One HTTP exchange; returns the decoded JSON body."""
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload)
+            headers["Content-Type"] = "application/json"
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServiceError(
+                    f"cannot reach service at http://{self.host}:{self.port}: {exc}"
+                ) from None
+        finally:
+            conn.close()
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            raise ServiceError(
+                f"non-JSON response from service (HTTP {response.status})",
+                status=response.status,
+            ) from None
+        if response.status >= 400:
+            message = decoded.get("error") if isinstance(decoded, dict) else None
+            raise ServiceError(
+                message or f"HTTP {response.status}", status=response.status
+            )
+        return decoded
+
+    # ------------------------------------------------------------------ #
+    def health(self) -> Dict[str, object]:
+        return self.request("GET", "/healthz")
+
+    def backends(self) -> Dict[str, object]:
+        return self.request("GET", "/v1/backends")
+
+    def stats(self) -> Dict[str, object]:
+        return self.request("GET", "/v1/stats")
+
+    def query(self, **fields) -> Dict[str, object]:
+        """Submit a query (fields per the ``/v1/query`` schema)."""
+        return self.request("POST", "/v1/query", payload=fields)
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        return self.request("GET", f"/v1/jobs/{job_id}")
+
+    def cache_entries(self) -> Dict[str, object]:
+        return self.request("GET", "/v1/cache")
+
+    def cache_evict(
+        self,
+        checksum: Optional[str] = None,
+        *,
+        key: Optional[str] = None,
+        all: bool = False,
+    ) -> Dict[str, object]:
+        payload: Dict[str, object] = {}
+        if checksum is not None:
+            payload["checksum"] = checksum
+        if key is not None:
+            payload["key"] = key
+        if all:
+            payload["all"] = True
+        return self.request("POST", "/v1/cache/evict", payload=payload)
+
+    def wait_for_job(
+        self,
+        job_id: str,
+        *,
+        poll_seconds: float = 0.2,
+        timeout: Optional[float] = None,
+        on_progress: Optional[Callable[[dict], None]] = None,
+    ) -> Dict[str, object]:
+        """Poll a job until it finishes; returns the final status payload.
+
+        ``on_progress`` receives each *new* progress event at most once as it
+        appears in the polled status — the client-side view of the progress
+        stream the workers emit.  The server keeps only the tail of the event
+        stream (a 64-event ring buffer) but reports the monotonic
+        ``num_events`` total, so new events keep flowing after the buffer
+        wraps; events that scrolled out of the buffer between two polls are
+        skipped, never re-delivered.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        seen = 0
+        while True:
+            status = self.job(job_id)
+            progress = status.get("progress", [])
+            total = int(status.get("num_events", len(progress)))
+            if on_progress is not None and total > seen:
+                for event in progress[-min(total - seen, len(progress)):] if progress else []:
+                    on_progress(event)
+            seen = max(seen, total)
+            if status.get("status") in ("done", "error"):
+                return status
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(f"timed out waiting for job {job_id}")
+            time.sleep(poll_seconds)

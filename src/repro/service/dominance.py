@@ -1,0 +1,120 @@
+"""Dominance-aware result reuse: when does a cached run answer a new query?
+
+KADABRA-style guarantees compose: a run that achieved absolute error
+``eps'`` with failure probability ``delta'`` on a graph *also* satisfies any
+request for ``eps >= eps'`` and ``delta >= delta'`` on the *same* graph —
+tighter guarantees dominate looser ones.  The service exploits this: instead
+of looking the exact ``(eps, delta)`` pair up in the cache, it scans the
+cached entries for the graph and serves any entry that **dominates** the
+request, in O(ms) and with zero sampling.
+
+Three guards keep reuse sound:
+
+* **Graph identity is content, not path.**  Entries are keyed by the
+  ``.rcsr`` container checksum, so a re-converted (changed) graph can never
+  be served stale scores.
+* **Algorithm families don't mix.**  An adaptive-sampling (KADABRA-family)
+  result and a fixed-sampling (RK) result carry guarantees proved by
+  different arguments; a request pinned to one family is never served from
+  the other.  Families are derived from the backend registry's capability
+  metadata (``exact`` flag + ``cost_hint``), so new registered backends slot
+  into the policy without edits here.
+* **Exact results dominate everything.**  An exact Brandes run has
+  ``eps = 0, delta = 0``; it serves any request on that graph regardless of
+  family.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.api.registry import AUTO, get_backend
+
+__all__ = [
+    "FAMILY_ADAPTIVE",
+    "FAMILY_EXACT",
+    "FAMILY_FIXED",
+    "FAMILY_SSSP",
+    "algorithm_family",
+    "dominates",
+    "select_dominating",
+]
+
+FAMILY_EXACT = "exact"
+FAMILY_ADAPTIVE = "adaptive-sampling"
+FAMILY_FIXED = "fixed-sampling"
+FAMILY_SSSP = "source-sampling"
+
+
+def algorithm_family(algorithm: str) -> str:
+    """Map a backend (or ``"auto"``) to its guarantee family.
+
+    ``"auto"`` maps to the adaptive family: automatic selection only ever
+    picks adaptive-sampling backends on graphs large enough to need the
+    cache, and exact cached results serve every family anyway.
+    """
+    if algorithm == AUTO:
+        return FAMILY_ADAPTIVE
+    spec = get_backend(algorithm)  # raises ValueError for unknown names
+    if spec.exact:
+        return FAMILY_EXACT
+    if spec.cost_hint == "adaptive-sampling":
+        return FAMILY_ADAPTIVE
+    if spec.cost_hint == "fixed-sampling":
+        return FAMILY_FIXED
+    return FAMILY_SSSP
+
+
+def dominates(
+    cached_family: str,
+    cached_eps: Optional[float],
+    cached_delta: Optional[float],
+    *,
+    family: str,
+    eps: float,
+    delta: float,
+) -> bool:
+    """True iff a cached entry's guarantee covers the requested one.
+
+    Equality counts: a cached ``eps' == eps`` (same family, ``delta'`` no
+    worse) is a hit — the common case of re-issuing the exact same query.
+    Cached entries with unknown accuracy (``None`` eps/delta from a driver
+    invoked outside the facade) never dominate anything.
+    """
+    if cached_family == FAMILY_EXACT:
+        return True
+    if cached_family != family:
+        return False
+    if cached_eps is None or cached_delta is None:
+        return False
+    return cached_eps <= eps and cached_delta <= delta
+
+
+def select_dominating(
+    entries: Sequence[Tuple[str, Optional[float], Optional[float]]],
+    *,
+    family: str,
+    eps: float,
+    delta: float,
+) -> Optional[int]:
+    """Index of the best dominating entry among ``(family, eps, delta)`` rows.
+
+    Preference order: exact entries first, then the loosest still-dominating
+    approximate entry (largest ``(eps, delta)``) — reusing the *cheapest*
+    sufficient result leaves tighter entries untouched as the high-value
+    cache inventory.  Returns ``None`` when nothing dominates.
+    """
+    best: Optional[int] = None
+    best_rank: Tuple[int, float, float] = (2, -1.0, -1.0)
+    for i, (entry_family, entry_eps, entry_delta) in enumerate(entries):
+        if not dominates(
+            entry_family, entry_eps, entry_delta, family=family, eps=eps, delta=delta
+        ):
+            continue
+        if entry_family == FAMILY_EXACT:
+            rank = (0, 0.0, 0.0)
+        else:
+            rank = (1, -float(entry_eps), -float(entry_delta))
+        if best is None or rank < best_rank:
+            best, best_rank = i, rank
+    return best

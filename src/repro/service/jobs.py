@@ -1,0 +1,408 @@
+"""Asyncio job queue: dedup, worker pools and cached execution of queries.
+
+The :class:`JobManager` is the service's brain; the HTTP layer on top of it
+is a thin translation.  One query flows through it as:
+
+1. **Resolve** — the graph spec goes through the shared
+   :class:`~repro.store.GraphCatalog` (text inputs convert into the graph
+   cache on first touch) and comes back as an ``.rcsr`` path plus its content
+   checksum.  This runs in a thread so a first-touch conversion never stalls
+   the event loop.
+2. **Cache probe** — the :class:`~repro.service.cache.ResultCache` is scanned
+   for an entry that *dominates* the request (same graph checksum, same
+   algorithm family, eps'/delta' at least as tight; exact entries dominate
+   everything).  A hit answers in O(ms) with zero sampling.
+3. **Dedup** — an identical request (same
+   :meth:`~repro.service.schema.QueryRequest.job_key`) already in flight is
+   joined, not re-run: both clients await the same job.
+4. **Execute** — the job runs :func:`repro.api.estimate_betweenness` in a
+   worker pool: a ``ProcessPoolExecutor`` by default (sampling is CPU-bound
+   Python+numpy; separate processes sidestep the GIL), or a thread pool
+   (``worker_mode="thread"``) where in-process callbacks and monkeypatching
+   matter more than parallelism — tests, notably.  Progress events from the
+   worker stream into the job's event buffer, which polling clients read as
+   job status.
+5. **Store** — the finished result is written back to the cache, so the next
+   dominated request anywhere (any process sharing the cache dir) is a hit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from repro.core.result import BetweennessResult
+from repro.service.cache import CacheEntry, ResultCache
+from repro.service.dominance import algorithm_family
+from repro.service.schema import QueryRequest
+from repro.store import GraphCatalog
+
+__all__ = ["Job", "JobManager", "SubmitOutcome"]
+
+#: Progress events kept per job (ring buffer; clients poll the tail).
+MAX_EVENTS = 64
+
+#: Finished jobs kept for status polling before being pruned.
+MAX_FINISHED_JOBS = 256
+
+WORKER_MODES = ("process", "thread")
+
+
+def _estimate_kwargs(request: QueryRequest, resources) -> Dict[str, object]:
+    kwargs: Dict[str, object] = {
+        "algorithm": request.algorithm,
+        "eps": request.eps,
+        "delta": request.delta,
+    }
+    if request.seed is not None:
+        kwargs["seed"] = request.seed
+    if resources is not None:
+        kwargs["resources"] = resources
+    return kwargs
+
+
+def _process_run(job_id: str, graph_path: str, kwargs: Dict[str, object], queue):
+    """Worker-process entry point: run one estimation, stream progress back.
+
+    Runs in a ``ProcessPoolExecutor`` worker, so it re-imports the facade and
+    memory-maps the graph locally — the parent never ships graph data, only
+    the path.  ``queue`` is a ``multiprocessing.Manager`` queue proxy; events
+    that fail to enqueue are dropped (progress is best-effort, results are
+    not).
+    """
+    from repro.api import estimate_betweenness
+
+    def on_event(event) -> None:
+        try:
+            queue.put_nowait((job_id, event.as_dict()))
+        except Exception:
+            pass
+
+    return estimate_betweenness(graph_path, callbacks=on_event, **kwargs)
+
+
+@dataclass
+class Job:
+    """One enqueued/running/finished estimation."""
+
+    id: str
+    key: str
+    request: QueryRequest
+    checksum: str
+    graph_path: str
+    future: "asyncio.Future[BetweennessResult]" = field(repr=False)
+    status: str = "queued"  # queued | running | done | error
+    events: Deque[dict] = field(default_factory=lambda: deque(maxlen=MAX_EVENTS))
+    #: Monotonic count of events ever emitted (the deque only keeps the tail);
+    #: clients use it to detect new events across a full ring buffer.
+    num_events: int = 0
+    result: Optional[BetweennessResult] = None
+    error: Optional[str] = None
+    num_waiters: int = 1
+    created_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    def add_event(self, event: dict) -> None:
+        self.events.append(event)
+        self.num_events += 1
+
+    def status_dict(self) -> Dict[str, object]:
+        """The polling representation (``GET /v1/jobs/<id>``), without scores."""
+        out: Dict[str, object] = {
+            "job_id": self.id,
+            "status": self.status,
+            "request": self.request.as_dict(),
+            "graph_checksum": self.checksum,
+            "num_waiters": self.num_waiters,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "progress": list(self.events),
+            "num_events": self.num_events,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+@dataclass(frozen=True)
+class SubmitOutcome:
+    """What :meth:`JobManager.submit` decided for one request."""
+
+    checksum: str
+    served_from_cache: bool = False
+    deduplicated: bool = False
+    job: Optional[Job] = None
+    result: Optional[BetweennessResult] = None
+    cache_entry: Optional[CacheEntry] = None
+
+
+class JobManager:
+    """Owns the cache, the dedup table and the worker pool (see module docs).
+
+    Parameters
+    ----------
+    cache, catalog:
+        Shared :class:`ResultCache` / :class:`~repro.store.GraphCatalog`;
+        fresh defaults (honouring ``$REPRO_RESULT_CACHE`` /
+        ``$REPRO_GRAPH_CACHE``) when omitted.
+    resources:
+        :class:`~repro.api.Resources` handed to every estimation.
+    worker_mode:
+        ``"process"`` (default; one estimation per pool process) or
+        ``"thread"``.
+    max_workers:
+        Concurrent estimations.
+    estimator:
+        Thread-mode only: replaces :func:`repro.api.estimate_betweenness`
+        (must accept the same keyword arguments).  This is the seam tests use
+        to count sampling runs.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache: Optional[ResultCache] = None,
+        catalog: Optional[GraphCatalog] = None,
+        resources=None,
+        worker_mode: str = "process",
+        max_workers: int = 1,
+        estimator: Optional[Callable[..., BetweennessResult]] = None,
+    ) -> None:
+        if worker_mode not in WORKER_MODES:
+            raise ValueError(f"worker_mode must be one of {WORKER_MODES}, got {worker_mode!r}")
+        if max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        if estimator is not None and worker_mode == "process":
+            raise ValueError("a custom estimator requires worker_mode='thread'")
+        self.cache = cache if cache is not None else ResultCache()
+        self.catalog = catalog if catalog is not None else GraphCatalog()
+        self._resources = resources
+        self._worker_mode = worker_mode
+        self._max_workers = max_workers
+        self._estimator = estimator
+        self._executor = None
+        self._manager = None
+        self._event_queue = None
+        self._drain_thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._jobs: Dict[str, Job] = {}
+        self._inflight: Dict[str, Job] = {}
+        self._ids = itertools.count(1)
+        self.counters: Dict[str, int] = {
+            "queries": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "deduplicated": 0,
+            "completed": 0,
+            "failed": 0,
+            "cache_write_failures": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def _resolve(self, spec: str) -> Tuple[str, str]:
+        """Blocking: graph spec -> (.rcsr path, content checksum)."""
+        path = self.catalog.resolve(spec)
+        return str(path), self.catalog.checksum(path)
+
+    async def submit(self, request: QueryRequest) -> SubmitOutcome:
+        """Decide how a request is served: cache, an existing job, or a new one."""
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self.counters["queries"] += 1
+        graph_path, checksum = await loop.run_in_executor(
+            None, self._resolve, request.graph
+        )
+        family = algorithm_family(request.algorithm)
+        hit = await loop.run_in_executor(
+            None,
+            functools.partial(
+                self.cache.find,
+                checksum,
+                family=family,
+                eps=request.eps,
+                delta=request.delta,
+            ),
+        )
+        if hit is not None:
+            entry, result = hit
+            self.counters["cache_hits"] += 1
+            return SubmitOutcome(
+                checksum=checksum,
+                served_from_cache=True,
+                result=result,
+                cache_entry=entry,
+            )
+        self.counters["cache_misses"] += 1
+
+        key = request.job_key(checksum)
+        existing = self._inflight.get(key)
+        if existing is not None:
+            existing.num_waiters += 1
+            self.counters["deduplicated"] += 1
+            return SubmitOutcome(checksum=checksum, deduplicated=True, job=existing)
+
+        job = Job(
+            id=f"job-{next(self._ids)}",
+            key=key,
+            request=request,
+            checksum=checksum,
+            graph_path=graph_path,
+            future=loop.create_future(),
+        )
+        # Errors must reach pollers even when no submitter awaits the future.
+        job.future.add_done_callback(
+            lambda f: f.exception() if not f.cancelled() else None
+        )
+        self._jobs[job.id] = job
+        self._inflight[key] = job
+        self._prune_finished()
+        asyncio.ensure_future(self._run(job))
+        return SubmitOutcome(checksum=checksum, job=job)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def _ensure_workers(self):
+        if self._executor is not None:
+            return self._executor
+        if self._worker_mode == "process":
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._manager = multiprocessing.Manager()
+            self._event_queue = self._manager.Queue()
+            self._drain_thread = threading.Thread(
+                target=self._drain_events, name="repro-service-progress", daemon=True
+            )
+            self._drain_thread.start()
+            self._executor = ProcessPoolExecutor(max_workers=self._max_workers)
+        else:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._max_workers, thread_name_prefix="repro-service-worker"
+            )
+        return self._executor
+
+    def _drain_events(self) -> None:
+        """Daemon thread: fan worker-process progress into job buffers."""
+        while True:
+            item = self._event_queue.get()
+            if item is None:
+                return
+            job_id, event = item
+            loop = self._loop
+            if loop is not None and not loop.is_closed():
+                loop.call_soon_threadsafe(self._post_event, job_id, event)
+
+    def _post_event(self, job_id: str, event: dict) -> None:
+        job = self._jobs.get(job_id)
+        if job is not None:
+            job.add_event(event)
+
+    async def _run(self, job: Job) -> None:
+        loop = asyncio.get_running_loop()
+        executor = self._ensure_workers()
+        job.status = "running"
+        job.started_at = time.time()
+        kwargs = _estimate_kwargs(job.request, self._resources)
+        try:
+            if self._worker_mode == "process":
+                func = functools.partial(
+                    _process_run, job.id, job.graph_path, kwargs, self._event_queue
+                )
+            else:
+                estimator = self._estimator or _default_estimator()
+
+                def on_event(event) -> None:
+                    loop.call_soon_threadsafe(job.add_event, event.as_dict())
+
+                func = functools.partial(
+                    estimator, job.graph_path, callbacks=on_event, **kwargs
+                )
+            result = await loop.run_in_executor(executor, func)
+        except Exception as exc:  # noqa: BLE001 - job errors become status
+            job.status = "error"
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.finished_at = time.time()
+            self.counters["failed"] += 1
+            self._inflight.pop(job.key, None)
+            if not job.future.cancelled():
+                job.future.set_exception(exc)
+            return
+        # The cache write is an optimization: an unwritable cache directory
+        # must not turn a correctly computed result into a failed job.
+        try:
+            await loop.run_in_executor(
+                None, self.cache.put, job.checksum, job.request, result
+            )
+        except Exception as exc:  # noqa: BLE001
+            self.counters["cache_write_failures"] += 1
+            job.add_event(
+                {"phase": "cache-write-failed", "error": f"{type(exc).__name__}: {exc}"}
+            )
+        job.result = result
+        job.status = "done"
+        job.finished_at = time.time()
+        self.counters["completed"] += 1
+        self._inflight.pop(job.key, None)
+        if not job.future.cancelled():
+            job.future.set_result(result)
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    def get_job(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    def jobs(self) -> Tuple[Job, ...]:
+        return tuple(self._jobs.values())
+
+    def _prune_finished(self) -> None:
+        finished = [j for j in self._jobs.values() if j.status in ("done", "error")]
+        for job in finished[: max(0, len(finished) - MAX_FINISHED_JOBS)]:
+            self._jobs.pop(job.id, None)
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            **self.counters,
+            "inflight": len(self._inflight),
+            "worker_mode": self._worker_mode,
+            "max_workers": self._max_workers,
+            "cache_dir": str(self.cache.cache_dir),
+            "graph_cache_dir": str(self.catalog.cache_dir),
+        }
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._event_queue is not None:
+            try:
+                self._event_queue.put(None)
+            except Exception:
+                pass
+        if self._drain_thread is not None:
+            self._drain_thread.join(timeout=2.0)
+            self._drain_thread = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        if self._manager is not None:
+            self._manager.shutdown()
+            self._manager = None
+        self._event_queue = None
+
+
+def _default_estimator() -> Callable[..., BetweennessResult]:
+    from repro.api import estimate_betweenness
+
+    return estimate_betweenness

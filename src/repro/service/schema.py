@@ -1,0 +1,157 @@
+"""Request schema of the betweenness query service.
+
+One JSON object drives everything a client can ask for::
+
+    {"graph": "wiki-talk",        # catalog name, text file, or .rcsr path
+     "eps": 0.01, "delta": 0.1,   # accuracy request (absolute error / failure prob.)
+     "k": 10,                     # how many top vertices to return
+     "algorithm": "auto",         # backend registry name or "auto"
+     "seed": 42,                  # optional: deterministic runs
+     "include_scores": false,     # return the full per-vertex score vector
+     "wait": true}                # block until done vs. 202 + job polling
+
+:class:`QueryRequest` validates that object once at the edge (HTTP handler or
+CLI) so the job queue and cache only ever see well-formed requests, and
+defines the canonical identity used for in-flight deduplication: two requests
+are *identical* iff they agree on ``(graph checksum, algorithm, eps, delta,
+seed)`` — ``k``/``include_scores``/``wait`` only shape the response, so they
+never split a job.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.api.registry import AUTO, backend_names
+
+__all__ = ["QueryRequest", "SchemaError", "result_payload"]
+
+#: Hard ceiling on requested accuracy: eps below this would ask a demo
+#: service for hours of sampling; reject early with a clear error instead.
+MIN_EPS = 1e-6
+
+
+class SchemaError(ValueError):
+    """A request violates the documented JSON schema (HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """A validated betweenness query (see module docstring for the JSON form).
+
+    Attributes
+    ----------
+    graph:
+        Catalog dataset name, text graph file, or ``.rcsr`` path — resolved
+        through :class:`repro.store.GraphCatalog` exactly like the facade.
+    eps, delta:
+        Requested absolute error bound and failure probability.  The
+        dominance policy may serve the request from a cached result computed
+        at *tighter* (smaller) values.
+    k:
+        Number of top vertices in the response (clamped to the graph size).
+    algorithm:
+        A backend registry name or ``"auto"``.
+    seed:
+        Optional RNG seed.  Part of the dedup identity (two different seeds
+        are two different jobs) but *not* of the dominance check (any cached
+        result at sufficient accuracy serves, whatever seed produced it).
+    include_scores:
+        When true the response carries the full per-vertex score vector.
+    wait:
+        When true ``POST /v1/query`` blocks until the job finishes; when
+        false it returns ``202`` with a job id to poll.
+    """
+
+    graph: str
+    eps: float = 0.01
+    delta: float = 0.1
+    k: int = 10
+    algorithm: str = AUTO
+    seed: Optional[int] = None
+    include_scores: bool = False
+    wait: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.graph or not isinstance(self.graph, str):
+            raise SchemaError("'graph' must be a non-empty string (name or path)")
+        if not isinstance(self.eps, (int, float)) or isinstance(self.eps, bool):
+            raise SchemaError("'eps' must be a number")
+        if not isinstance(self.delta, (int, float)) or isinstance(self.delta, bool):
+            raise SchemaError("'delta' must be a number")
+        if not MIN_EPS <= float(self.eps) <= 1.0:
+            raise SchemaError(f"'eps' must be in [{MIN_EPS}, 1], got {self.eps!r}")
+        if not 0.0 < float(self.delta) < 1.0:
+            raise SchemaError(f"'delta' must be in (0, 1), got {self.delta!r}")
+        if not isinstance(self.k, int) or isinstance(self.k, bool) or self.k < 0:
+            raise SchemaError(f"'k' must be a non-negative integer, got {self.k!r}")
+        if self.algorithm != AUTO and self.algorithm not in backend_names():
+            known = ", ".join((AUTO, *backend_names()))
+            raise SchemaError(
+                f"unknown algorithm {self.algorithm!r}; known: {known}"
+            )
+        if self.seed is not None and (
+            not isinstance(self.seed, int) or isinstance(self.seed, bool)
+        ):
+            raise SchemaError(f"'seed' must be an integer or null, got {self.seed!r}")
+        object.__setattr__(self, "eps", float(self.eps))
+        object.__setattr__(self, "delta", float(self.delta))
+
+    _FIELDS = ("graph", "eps", "delta", "k", "algorithm", "seed", "include_scores", "wait")
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "QueryRequest":
+        """Build and validate a request from decoded JSON.
+
+        Unknown keys are rejected (a typoed ``"epsilon"`` must not silently
+        run at the default accuracy).
+        """
+        if not isinstance(payload, dict):
+            raise SchemaError("request body must be a JSON object")
+        unknown = set(payload) - set(cls._FIELDS)
+        if unknown:
+            raise SchemaError(
+                f"unknown request field(s) {sorted(unknown)}; "
+                f"valid fields: {list(cls._FIELDS)}"
+            )
+        if "graph" not in payload:
+            raise SchemaError("request is missing the required 'graph' field")
+        for flag in ("include_scores", "wait"):
+            if flag in payload and not isinstance(payload[flag], bool):
+                raise SchemaError(f"'{flag}' must be a boolean")
+        try:
+            return cls(**payload)  # type: ignore[arg-type]
+        except TypeError as exc:  # e.g. non-string algorithm
+            raise SchemaError(str(exc)) from None
+
+    def as_dict(self) -> Dict[str, object]:
+        """The request back as a JSON-serializable dict (echoed in job status)."""
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+    def job_key(self, checksum: str) -> str:
+        """Canonical identity of the *work* this request asks for.
+
+        Two in-flight requests with the same key are the same job: the key
+        covers the graph contents (``checksum``, not the spelling of the
+        path), the algorithm, the accuracy pair and the seed — and omits the
+        response-shaping fields (``k``, ``include_scores``, ``wait``).
+        """
+        material = f"{checksum}|{self.algorithm}|{self.eps!r}|{self.delta!r}|{self.seed!r}"
+        return hashlib.sha1(material.encode()).hexdigest()[:16]
+
+
+def result_payload(result, k: int, *, include_scores: bool = False) -> Dict[str, object]:
+    """Shape a :class:`~repro.core.result.BetweennessResult` for a response.
+
+    The full score vector is omitted unless asked for — on million-vertex
+    graphs it is the difference between a 200-byte and a 20 MB response.
+    """
+    payload = result.to_json_dict()
+    scores = payload.pop("scores")
+    if include_scores:
+        payload["scores"] = scores
+    payload["num_vertices"] = result.num_vertices
+    payload["top"] = [[v, s] for v, s in result.top_k(k)]
+    return payload

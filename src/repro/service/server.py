@@ -1,0 +1,379 @@
+"""Minimal asyncio JSON-over-HTTP server for betweenness queries.
+
+Built directly on :func:`asyncio.start_server` — no ``http.server``, no
+third-party framework — because the protocol surface is tiny: every endpoint
+speaks one JSON object per request/response over short-lived HTTP/1.1
+connections (``Connection: close``).  The endpoints (full request/response
+schemas in ``docs/serving.md``):
+
+==========================  ====================================================
+``GET  /healthz``           liveness + version
+``GET  /v1/backends``       the backend registry as JSON
+``POST /v1/query``          submit a query; cache hit -> 200 immediately,
+                            ``wait=true`` -> 200 when done, else 202 + job id
+``GET  /v1/jobs``           all tracked jobs (status only)
+``GET  /v1/jobs/<id>``      one job: status, streamed progress events, result
+``GET  /v1/cache``          cached result entries (metadata only)
+``POST /v1/cache/evict``    evict by checksum / key / everything
+``GET  /v1/stats``          counters: hits, misses, dedups, inflight
+==========================  ====================================================
+
+The long-run story is the almost-asynchronous epoch design of the paper
+carried to the serving layer: a slow estimation never blocks the event loop
+(it runs in the job manager's worker pool), and clients that did not ask to
+wait poll ``/v1/jobs/<id>``, seeing the progress events the sampler emits
+epoch by epoch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+
+from repro.service.cache import ResultCache
+from repro.service.jobs import JobManager
+from repro.service.schema import QueryRequest, SchemaError, result_payload
+from repro.store import GraphCatalog, StoreFormatError
+
+__all__ = ["BetweennessService", "run_server"]
+
+#: Largest accepted request body; queries are small, so anything bigger is
+#: a client bug (or abuse) and gets 413.
+MAX_BODY_BYTES = 1 << 20
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class BetweennessService:
+    """The query service: one :class:`JobManager` behind an asyncio socket.
+
+    Construction is cheap and does not bind the port; :meth:`start` does.
+    Keyword arguments mirror :class:`~repro.service.jobs.JobManager` (cache,
+    catalog, resources, worker pool) plus ``host``/``port`` (``port=0`` binds
+    an ephemeral port, reported via :attr:`port` — how tests and the smoke
+    script avoid collisions).
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8321,
+        cache: Optional[ResultCache] = None,
+        cache_dir=None,
+        catalog: Optional[GraphCatalog] = None,
+        resources=None,
+        worker_mode: str = "process",
+        max_workers: int = 1,
+        estimator=None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        if cache is None:
+            cache = ResultCache(cache_dir) if cache_dir is not None else ResultCache()
+        self.jobs = JobManager(
+            cache=cache,
+            catalog=catalog,
+            resources=resources,
+            worker_mode=worker_mode,
+            max_workers=max_workers,
+            estimator=estimator,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Bind and start accepting connections; resolves :attr:`port`."""
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.jobs.close()
+
+    # ------------------------------------------------------------------ #
+    # HTTP plumbing
+    # ------------------------------------------------------------------ #
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                status, payload = await self._handle_request(reader)
+            except _HttpError as exc:
+                status, payload = exc.status, {"error": exc.message}
+            except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+                return
+            except Exception as exc:  # noqa: BLE001 - never kill the acceptor
+                status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+            body = json.dumps(payload).encode()
+            head = (
+                f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n"
+            ).encode()
+            try:
+                writer.write(head + body)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                # The client hung up before the response flushed; their loss.
+                return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_request(self, reader: asyncio.StreamReader) -> Tuple[int, dict]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            raise _HttpError(400, "empty request")
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise _HttpError(400, f"malformed request line: {request_line!r}")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _HttpError(400, "invalid Content-Length") from None
+        if length < 0:
+            raise _HttpError(400, "invalid Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, f"request body over {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length) if length else b""
+        path, _, query = target.partition("?")
+        return await self._route(method.upper(), path, body, query)
+
+    @staticmethod
+    def _json_body(body: bytes) -> dict:
+        if not body:
+            return {}
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise _HttpError(400, f"invalid JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # Routes
+    # ------------------------------------------------------------------ #
+    async def _route(
+        self, method: str, path: str, body: bytes, query: str = ""
+    ) -> Tuple[int, dict]:
+        if path == "/healthz" and method == "GET":
+            from repro import __version__
+
+            return 200, {"ok": True, "version": __version__}
+        if path == "/v1/backends" and method == "GET":
+            return 200, self._backends_payload()
+        if path == "/v1/query":
+            if method != "POST":
+                raise _HttpError(405, "use POST /v1/query")
+            return await self._query(self._json_body(body))
+        if path == "/v1/jobs" and method == "GET":
+            return 200, {"jobs": [job.status_dict() for job in self.jobs.jobs()]}
+        if path.startswith("/v1/jobs/") and method == "GET":
+            return self._job_status(path[len("/v1/jobs/") :], query)
+        if path == "/v1/cache" and method == "GET":
+            entries = self.jobs.cache.entries()
+            return 200, {
+                "cache_dir": str(self.jobs.cache.cache_dir),
+                "entries": [entry.as_dict() for entry in entries],
+            }
+        if path == "/v1/cache/evict":
+            if method != "POST":
+                raise _HttpError(405, "use POST /v1/cache/evict")
+            return self._evict(self._json_body(body))
+        if path == "/v1/stats" and method == "GET":
+            return 200, self.jobs.stats()
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    @staticmethod
+    def _backends_payload() -> dict:
+        from repro.api import list_backends
+
+        return {
+            "backends": [
+                {
+                    "name": spec.name,
+                    "exact": spec.exact,
+                    "supports_threads": spec.supports_threads,
+                    "supports_processes": spec.supports_processes,
+                    "supports_batching": spec.supports_batching,
+                    "cost_hint": spec.cost_hint,
+                    "description": spec.description,
+                }
+                for spec in list_backends()
+            ]
+        }
+
+    async def _query(self, payload: dict) -> Tuple[int, dict]:
+        try:
+            request = QueryRequest.from_dict(payload)
+        except SchemaError as exc:
+            raise _HttpError(400, str(exc)) from None
+        try:
+            outcome = await self.jobs.submit(request)
+        except FileNotFoundError as exc:
+            raise _HttpError(404, str(exc)) from None
+        except (StoreFormatError, ValueError, OSError) as exc:
+            raise _HttpError(400, f"{type(exc).__name__}: {exc}") from None
+
+        if outcome.served_from_cache:
+            entry = outcome.cache_entry
+            return 200, {
+                "status": "done",
+                "served_from_cache": True,
+                "graph_checksum": outcome.checksum,
+                "cache_entry": entry.key if entry is not None else None,
+                "cached_eps": entry.eps if entry is not None else None,
+                "cached_delta": entry.delta if entry is not None else None,
+                "job_id": None,
+                "result": result_payload(
+                    outcome.result, request.k, include_scores=request.include_scores
+                ),
+            }
+
+        job = outcome.job
+        if not request.wait:
+            return 202, {
+                "status": job.status,
+                "served_from_cache": False,
+                "deduplicated": outcome.deduplicated,
+                "graph_checksum": outcome.checksum,
+                "job_id": job.id,
+                "poll": f"/v1/jobs/{job.id}",
+            }
+        try:
+            result = await asyncio.shield(job.future)
+        except Exception as exc:  # noqa: BLE001 - job failure -> structured error
+            raise _HttpError(500, f"job {job.id} failed: {exc}") from None
+        return 200, {
+            "status": "done",
+            "served_from_cache": False,
+            "deduplicated": outcome.deduplicated,
+            "graph_checksum": outcome.checksum,
+            "job_id": job.id,
+            "result": result_payload(
+                result, request.k, include_scores=request.include_scores
+            ),
+        }
+
+    def _job_status(self, job_id: str, query: str = "") -> Tuple[int, dict]:
+        job = self.jobs.get_job(job_id)
+        if job is None:
+            raise _HttpError(404, f"unknown job {job_id!r}")
+        # k / include_scores only shape the response and never split a job, so
+        # a deduplicated poller may want a different shape than the request
+        # that created the job: ?k=25&include_scores=true override it.
+        from urllib.parse import parse_qs
+
+        params = parse_qs(query)
+        k = job.request.k
+        if "k" in params:
+            try:
+                k = int(params["k"][-1])
+            except ValueError:
+                raise _HttpError(400, f"invalid k {params['k'][-1]!r}") from None
+            if k < 0:
+                raise _HttpError(400, "k must be non-negative")
+        include_scores = job.request.include_scores
+        if "include_scores" in params:
+            include_scores = params["include_scores"][-1].lower() in ("1", "true", "yes")
+        payload = job.status_dict()
+        if job.status == "done" and job.result is not None:
+            payload["result"] = result_payload(
+                job.result, k, include_scores=include_scores
+            )
+        return 200, payload
+
+    def _evict(self, payload: dict) -> Tuple[int, dict]:
+        checksum = payload.get("checksum")
+        key = payload.get("key")
+        if checksum is None and key is None and payload.get("all") is not True:
+            raise _HttpError(
+                400, "specify 'checksum', 'key', or 'all': true to clear the cache"
+            )
+        removed = self.jobs.cache.evict(checksum, key=key)
+        return 200, {"evicted": removed}
+
+
+def run_server(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    cache_dir=None,
+    worker_mode: str = "process",
+    max_workers: int = 1,
+    resources=None,
+    announce=print,
+) -> None:
+    """Blocking entry point used by ``repro-betweenness serve``.
+
+    Runs until interrupted (Ctrl-C); ``announce`` receives one line with the
+    bound address once the socket is listening.
+    """
+
+    async def _main() -> None:
+        service = BetweennessService(
+            host=host,
+            port=port,
+            cache_dir=cache_dir,
+            worker_mode=worker_mode,
+            max_workers=max_workers,
+            resources=resources,
+        )
+        await service.start()
+        announce(
+            f"repro betweenness service listening on "
+            f"http://{service.host}:{service.port} "
+            f"(worker_mode={worker_mode}, max_workers={max_workers}, "
+            f"result cache: {service.jobs.cache.cache_dir})"
+        )
+        try:
+            await service.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass

@@ -17,9 +17,11 @@ Three pieces (see ``docs/formats.md`` for the on-disk specification):
 
 from repro.store.catalog import (
     CACHE_ENV_VAR,
+    RESULT_CACHE_ENV_VAR,
     GraphCatalog,
     GraphInfo,
     default_cache_dir,
+    default_result_cache_dir,
     graph_info,
     load_graph,
 )
@@ -43,6 +45,7 @@ from repro.store.format import (
 
 __all__ = [
     "CACHE_ENV_VAR",
+    "RESULT_CACHE_ENV_VAR",
     "ConversionReport",
     "FORMAT_VERSION",
     "GraphCatalog",
@@ -55,6 +58,7 @@ __all__ = [
     "convert_edge_list",
     "convert_metis",
     "default_cache_dir",
+    "default_result_cache_dir",
     "graph_info",
     "load_graph",
     "open_rcsr",

@@ -46,9 +46,11 @@ from repro.store.format import (
 
 __all__ = [
     "CACHE_ENV_VAR",
+    "RESULT_CACHE_ENV_VAR",
     "GraphCatalog",
     "GraphInfo",
     "default_cache_dir",
+    "default_result_cache_dir",
     "load_graph",
     "graph_info",
 ]
@@ -56,6 +58,7 @@ __all__ = [
 PathLike = Union[str, Path]
 
 CACHE_ENV_VAR = "REPRO_GRAPH_CACHE"
+RESULT_CACHE_ENV_VAR = "REPRO_RESULT_CACHE"
 
 _SIDECAR_VERSION = 1
 
@@ -66,6 +69,20 @@ def default_cache_dir() -> Path:
     if env:
         return Path(env)
     return Path.home() / ".cache" / "repro" / "graphs"
+
+
+def default_result_cache_dir() -> Path:
+    """Where the query service caches betweenness results.
+
+    ``$REPRO_RESULT_CACHE`` when set; otherwise a ``results`` directory *next
+    to* the graph cache (``<graph-cache>/../results``, i.e.
+    ``~/.cache/repro/results`` in the default layout) so relocating
+    ``$REPRO_GRAPH_CACHE`` carries the result cache along with it.
+    """
+    env = os.environ.get(RESULT_CACHE_ENV_VAR)
+    if env:
+        return Path(env)
+    return default_cache_dir().parent / "results"
 
 
 @dataclass
@@ -418,6 +435,41 @@ class GraphCatalog:
         if info is not None:
             return info
         return self._write_sidecar(rcsr_path, name=rcsr_path.stem, source=None)
+
+    def checksum(self, spec: PathLike) -> str:
+        """The content checksum of a stored graph (``"crc32:<16 hex>"``).
+
+        One header read of the resolved ``.rcsr`` container — no sidecar, no
+        graph traversal.  This is the key the query-service result cache uses
+        to tie cached betweenness scores to exact graph contents: re-convert a
+        changed source file and the checksum (hence the cache key) changes.
+        """
+        return _header_checksum(read_header(self.resolve(spec)))
+
+    def cached_checksum(self, spec: PathLike) -> Optional[str]:
+        """Like :meth:`checksum`, but **never converts** — ``None`` instead.
+
+        Resolution is limited to what already exists: an ``.rcsr`` path, a
+        registered name, or a text input whose converted form is already in
+        the cache.  Callers that only need the checksum *if* the graph is
+        stored (e.g. ``repro-betweenness cache evict --graph``) use this so
+        an eviction can never trigger a multi-gigabyte conversion.
+        """
+        candidates: List[Path] = []
+        path = Path(spec)
+        if path.exists():
+            candidates.append(path if path.suffix == ".rcsr" else self.rcsr_path_for(path))
+        else:
+            recorded = self._read_registry().get(str(spec))
+            if recorded is not None:
+                candidates.append(Path(recorded))
+        for candidate in candidates:
+            if candidate.exists():
+                try:
+                    return _header_checksum(read_header(candidate))
+                except (OSError, StoreFormatError):
+                    return None
+        return None
 
     def cached_info(self, rcsr_path: PathLike) -> Optional[GraphInfo]:
         """The sidecar of a stored graph if a valid one exists — never computes.

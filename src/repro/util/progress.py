@@ -44,6 +44,21 @@ class ProgressEvent:
     omega: Optional[int] = None
     backend: Optional[str] = None
 
+    def as_dict(self) -> dict:
+        """The event as a JSON-serializable dict.
+
+        This is the representation the query service streams to polling
+        clients as job progress (``GET /v1/jobs/<id>``, see
+        ``docs/serving.md``).
+        """
+        return {
+            "phase": self.phase,
+            "epoch": int(self.epoch),
+            "num_samples": int(self.num_samples),
+            "omega": None if self.omega is None else int(self.omega),
+            "backend": self.backend,
+        }
+
 
 ProgressCallback = Callable[[ProgressEvent], None]
 
