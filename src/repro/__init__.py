@@ -41,8 +41,24 @@ source-sampling  approx  no       no         n-sssp
 
 New backends are added with :func:`repro.api.register_backend`; the legacy
 per-algorithm classes (``KadabraBetweenness``, ``SharedMemoryKadabra``,
-``DistributedKadabra``, ``RKBetweenness``) still work but are deprecated
-shims over the same implementations.
+``DistributedKadabra``, ``RKBetweenness``, ``SourceSamplingBetweenness``)
+still work but are deprecated shims over the same implementations.
+
+Sessions
+--------
+``estimate_betweenness`` is a one-shot shim over the session layer
+(:mod:`repro.session`).  Keeping the session instead unlocks incremental
+refinement, checkpoint/resume and confidence-aware queries:
+
+>>> from repro import open_session
+>>> session = open_session(graph, seed=0)
+>>> first = session.run(eps=0.05)                      # doctest: +SKIP
+>>> tighter = session.refine(eps=0.025)                # doctest: +SKIP
+>>> session.checkpoint("run.snap")                     # doctest: +SKIP
+
+``refine`` draws only the additional samples the tighter guarantee needs and
+is bit-identical to a fresh run at the tighter target (same seed); see
+``docs/sessions.md``.
 """
 
 from repro.api import (
@@ -63,6 +79,13 @@ from repro.core import (
     compute_omega,
 )
 from repro.graph import CSRGraph, GraphBuilder
+from repro.session import (
+    EstimationSession,
+    SessionCapabilityError,
+    SessionStateError,
+    SnapshotError,
+    open_session,
+)
 from repro.store import GraphCatalog, load_graph
 from repro.baselines import brandes_betweenness, RKBetweenness
 
@@ -72,9 +95,14 @@ __all__ = [
     "BackendSpec",
     "BetweennessResult",
     "CSRGraph",
+    "EstimationSession",
     "GraphBuilder",
     "GraphCatalog",
     "load_graph",
+    "open_session",
+    "SessionCapabilityError",
+    "SessionStateError",
+    "SnapshotError",
     "KadabraBetweenness",
     "KadabraOptions",
     "ProgressEvent",

@@ -18,7 +18,7 @@ from typing import Optional
 from repro.api.registry import EXACT_AUTO_VERTEX_LIMIT, register_backend
 from repro.baselines.brandes import brandes_betweenness
 from repro.baselines.rk import _RKBetweenness
-from repro.baselines.source_sampling import SourceSamplingBetweenness, source_sample_size
+from repro.baselines.source_sampling import _SourceSamplingBetweenness, source_sample_size
 from repro.core.kadabra import _SequentialKadabra
 from repro.core.options import KadabraOptions
 from repro.core.result import BetweennessResult
@@ -135,7 +135,7 @@ def _run_source_sampling(
             source_sample_size(options.eps, options.delta, graph.num_vertices),
             int(options.max_samples_override),
         )
-    return SourceSamplingBetweenness(
+    return _SourceSamplingBetweenness(
         graph,
         eps=options.eps,
         delta=options.delta,
@@ -152,6 +152,7 @@ def register_default_backends(*, replace: bool = False) -> None:
         _run_sequential,
         description="Sequential KADABRA adaptive sampling (Section III)",
         supports_batching=True,
+        supports_refinement=True,
         cost_hint="adaptive-sampling",
         auto_rank=10,
         replace=replace,

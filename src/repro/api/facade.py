@@ -5,6 +5,15 @@ epoch parallelization, the MPI-style distributed algorithms, the RK and
 source-sampling baselines or exact Brandes — behind a uniform signature and a
 uniform :class:`~repro.core.result.BetweennessResult` schema (backend name,
 resource configuration and phase timings are always populated).
+
+Since the session redesign this function is a thin compatibility shim over
+:func:`repro.session.open_session`: it opens a single-use
+:class:`~repro.session.EstimationSession`, runs it to the requested target
+and stamps the uniform schema.  Callers that keep the session instead gain
+incremental refinement, checkpoint/resume and confidence-aware queries; the
+``checkpoint_path``/``resume_from`` keywords below expose the two
+session capabilities that make sense for one-shot calls (producing a
+refinable checkpoint, and serving a tighter request from one).
 """
 
 from __future__ import annotations
@@ -15,7 +24,7 @@ from pathlib import Path
 from typing import Iterable, Optional, Union
 
 from repro.api import backends as _backends  # noqa: F401  (populates the registry)
-from repro.api.registry import AUTO, BackendSpec, get_backend, select_backend
+from repro.api.registry import AUTO
 from repro.api.resources import Resources
 from repro.core.options import KadabraOptions
 from repro.core.result import BetweennessResult
@@ -59,6 +68,104 @@ def _build_options(
     return base.with_(**changes) if changes else base
 
 
+def _finalize_result(
+    result: BetweennessResult,
+    *,
+    backend: str,
+    resources: Resources,
+    eps: float,
+    delta: float,
+    elapsed: float,
+    progress: Optional[ProgressCallback],
+) -> BetweennessResult:
+    """Stamp the uniform facade schema onto a backend result."""
+    result.backend = backend
+    result.resources = resources.as_dict()
+    result.eps = eps
+    result.delta = delta
+    result.phase_seconds.setdefault("total", elapsed)
+    # One-shot runs drew everything they used; session refinement fills the
+    # split itself.  Normalising here keeps the accounting readable for every
+    # backend, exact ones included (0 drawn, 0 reused).
+    if result.samples_drawn == 0 and result.samples_reused == 0:
+        result.samples_drawn = int(result.num_samples)
+    if progress is not None:
+        progress(
+            ProgressEvent(
+                phase="done",
+                epoch=result.num_epochs,
+                num_samples=result.num_samples,
+                omega=result.omega,
+            )
+        )
+    return result
+
+
+def _resume_estimate(
+    graph,
+    opts: KadabraOptions,
+    resources: Resources,
+    callbacks,
+    resume_from,
+    checkpoint_path,
+) -> BetweennessResult:
+    """Serve the request by restoring a session checkpoint and refining it.
+
+    A checkpoint that cannot be restored (truncated, corrupted, or written
+    against different graph contents) degrades to a cold run at the requested
+    target instead of failing the call: resuming is an optimization, and a
+    bad snapshot on disk must not turn a correctly answerable request into an
+    error.  A *seed mismatch* after a successful restore still raises — that
+    is a contract violation by the caller, not bad cache state.
+    """
+    import warnings
+
+    from repro.session import EstimationSession, SnapshotError
+
+    progress = tag_backend(combine_callbacks(callbacks), "sequential")
+    start = time.perf_counter()
+    try:
+        session = EstimationSession.restore(
+            resume_from,
+            graph=graph,
+            progress=progress,
+            batch_size=resources.batch_size if resources.batch_size != "auto" else None,
+        )
+    except (SnapshotError, OSError) as exc:
+        warnings.warn(
+            f"cannot resume from {resume_from} ({exc}); running cold instead",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return _cold_estimate(
+            graph, "sequential", opts, resources, callbacks, checkpoint_path
+        )
+    if opts.seed is not None and session.seed is not None and opts.seed != session.seed:
+        raise ValueError(
+            f"seed mismatch: requested seed {opts.seed} but the checkpoint was "
+            f"produced with seed {session.seed}"
+        )
+    # Refine to the tightest of (request, checkpoint) per dimension: the
+    # result then dominates the request, and monotonicity keeps the refine
+    # sound even when the request is tighter in only one dimension.
+    eff_eps = min(opts.eps, session.eps) if session.eps is not None else opts.eps
+    eff_delta = (
+        min(opts.delta, session.delta) if session.delta is not None else opts.delta
+    )
+    result = session.refine(eff_eps, eff_delta)
+    if checkpoint_path is not None:
+        session.checkpoint(checkpoint_path)
+    return _finalize_result(
+        result,
+        backend=session.algorithm,
+        resources=resources,
+        eps=eff_eps,
+        delta=eff_delta,
+        elapsed=time.perf_counter() - start,
+        progress=progress,
+    )
+
+
 def estimate_betweenness(
     graph: Union[CSRGraph, str, Path],
     *,
@@ -69,6 +176,8 @@ def estimate_betweenness(
     resources: Optional[Resources] = None,
     callbacks: Union[ProgressCallback, Iterable[ProgressCallback], None] = None,
     options: Optional[KadabraOptions] = None,
+    checkpoint_path: Union[str, Path, None] = None,
+    resume_from: Union[str, Path, None] = None,
     **option_overrides,
 ) -> BetweennessResult:
     """Estimate (or compute exactly) the betweenness of every vertex.
@@ -110,6 +219,22 @@ def estimate_betweenness(
     options:
         A pre-built :class:`~repro.core.options.KadabraOptions`; explicit
         ``eps``/``delta``/``seed`` and keyword overrides are layered on top.
+    checkpoint_path:
+        If set and the resolved backend supports refinement (see
+        ``supports_refinement`` in the registry), the finished session is
+        snapshotted there — a later call can then serve a *tighter* request
+        via ``resume_from`` instead of resampling from zero.
+    resume_from:
+        Path to a session checkpoint (from ``checkpoint_path`` or
+        :meth:`repro.session.EstimationSession.checkpoint`).  The call
+        restores the session and refines it to the tightest of the requested
+        and checkpointed ``(eps, delta)`` — drawing only the additional
+        samples, bit-identical to a fresh run at that target with the same
+        seed.  ``algorithm`` is ignored (the checkpoint pins the engine) and
+        an explicitly different ``seed`` is rejected.  An *unreadable*
+        checkpoint (truncated, corrupted, stale graph) degrades to a cold
+        run with a ``RuntimeWarning`` instead of failing — resuming is an
+        optimization, never a correctness dependency.
     **option_overrides:
         Any further :class:`~repro.core.options.KadabraOptions` field (e.g.
         ``calibration_samples=200``, ``max_samples_override=5000``).
@@ -117,10 +242,11 @@ def estimate_betweenness(
     Returns
     -------
     BetweennessResult
-        With the uniform facade schema: ``backend``, ``resources`` and a
-        ``"total"`` phase timing are always populated and ``eps``/``delta``
-        echo the request.  The result serializes to the stable JSON schema
-        of ``docs/serving.md`` via
+        With the uniform facade schema: ``backend``, ``resources``, a
+        ``"total"`` phase timing and the ``samples_drawn``/``samples_reused``
+        accounting are always populated and ``eps``/``delta`` echo the
+        request.  The result serializes to the stable JSON schema of
+        ``docs/serving.md`` via
         :meth:`~repro.core.result.BetweennessResult.to_json` — the same
         representation the query service (:mod:`repro.service`) caches,
         reuses under (eps, delta) dominance, and returns over HTTP.
@@ -136,30 +262,42 @@ def estimate_betweenness(
     if not isinstance(resources, Resources):
         raise TypeError("resources must be a repro.api.Resources instance")
 
-    spec: BackendSpec
-    if algorithm == AUTO:
-        spec = select_backend(graph.num_vertices, resources)
-    else:
-        spec = get_backend(algorithm)
-
-    progress = tag_backend(combine_callbacks(callbacks), spec.name)
-    start = time.perf_counter()
-    result = spec.runner(graph, opts, resources, progress)
-    elapsed = time.perf_counter() - start
-
-    # Uniform result schema, regardless of which backend ran.
-    result.backend = spec.name
-    result.resources = resources.as_dict()
-    result.eps = opts.eps
-    result.delta = opts.delta
-    result.phase_seconds.setdefault("total", elapsed)
-    if progress is not None:
-        progress(
-            ProgressEvent(
-                phase="done",
-                epoch=result.num_epochs,
-                num_samples=result.num_samples,
-                omega=result.omega,
-            )
+    if resume_from is not None:
+        return _resume_estimate(
+            graph, opts, resources, callbacks, resume_from, checkpoint_path
         )
-    return result
+    return _cold_estimate(graph, algorithm, opts, resources, callbacks, checkpoint_path)
+
+
+def _cold_estimate(
+    graph,
+    algorithm: str,
+    opts: KadabraOptions,
+    resources: Resources,
+    callbacks,
+    checkpoint_path,
+) -> BetweennessResult:
+    """Run a fresh single-use session (the classic one-shot code path)."""
+    from repro.session import open_session
+
+    session = open_session(
+        graph,
+        algorithm=algorithm,
+        options=opts,
+        resources=resources,
+        callbacks=callbacks,
+    )
+    start = time.perf_counter()
+    result = session.run()
+    elapsed = time.perf_counter() - start
+    if checkpoint_path is not None and session.supports_refinement:
+        session.checkpoint(checkpoint_path)
+    return _finalize_result(
+        result,
+        backend=session.algorithm,
+        resources=resources,
+        eps=opts.eps,
+        delta=opts.delta,
+        elapsed=elapsed,
+        progress=session.progress,
+    )

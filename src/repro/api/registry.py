@@ -61,6 +61,14 @@ class BackendSpec:
     supports_batching:
         Whether the backend honours ``Resources.batch_size`` (i.e. samples
         through the batch-oriented kernels of :mod:`repro.kernels`).
+    supports_refinement:
+        Whether :func:`repro.session.open_session` can drive the backend as
+        a fully resumable session (``refine``/``checkpoint``/``restore``).
+        Only set this for backends whose sampling is performed by the native
+        incremental sequential engine; the session layer uses the flag to
+        decide between the native engine and one-shot delegation, and the
+        query service uses it to decide which cached results may carry a
+        refinable checkpoint.
     cost_hint:
         Coarse cost model: ``"adaptive-sampling"`` (KADABRA-style),
         ``"fixed-sampling"`` (a-priori bound) or ``"n-sssp"`` (per-source
@@ -81,6 +89,7 @@ class BackendSpec:
     supports_threads: bool = False
     supports_processes: bool = False
     supports_batching: bool = False
+    supports_refinement: bool = False
     cost_hint: str = "adaptive-sampling"
     auto_rank: int = 100
     max_auto_vertices: Optional[int] = None
@@ -98,6 +107,7 @@ def register_backend(
     supports_threads: bool = False,
     supports_processes: bool = False,
     supports_batching: bool = False,
+    supports_refinement: bool = False,
     cost_hint: str = "adaptive-sampling",
     auto_rank: int = 100,
     max_auto_vertices: Optional[int] = None,
@@ -124,6 +134,7 @@ def register_backend(
         supports_threads=supports_threads,
         supports_processes=supports_processes,
         supports_batching=supports_batching,
+        supports_refinement=supports_refinement,
         cost_hint=cost_hint,
         auto_rank=auto_rank,
         max_auto_vertices=max_auto_vertices,
@@ -194,7 +205,7 @@ def select_backend(num_vertices: int, resources: Resources) -> BackendSpec:
 
 def format_backend_table() -> str:
     """A plain-text capability table of all registered backends."""
-    headers = ("name", "kind", "threads", "processes", "batching", "cost", "description")
+    headers = ("name", "kind", "threads", "processes", "batching", "refine", "cost", "description")
     rows = [
         (
             spec.name,
@@ -202,6 +213,7 @@ def format_backend_table() -> str:
             "yes" if spec.supports_threads else "no",
             "yes" if spec.supports_processes else "no",
             "yes" if spec.supports_batching else "no",
+            "yes" if spec.supports_refinement else "no",
             spec.cost_hint,
             spec.description,
         )

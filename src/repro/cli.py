@@ -10,6 +10,9 @@ Usage::
     python -m repro.cli serve [--host H] [--port P] [--workers N]
     python -m repro.cli query GRAPH [--eps 0.01] [--delta 0.1] [--port P]
     python -m repro.cli cache ls|evict [...]
+    python -m repro.cli session run GRAPH --checkpoint S [--eps E] [...]
+    python -m repro.cli session refine SNAPSHOT --eps E [--delta D] [...]
+    python -m repro.cli session checkpoint SNAPSHOT [--json]
     python -m repro.cli --list-backends
 
 The ``--algorithm`` choices are derived from the backend registry in
@@ -25,6 +28,11 @@ proves the graph connected).
 ``serve`` starts the cached query service of :mod:`repro.service` (see
 ``docs/serving.md``), ``query`` talks to a running one, and ``cache``
 inspects/evicts its on-disk result cache.
+
+``session`` exposes the resumable-session layer (see ``docs/sessions.md``):
+``session run`` estimates and writes a checkpoint, ``session refine``
+restores a checkpoint and tightens eps/delta by drawing only the additional
+samples, and ``session checkpoint`` inspects a snapshot file.
 """
 
 from __future__ import annotations
@@ -48,9 +56,10 @@ __all__ = [
     "build_serve_parser",
     "build_query_parser",
     "build_cache_parser",
+    "build_session_parser",
 ]
 
-SUBCOMMANDS = ("convert", "info", "serve", "query", "cache")
+SUBCOMMANDS = ("convert", "info", "serve", "query", "cache", "session")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -265,6 +274,64 @@ def build_cache_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_session_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-betweenness session",
+        description="Resumable estimation sessions: run with a checkpoint, "
+        "refine a checkpoint to a tighter guarantee by drawing only the "
+        "additional samples, or inspect a snapshot file.",
+        epilog="Refinement is bit-identical to a fresh run at the tighter "
+        "target for the same seed; semantics and a worked example are in "
+        "docs/sessions.md.",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    run = sub.add_parser("run", help="estimate and write a session checkpoint")
+    run.add_argument("graph", help="edge-list file, .rcsr store, or dataset name")
+    run.add_argument("--eps", type=float, default=0.01, help="absolute error bound (default 0.01)")
+    run.add_argument("--delta", type=float, default=0.1, help="failure probability (default 0.1)")
+    run.add_argument("--seed", type=int, default=None, help="RNG seed (pin it to make later refines deterministic)")
+    run.add_argument("--checkpoint", required=True, help="where to write the session snapshot")
+    run.add_argument("--top", type=int, default=10, help="number of top vertices to print")
+    run.add_argument("--output", default=None, help="write the full result as JSON")
+    run.add_argument(
+        "--batch-size",
+        default="auto",
+        help="sampling batch size: 'auto' (default) or a positive integer",
+    )
+    run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="parse text inputs directly instead of the binary graph cache",
+    )
+
+    refine = sub.add_parser(
+        "refine", help="restore a checkpoint and tighten its guarantee"
+    )
+    refine.add_argument("snapshot", help="session snapshot written by 'session run'")
+    refine.add_argument("--eps", type=float, default=None, help="new absolute error bound (default: keep)")
+    refine.add_argument("--delta", type=float, default=None, help="new failure probability (default: keep)")
+    refine.add_argument(
+        "--graph",
+        default=None,
+        help="graph to resume against (default: the source recorded in the snapshot)",
+    )
+    refine.add_argument(
+        "--checkpoint",
+        default=None,
+        help="write the refined session back to this snapshot (may equal the input)",
+    )
+    refine.add_argument("--top", type=int, default=10, help="number of top vertices to print")
+    refine.add_argument("--output", default=None, help="write the full result as JSON")
+
+    inspect = sub.add_parser(
+        "checkpoint", help="describe a snapshot file (no sampling, no graph load)"
+    )
+    inspect.add_argument("snapshot", help="session snapshot file")
+    inspect.add_argument("--json", action="store_true", help="emit the metadata as JSON")
+    return parser
+
+
 def _progress_printer(event) -> None:
     budget = f"/{event.omega}" if event.omega is not None else ""
     print(
@@ -353,7 +420,12 @@ def _cmd_serve(argv: list) -> int:
 
 def _print_query_result(payload: dict, top: int) -> None:
     result = payload["result"]
-    origin = "result cache" if payload.get("served_from_cache") else "fresh run"
+    if payload.get("served_from_cache"):
+        origin = "result cache"
+    elif payload.get("refined_from"):
+        origin = "cached checkpoint, refined"
+    else:
+        origin = "fresh run"
     print(
         f"graph checksum: {payload.get('graph_checksum')} (served from {origin})"
     )
@@ -362,10 +434,16 @@ def _print_query_result(payload: dict, top: int) -> None:
         f"delta={result.get('delta')}"
     )
     if result.get("num_samples"):
-        print(
+        line = (
             f"samples: {result['num_samples']} (omega={result.get('omega')}), "
             f"epochs: {result.get('num_epochs')}"
         )
+        if result.get("samples_reused"):
+            line += (
+                f", {result.get('samples_drawn')} drawn + "
+                f"{result.get('samples_reused')} reused"
+            )
+        print(line)
     print(f"top-{top} vertices:")
     for vertex, score in result.get("top", []):
         print(f"  {int(vertex):10d}  {score:.6f}")
@@ -458,6 +536,135 @@ def _cmd_cache(argv: list) -> int:
     return 0
 
 
+def _print_session_result(result, session, top: int) -> None:
+    print(f"algorithm: {session.algorithm}, eps={result.eps}, delta={result.delta}")
+    print(_samples_line(result))
+    print(f"top-{top} vertices (peeked confidence half-widths):")
+    peek = session.peek()
+    for vertex, score in result.top_k(top):
+        low = peek.half_width_lower[vertex]
+        up = peek.half_width_upper[vertex]
+        print(f"  {vertex:10d}  {score:.6f}  (-{low:.6f}/+{up:.6f})")
+
+
+def _samples_line(result) -> str:
+    line = f"samples: {result.num_samples} (omega={result.omega})"
+    if result.samples_reused:
+        line += (
+            f", {result.samples_drawn} drawn + {result.samples_reused} reused "
+            f"from the session"
+        )
+    return line
+
+
+def _cmd_session(argv: list) -> int:
+    from repro.session import (
+        EstimationSession,
+        SnapshotError,
+        open_session,
+        read_snapshot_meta,
+    )
+    from repro.store import StoreFormatError
+
+    args = build_session_parser().parse_args(argv)
+
+    if args.action == "checkpoint":
+        try:
+            meta = read_snapshot_meta(args.snapshot)
+        except SnapshotError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(meta, indent=2, sort_keys=True))
+            return 0
+        graph_id = meta.get("graph", {})
+        achieved = meta.get("achieved", {})
+        frame = meta.get("frame", {})
+        calibration = meta.get("calibration", {})
+        options = meta.get("options", {})
+        print(f"snapshot:          {args.snapshot}")
+        print(f"graph:             {graph_id.get('source_path') or '<in-memory>'}")
+        print(
+            f"vertices/edges:    {graph_id.get('num_vertices')} / {graph_id.get('num_edges')}"
+        )
+        if graph_id.get("checksum"):
+            print(f"graph checksum:    {graph_id['checksum']}")
+        print(f"certified:         eps={achieved.get('eps')} delta={achieved.get('delta')}")
+        print(
+            f"samples:           {frame.get('num_samples')} "
+            f"(omega={meta.get('omega')}, calibration={calibration.get('num_samples')})"
+        )
+        print(f"seed:              {options.get('seed')}")
+        return 0
+
+    if args.action == "run":
+        batch_size = args.batch_size
+        if batch_size != "auto":
+            try:
+                batch_size = int(batch_size)
+            except ValueError:
+                print(f"error: invalid --batch-size {batch_size!r}", file=sys.stderr)
+                return 2
+        try:
+            graph, num_components = _load_cli_graph(args.graph, use_cache=not args.no_cache)
+        except (OSError, ValueError, StoreFormatError) as exc:
+            print(f"error: cannot read graph {args.graph}: {exc}", file=sys.stderr)
+            return 2
+        if num_components is not None and num_components > 1:
+            graph = largest_connected_component(graph)
+        try:
+            session = open_session(
+                graph, algorithm="sequential", seed=args.seed,
+                resources=Resources(batch_size=batch_size),
+            )
+            start = time.perf_counter()
+            result = session.run(args.eps, args.delta)
+            elapsed = time.perf_counter() - start
+            session.checkpoint(args.checkpoint)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
+        _print_session_result(result, session, args.top)
+        print(f"wall-clock time: {elapsed:.2f} s")
+        print(f"checkpoint written to {args.checkpoint}")
+        if args.output:
+            save_result(result, args.output)
+            print(f"result written to {args.output}")
+        return 0
+
+    # action == "refine"
+    graph = None
+    if args.graph is not None:
+        try:
+            graph, _ = _load_cli_graph(args.graph, use_cache=True)
+        except (OSError, ValueError, StoreFormatError) as exc:
+            print(f"error: cannot read graph {args.graph}: {exc}", file=sys.stderr)
+            return 2
+    try:
+        session = EstimationSession.restore(args.snapshot, graph=graph)
+    except (SnapshotError, OSError, StoreFormatError) as exc:
+        print(f"error: cannot restore {args.snapshot}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        start = time.perf_counter()
+        result = session.refine(args.eps, args.delta)
+        elapsed = time.perf_counter() - start
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.checkpoint is not None:
+        session.checkpoint(args.checkpoint)
+    _print_session_result(result, session, args.top)
+    print(f"wall-clock time: {elapsed:.2f} s")
+    if args.checkpoint is not None:
+        print(f"refined checkpoint written to {args.checkpoint}")
+    if args.output:
+        save_result(result, args.output)
+        print(f"result written to {args.output}")
+    return 0
+
+
 def _load_cli_graph(spec: str, *, use_cache: bool) -> Tuple[CSRGraph, Optional[int]]:
     """Load the graph for the estimation command.
 
@@ -487,6 +694,7 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
             "serve": _cmd_serve,
             "query": _cmd_query,
             "cache": _cmd_cache,
+            "session": _cmd_session,
         }
         return dispatch[raw[0]](raw[1:])
 
@@ -545,7 +753,7 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
     )
     print(f"algorithm: {result.backend}, eps={result.eps}, delta={result.delta}")
     if result.num_samples:
-        print(f"samples: {result.num_samples} (omega={result.omega}), epochs: {result.num_epochs}")
+        print(f"{_samples_line(result)}, epochs: {result.num_epochs}")
     print(f"wall-clock time: {elapsed:.2f} s")
     print(f"top-{args.top} vertices:")
     for vertex, score in result.top_k(args.top):

@@ -26,7 +26,12 @@ import numpy as np
 from repro.core.state_frame import StateFrame
 from repro.util.validation import check_positive, check_probability
 
-__all__ = ["CalibrationResult", "calibrate_deltas", "default_calibration_samples"]
+__all__ = [
+    "CalibrationResult",
+    "calibrate_deltas",
+    "calibration_sample_count",
+    "default_calibration_samples",
+]
 
 #: Fraction of the failure-probability budget distributed uniformly.
 BALANCING_FACTOR = 0.001
@@ -60,6 +65,26 @@ def default_calibration_samples(omega: int, num_vertices: int) -> int:
         raise ValueError("num_vertices must be positive")
     guess = max(200, omega // 100)
     return int(min(guess, 50_000, omega))
+
+
+def calibration_sample_count(
+    requested: "int | None", omega: int, num_vertices: int
+) -> int:
+    """The calibration sample count every sequential-style driver uses.
+
+    ``requested`` is :attr:`~repro.core.options.KadabraOptions
+    .calibration_samples` (``None`` selects the default heuristic); the result
+    is always capped at ``omega``.  The count is *monotone in omega* — a
+    tighter (eps, delta) target never calibrates on fewer samples — which is
+    the property session refinement relies on: the calibration prefix of a
+    tighter target always extends the prefix of a looser one, so a resumed
+    session can reconstruct the tighter target's calibration frame by
+    replaying only the gap.
+    """
+    base = requested if requested is not None else default_calibration_samples(
+        omega, num_vertices
+    )
+    return int(min(base, omega))
 
 
 def calibrate_deltas(

@@ -22,7 +22,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.core.calibration import calibrate_deltas, default_calibration_samples
+from repro.core.calibration import calibrate_deltas, calibration_sample_count
 from repro.core.options import KadabraOptions
 from repro.core.result import BetweennessResult
 from repro.core.state_frame import StateFrame
@@ -107,12 +107,9 @@ def prepare_stopping_condition(
         progress(ProgressEvent(phase="diameter", omega=omega))
 
     with timer.phase("calibration"):
-        num_calibration = (
-            options.calibration_samples
-            if options.calibration_samples is not None
-            else default_calibration_samples(omega, graph.num_vertices)
+        num_calibration = calibration_sample_count(
+            options.calibration_samples, omega, graph.num_vertices
         )
-        num_calibration = min(num_calibration, omega)
         frame = StateFrame.zeros(graph.num_vertices)
         for take in plan_batches(num_calibration, batch_size):
             frame.record_batch(sampler.sample_batch(take, rng))
@@ -151,57 +148,25 @@ class _SequentialKadabra:
     batch_size: object = "auto"
 
     def run(self) -> BetweennessResult:
-        graph = self.graph
-        options = self.options
-        progress = self.progress
-        batch_size = resolve_batch_size(self.batch_size)
-        if graph.num_vertices < 2:
-            return BetweennessResult(
-                scores=np.zeros(graph.num_vertices),
-                eps=options.eps,
-                delta=options.delta,
-            )
-        timer = PhaseTimer()
-        rng = np.random.default_rng(options.seed)
-        sampler = make_sampler(graph, options)
-        condition, frame, omega, vd = prepare_stopping_condition(
-            graph, options, sampler, rng, timer=timer, progress=progress,
-            batch_size=batch_size,
-        )
+        """One-shot run, implemented as a single-use estimation session.
 
-        checks = 0
-        with timer.phase("adaptive_sampling"):
-            block = max(1, options.samples_per_check)
-            while not condition.should_stop(frame):
-                # should_stop is true at tau >= omega, so the block never
-                # needs to overshoot the static budget: take exactly as many
-                # samples as the scalar loop did, in adaptively sized batches.
-                take_total = min(block, omega - frame.num_samples)
-                for take in plan_batches(take_total, batch_size):
-                    frame.record_batch(sampler.sample_batch(take, rng))
-                checks += 1
-                if progress is not None:
-                    progress(
-                        ProgressEvent(
-                            phase="adaptive_sampling",
-                            epoch=checks,
-                            num_samples=frame.num_samples,
-                            omega=omega,
-                        )
-                    )
+        The session's native engine is the (refactored) sequential KADABRA
+        loop: diameter -> calibration -> check/draw epochs on the
+        :class:`~repro.core.stopping.CheckSchedule` grid.  For a fixed seed
+        the sample stream and estimates are bit-identical to the pre-session
+        driver; on top of that, callers that keep the session instead of this
+        shim gain ``refine``/``checkpoint``/``peek`` (see
+        :mod:`repro.session`).
+        """
+        from repro.session import EstimationSession
 
-        scores = frame.betweenness_estimates()
-        return BetweennessResult(
-            scores=scores,
-            num_samples=frame.num_samples,
-            eps=options.eps,
-            delta=options.delta,
-            omega=omega,
-            vertex_diameter=vd,
-            num_epochs=checks,
-            phase_seconds=timer.as_dict(),
-            extra={"edges_touched": float(frame.edges_touched)},
+        session = EstimationSession(
+            self.graph,
+            self.options,
+            progress=self.progress,
+            batch_size=resolve_batch_size(self.batch_size),
         )
+        return session.run()
 
 
 class KadabraBetweenness(_SequentialKadabra):

@@ -39,6 +39,15 @@ class BetweennessResult:
         The vertex-diameter upper bound used for ``omega``.
     num_epochs:
         Number of aggregation rounds performed by a parallel driver.
+    samples_drawn, samples_reused:
+        Cumulative sample accounting per execution phase: ``samples_reused``
+        is how many of ``num_samples`` were already accumulated before the
+        producing run/refine phase started (nonzero only for session
+        refinement, including service-side ``restore + refine``), and
+        ``samples_drawn`` is how many that phase actually sampled.  The
+        facade normalises one-shot runs to ``samples_drawn == num_samples``
+        and ``samples_reused == 0`` so the refinement savings are always
+        directly readable from the result (and its JSON form).
     phase_seconds:
         Wall-clock (or simulated) seconds per phase.  The facade guarantees a
         ``"total"`` entry for every backend, exact baselines included.
@@ -68,6 +77,8 @@ class BetweennessResult:
     extra: Dict[str, float] = field(default_factory=dict)
     backend: Optional[str] = None
     resources: Dict[str, int] = field(default_factory=dict)
+    samples_drawn: int = 0
+    samples_reused: int = 0
 
     def __post_init__(self) -> None:
         self.scores = np.asarray(self.scores, dtype=np.float64)
@@ -108,7 +119,13 @@ class BetweennessResult:
              "omega": int|null, "vertex_diameter": int|null,
              "num_epochs": int, "phase_seconds": {phase: seconds},
              "extra": {...}, "backend": str|null,
-             "resources": {"processes": int, "threads": int, ...}}
+             "resources": {"processes": int, "threads": int, ...},
+             "samples_drawn": int, "samples_reused": int}
+
+        ``samples_drawn``/``samples_reused`` were added for session
+        refinement; the version stays 1 because the addition is purely
+        additive (old payloads load with zero defaults, old readers ignore
+        the extra keys).
         """
         return {
             "format_version": RESULT_FORMAT_VERSION,
@@ -125,6 +142,8 @@ class BetweennessResult:
             "extra": dict(self.extra),
             "backend": self.backend,
             "resources": dict(self.resources),
+            "samples_drawn": int(self.samples_drawn),
+            "samples_reused": int(self.samples_reused),
         }
 
     def to_json(self) -> str:
@@ -153,6 +172,8 @@ class BetweennessResult:
             extra=dict(payload.get("extra", {})),
             backend=payload.get("backend"),
             resources=dict(payload.get("resources", {})),
+            samples_drawn=int(payload.get("samples_drawn", 0)),
+            samples_reused=int(payload.get("samples_reused", 0)),
         )
 
     @classmethod

@@ -106,6 +106,28 @@ class StateFrame:
         return self.add_into(other)
 
     # ------------------------------------------------------------------ #
+    def scalar_state(self) -> dict:
+        """The frame's scalar fields as a plain dict (snapshot metadata).
+
+        The counts array travels separately (raw float64 bytes in the
+        snapshot's array section); pairing this dict with the array via
+        :meth:`from_scalar_state` reproduces the frame exactly.
+        """
+        return {
+            "num_samples": int(self.num_samples),
+            "edges_touched": int(self.edges_touched),
+        }
+
+    @classmethod
+    def from_scalar_state(cls, state: dict, counts: np.ndarray) -> "StateFrame":
+        """Rebuild a frame from :meth:`scalar_state` output plus its counts."""
+        return cls(
+            num_samples=int(state["num_samples"]),
+            counts=np.asarray(counts, dtype=np.float64),
+            edges_touched=int(state.get("edges_touched", 0)),
+        )
+
+    # ------------------------------------------------------------------ #
     def betweenness_estimates(self) -> np.ndarray:
         """Current normalised estimates ``b~(v) = c~(v) / tau``."""
         if self.num_samples == 0:

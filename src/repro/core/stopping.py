@@ -29,6 +29,7 @@ __all__ = [
     "f_function",
     "g_function",
     "StoppingCondition",
+    "CheckSchedule",
 ]
 
 #: Universal constant of the VC-dimension style sample-size bound used by
@@ -157,3 +158,57 @@ class StoppingCondition:
             return False
         f_max, g_max = self.max_error_bounds(frame)
         return f_max <= self.eps and g_max <= self.eps
+
+
+@dataclass(frozen=True)
+class CheckSchedule:
+    """The deterministic grid of sample counts where a sequential run checks.
+
+    A one-shot adaptive run evaluates the stopping rule first when the
+    calibration samples are in (``tau = calibration_samples``) and then after
+    every block of ``samples_per_check`` further samples, never drawing past
+    ``omega`` — so its check boundaries are exactly
+
+        ``min(calibration_samples + k * samples_per_check, omega)``.
+
+    Making the grid an explicit object is what lets a *resumed* session align
+    itself with the schedule a fresh run at the tighter target would follow:
+    :meth:`next_boundary` returns the first boundary at or past the current
+    sample count, and drawing up to it puts the resumed run back on the exact
+    decision points of the cold run (the sample *stream* is position-based, so
+    the accumulated counters agree at every shared boundary).
+    """
+
+    calibration_samples: int
+    samples_per_check: int
+    omega: int
+
+    def __post_init__(self) -> None:
+        if self.calibration_samples < 0:
+            raise ValueError("calibration_samples must be non-negative")
+        if self.samples_per_check <= 0:
+            raise ValueError("samples_per_check must be positive")
+        if self.omega <= 0:
+            raise ValueError("omega must be positive")
+
+    @property
+    def first_check(self) -> int:
+        return min(self.calibration_samples, self.omega)
+
+    def next_boundary(self, tau: int) -> int:
+        """The first check boundary at or after ``tau`` (clamped to omega)."""
+        if tau >= self.omega:
+            return self.omega
+        if tau <= self.first_check:
+            return self.first_check
+        blocks_done = -(-(tau - self.calibration_samples) // self.samples_per_check)
+        return min(
+            self.calibration_samples + blocks_done * self.samples_per_check,
+            self.omega,
+        )
+
+    def advance(self, tau: int) -> int:
+        """Samples to draw from boundary ``tau`` to the next check (0 at omega)."""
+        if tau >= self.omega:
+            return 0
+        return min(self.samples_per_check, self.omega - tau)

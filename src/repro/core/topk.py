@@ -19,7 +19,7 @@ import numpy as np
 from repro.core.result import BetweennessResult
 from repro.core.stopping import f_function, g_function
 
-__all__ = ["TopKResult", "identify_top_k", "detectable_vertices"]
+__all__ = ["TopKResult", "confidence_bounds", "identify_top_k", "detectable_vertices"]
 
 
 @dataclass
@@ -56,12 +56,18 @@ class TopKResult:
         return bool(np.all(self.confirmed))
 
 
-def _confidence_bounds(
+def confidence_bounds(
     result: BetweennessResult,
-    delta_l: Optional[np.ndarray],
-    delta_u: Optional[np.ndarray],
+    delta_l: Optional[np.ndarray] = None,
+    delta_u: Optional[np.ndarray] = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Per-vertex confidence intervals derived from the f/g error bounds."""
+    """Per-vertex confidence intervals derived from the f/g error bounds.
+
+    With the calibration vectors ``delta_l``/``delta_u`` (which a live
+    :class:`~repro.session.EstimationSession` retains) the intervals are
+    exactly the ones the stopping rule certified; without them a uniform
+    split of the run's ``delta`` is used — always sound, merely looser.
+    """
     n = result.num_vertices
     if result.num_samples <= 0 or result.omega is None:
         width = np.full(n, np.inf)
@@ -98,7 +104,7 @@ def identify_top_k(
         raise ValueError("k must be positive")
     n = result.num_vertices
     k = min(k, n)
-    lower, upper = _confidence_bounds(result, delta_l, delta_u)
+    lower, upper = confidence_bounds(result, delta_l, delta_u)
     order = np.argsort(-result.scores, kind="stable")
     top = order[:k]
     rest = order[k:]

@@ -28,7 +28,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.calibration import calibrate_deltas, default_calibration_samples
+from repro.core.calibration import calibrate_deltas, calibration_sample_count
 from repro.core.options import KadabraOptions
 from repro.core.result import BetweennessResult
 from repro.core.state_frame import StateFrame
@@ -168,12 +168,12 @@ class _DistributedKadabra:
 
         # ---------------- Phase 2: calibration ---------------------------- #
         with timer.phase("calibration"):
-            total_calibration = (
-                options.calibration_samples
-                if options.calibration_samples is not None
-                else default_calibration_samples(omega, graph.num_vertices)
+            # Same deterministic count as the sequential session engine, so
+            # the phase structure (and the cost model built on it) agrees
+            # across execution modes.
+            total_calibration = calibration_sample_count(
+                options.calibration_samples, omega, graph.num_vertices
             )
-            total_calibration = min(total_calibration, omega)
             per_rank = int(math.ceil(total_calibration / comm.size))
             sampler = make_sampler(graph, options)
             # Thread slot 0 is reserved for calibration so that the adaptive

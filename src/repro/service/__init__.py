@@ -9,7 +9,8 @@ sampling.  The pieces:
 * :mod:`repro.service.schema` — the validated JSON request
   (:class:`QueryRequest`) and response shaping;
 * :mod:`repro.service.dominance` — when a cached result may answer a new
-  query (checksum identity, algorithm families, eps/delta dominance);
+  query (checksum identity, algorithm families, eps/delta dominance), and
+  when a near-miss is *refinable* from a cached session checkpoint;
 * :mod:`repro.service.cache` — the persistent on-disk
   :class:`ResultCache` next to the graph cache;
 * :mod:`repro.service.jobs` — the asyncio :class:`JobManager`: in-flight
@@ -24,7 +25,15 @@ See ``docs/serving.md`` for the HTTP API and the reuse semantics.
 
 from repro.service.cache import CacheEntry, ResultCache
 from repro.service.client import ServiceClient, ServiceError
-from repro.service.dominance import algorithm_family, dominates, select_dominating
+from repro.service.dominance import (
+    HIT,
+    MISS,
+    REFINABLE,
+    algorithm_family,
+    classify,
+    dominates,
+    select_dominating,
+)
 from repro.service.jobs import Job, JobManager, SubmitOutcome
 from repro.service.schema import QueryRequest, SchemaError, result_payload
 from repro.service.server import BetweennessService, run_server
@@ -40,7 +49,11 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "SubmitOutcome",
+    "HIT",
+    "MISS",
+    "REFINABLE",
     "algorithm_family",
+    "classify",
     "dominates",
     "result_payload",
     "run_server",

@@ -7,6 +7,7 @@ Layout (rooted at :func:`repro.store.default_result_cache_dir`, i.e.
       crc32-<16 hex>/                 one directory per graph *checksum*
         <key>.meta.json               small: accuracy, family, backend, counts
         <key>.result.json             full BetweennessResult (to_json_dict)
+        <key>.session.snap            optional: session checkpoint (refinable)
 
 Splitting each entry into a tiny meta file and the (potentially large) score
 payload keeps the dominance scan cheap: finding a reusable entry reads only
@@ -19,6 +20,13 @@ Keying by the ``.rcsr`` container checksum â€” not the request's graph string â€
 is what makes reuse safe across renames and stale across edits: two paths to
 the same converted graph share entries, and re-converting a changed source
 produces a new checksum directory, so every old entry silently misses.
+
+Entries produced by refinement-capable backends additionally store the final
+*session checkpoint* (``<key>.session.snap``, the CRC-checked container of
+:mod:`repro.session.snapshot`).  A request the entry does **not** dominate but
+:func:`~repro.service.dominance.classify` deems *refinable* (same adaptive
+family and seed, tighter eps/delta) is then served by ``restore + refine``
+instead of a cold recompute â€” see :meth:`ResultCache.find_refinable`.
 """
 
 from __future__ import annotations
@@ -31,7 +39,12 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.result import BetweennessResult
-from repro.service.dominance import algorithm_family, select_dominating
+from repro.service.dominance import (
+    REFINABLE,
+    algorithm_family,
+    classify,
+    select_dominating,
+)
 from repro.service.schema import QueryRequest
 from repro.store.catalog import default_result_cache_dir
 from repro.store.format import atomic_replace
@@ -59,6 +72,10 @@ class CacheEntry:
     num_vertices: int
     num_samples: int
     created_at: float
+    #: Whether a session checkpoint is stored next to the result, making the
+    #: entry refinable.  Defaulted so meta files written before the session
+    #: redesign load unchanged.
+    has_snapshot: bool = False
 
     def as_dict(self) -> Dict[str, object]:
         return {"cache_version": _CACHE_VERSION, **asdict(self)}
@@ -96,13 +113,24 @@ class ResultCache:
     # Writing
     # ------------------------------------------------------------------ #
     def put(
-        self, checksum: str, request: QueryRequest, result: BetweennessResult
+        self,
+        checksum: str,
+        request: QueryRequest,
+        result: BetweennessResult,
+        *,
+        snapshot: Optional[PathLike] = None,
     ) -> CacheEntry:
         """Store a finished run; returns the entry that now serves it.
 
         The entry records the *achieved* guarantee (the eps/delta echoed in
         the result, which the facade always populates) and the family of the
         backend that actually ran â€” not the request's ``"auto"``.
+
+        ``snapshot`` optionally names a session checkpoint file produced by
+        the run; it is copied next to the result as ``<key>.session.snap``
+        and the entry is marked refinable.  Write order is snapshot, result,
+        meta â€” so a meta file claiming ``has_snapshot`` always points at
+        complete files.
         """
         algorithm = result.backend or request.algorithm
         eps = result.eps if result.eps is not None else request.eps
@@ -121,10 +149,15 @@ class ResultCache:
             num_vertices=result.num_vertices,
             num_samples=int(result.num_samples),
             created_at=time.time(),
+            has_snapshot=snapshot is not None,
         )
         entry_dir = self._cache_dir / _checksum_dirname(checksum)
         entry_dir.mkdir(parents=True, exist_ok=True)
-        # Payload first, meta last: a meta file implies a complete payload.
+        # Snapshot and payload first, meta last: a meta file implies complete
+        # companion files.
+        if snapshot is not None:
+            with atomic_replace(self._snapshot_path(entry_dir, entry.key)) as tmp:
+                tmp.write_bytes(Path(snapshot).read_bytes())
         with atomic_replace(self._result_path(entry_dir, entry.key)) as tmp:
             tmp.write_text(result.to_json())
         with atomic_replace(self._meta_path(entry_dir, entry.key)) as tmp:
@@ -141,6 +174,18 @@ class ResultCache:
     @staticmethod
     def _result_path(entry_dir: Path, key: str) -> Path:
         return entry_dir / f"{key}.result.json"
+
+    @staticmethod
+    def _snapshot_path(entry_dir: Path, key: str) -> Path:
+        return entry_dir / f"{key}.session.snap"
+
+    def snapshot_path(self, entry: CacheEntry) -> Optional[Path]:
+        """The on-disk session checkpoint of an entry, or ``None``."""
+        if not entry.has_snapshot:
+            return None
+        entry_dir = self._cache_dir / _checksum_dirname(entry.graph_checksum)
+        path = self._snapshot_path(entry_dir, entry.key)
+        return path if path.is_file() else None
 
     def _read_entry(self, meta_path: Path) -> Optional[CacheEntry]:
         try:
@@ -201,6 +246,45 @@ class ResultCache:
                 continue
         return None
 
+    def find_refinable(
+        self,
+        checksum: str,
+        *,
+        family: str,
+        eps: float,
+        delta: float,
+        seed: Optional[int],
+    ) -> Optional[Tuple[CacheEntry, Path]]:
+        """The best checkpoint-carrying entry refinable to ``(eps, delta)``.
+
+        Called after :meth:`find` misses: among entries whose
+        :func:`~repro.service.dominance.classify` verdict is ``refinable``
+        (same adaptive family, same seed, too loose in at least one
+        dimension) and that actually carry a snapshot, the one with the most
+        accumulated samples wins â€” it leaves the least to draw.  Returns
+        ``(entry, snapshot_path)`` or ``None``.
+        """
+        best: Optional[Tuple[CacheEntry, Path]] = None
+        for entry in self.entries(checksum):
+            verdict = classify(
+                entry.family,
+                entry.eps,
+                entry.delta,
+                entry.seed,
+                family=family,
+                eps=eps,
+                delta=delta,
+                seed=seed,
+            )
+            if verdict != REFINABLE:
+                continue
+            path = self.snapshot_path(entry)
+            if path is None:
+                continue
+            if best is None or entry.num_samples > best[0].num_samples:
+                best = (entry, path)
+        return best
+
     # ------------------------------------------------------------------ #
     # Eviction
     # ------------------------------------------------------------------ #
@@ -220,6 +304,7 @@ class ResultCache:
             for path in (
                 self._meta_path(entry_dir, entry.key),
                 self._result_path(entry_dir, entry.key),
+                self._snapshot_path(entry_dir, entry.key),
             ):
                 try:
                     path.unlink()

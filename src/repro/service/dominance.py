@@ -22,6 +22,26 @@ Three guards keep reuse sound:
 * **Exact results dominate everything.**  An exact Brandes run has
   ``eps = 0, delta = 0``; it serves any request on that graph regardless of
   family.
+
+``eps`` and ``delta`` are treated **identically and independently**: an entry
+dominates iff ``eps' <= eps`` *and* ``delta' <= delta`` — equality counts on
+both axes.  In particular the *equal-eps / tighter-delta* edge (a request for
+the same ``eps`` but a smaller ``delta`` than cached) is **not** a hit: the
+cached run's failure probability is too large for the request, whatever its
+``eps``.  Since the session redesign such near-misses are no longer cold
+recomputes either — :func:`classify` returns the third verdict
+
+* :data:`REFINABLE` — same adaptive-sampling family and the same seed, with
+  the cached guarantee too loose in at least one dimension.  When the entry
+  carries a session checkpoint, the service serves the request via
+  ``restore + refine``, drawing only the additional samples the tighter
+  ``(eps, delta)`` needs instead of resampling from zero.  Only the adaptive
+  family is refinable (fixed-sampling and source-sampling bounds are a-priori
+  in the sample count; exact results dominate everything anyway), and the
+  seed must match because refinement continues the cached run's RNG stream —
+  the refined result is bit-identical to a fresh run at the tighter target
+  with *that* seed, so serving a different requested seed would silently
+  break seed-pinned reproducibility.
 """
 
 from __future__ import annotations
@@ -35,10 +55,19 @@ __all__ = [
     "FAMILY_EXACT",
     "FAMILY_FIXED",
     "FAMILY_SSSP",
+    "HIT",
+    "MISS",
+    "REFINABLE",
     "algorithm_family",
+    "classify",
     "dominates",
     "select_dominating",
 ]
+
+#: Cache verdicts returned by :func:`classify`.
+HIT = "hit"
+REFINABLE = "refinable"
+MISS = "miss"
 
 FAMILY_EXACT = "exact"
 FAMILY_ADAPTIVE = "adaptive-sampling"
@@ -76,10 +105,13 @@ def dominates(
 ) -> bool:
     """True iff a cached entry's guarantee covers the requested one.
 
-    Equality counts: a cached ``eps' == eps`` (same family, ``delta'`` no
-    worse) is a hit — the common case of re-issuing the exact same query.
-    Cached entries with unknown accuracy (``None`` eps/delta from a driver
-    invoked outside the facade) never dominate anything.
+    Equality counts, on either axis independently: a cached ``eps' == eps``
+    with ``delta' <= delta`` (same family) is a hit — the common case of
+    re-issuing the exact same query — while ``eps' == eps`` with ``delta' >
+    delta`` is *not* (the cached failure probability is too loose; see
+    :func:`classify` for the refinable verdict that case earns).  Cached
+    entries with unknown accuracy (``None`` eps/delta from a driver invoked
+    outside the facade) never dominate anything.
     """
     if cached_family == FAMILY_EXACT:
         return True
@@ -118,3 +150,44 @@ def select_dominating(
         if best is None or rank < best_rank:
             best, best_rank = i, rank
     return best
+
+
+def classify(
+    cached_family: str,
+    cached_eps: Optional[float],
+    cached_delta: Optional[float],
+    cached_seed: Optional[int],
+    *,
+    family: str,
+    eps: float,
+    delta: float,
+    seed: Optional[int],
+) -> str:
+    """Verdict for one cached entry against one request.
+
+    :data:`HIT`
+        The entry dominates the request (:func:`dominates`); its scores serve
+        the request as-is.
+    :data:`REFINABLE`
+        Not a hit, but the entry is an adaptive-sampling run with the same
+        seed as the request (``None == None`` counts) whose guarantee is too
+        loose in at least one dimension — including the equal-eps /
+        tighter-delta edge.  A stored session checkpoint for the entry can
+        serve the request via ``restore + refine``.
+    :data:`MISS`
+        Anything else (different family, different seed, or unknown cached
+        accuracy): the request needs a fresh run.
+    """
+    if dominates(
+        cached_family, cached_eps, cached_delta, family=family, eps=eps, delta=delta
+    ):
+        return HIT
+    if (
+        cached_family == FAMILY_ADAPTIVE
+        and family == FAMILY_ADAPTIVE
+        and cached_seed == seed
+        and cached_eps is not None
+        and cached_delta is not None
+    ):
+        return REFINABLE
+    return MISS

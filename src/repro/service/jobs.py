@@ -11,7 +11,11 @@ is a thin translation.  One query flows through it as:
 2. **Cache probe** — the :class:`~repro.service.cache.ResultCache` is scanned
    for an entry that *dominates* the request (same graph checksum, same
    algorithm family, eps'/delta' at least as tight; exact entries dominate
-   everything).  A hit answers in O(ms) with zero sampling.
+   everything).  A hit answers in O(ms) with zero sampling.  A near-miss
+   (same adaptive family and seed, tighter-than-cached eps/delta) whose entry
+   carries a session checkpoint becomes a *refine* job instead of a cold one:
+   the worker restores the checkpoint and draws only the additional samples
+   (``resume_from`` in :func:`repro.api.estimate_betweenness`).
 3. **Dedup** — an identical request (same
    :meth:`~repro.service.schema.QueryRequest.job_key`) already in flight is
    joined, not re-run: both clients await the same job.
@@ -22,8 +26,10 @@ is a thin translation.  One query flows through it as:
    matter more than parallelism — tests, notably.  Progress events from the
    worker stream into the job's event buffer, which polling clients read as
    job status.
-5. **Store** — the finished result is written back to the cache, so the next
-   dominated request anywhere (any process sharing the cache dir) is a hit.
+5. **Store** — the finished result is written back to the cache — together
+   with the worker's final session checkpoint when the backend supports
+   refinement — so the next dominated request anywhere (any process sharing
+   the cache dir) is a hit, and the next *tighter* request is a refine.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Deque, Dict, Optional, Tuple
 
 from repro.core.result import BetweennessResult
@@ -98,6 +105,13 @@ class Job:
     graph_path: str
     future: "asyncio.Future[BetweennessResult]" = field(repr=False)
     status: str = "queued"  # queued | running | done | error
+    #: Cache-entry key of the session checkpoint this job resumes from
+    #: (``None`` for cold runs) and the snapshot path handed to the worker.
+    refined_from: Optional[str] = None
+    resume_from: Optional[str] = field(default=None, repr=False)
+    #: Where the worker should checkpoint the finished session (``None``
+    #: disables snapshot production, e.g. for custom-estimator test seams).
+    checkpoint_path: Optional[str] = field(default=None, repr=False)
     events: Deque[dict] = field(default_factory=lambda: deque(maxlen=MAX_EVENTS))
     #: Monotonic count of events ever emitted (the deque only keeps the tail);
     #: clients use it to detect new events across a full ring buffer.
@@ -126,6 +140,7 @@ class Job:
             "finished_at": self.finished_at,
             "progress": list(self.events),
             "num_events": self.num_events,
+            "refined_from": self.refined_from,
         }
         if self.error is not None:
             out["error"] = self.error
@@ -200,6 +215,7 @@ class JobManager:
             "queries": 0,
             "cache_hits": 0,
             "cache_misses": 0,
+            "cache_refines": 0,
             "deduplicated": 0,
             "completed": 0,
             "failed": 0,
@@ -244,6 +260,26 @@ class JobManager:
             )
         self.counters["cache_misses"] += 1
 
+        # Near-miss: a cached adaptive run with the same seed, too loose for
+        # the request, but carrying a session checkpoint — refine it instead
+        # of recomputing from zero.  Probed *before* the in-flight check: the
+        # dedup decision and the job insertion below must share one event-loop
+        # step (no awaits between them), or two identical concurrent requests
+        # both pass the check and sample twice.
+        refinable = None
+        if family == "adaptive-sampling":
+            refinable = await loop.run_in_executor(
+                None,
+                functools.partial(
+                    self.cache.find_refinable,
+                    checksum,
+                    family=family,
+                    eps=request.eps,
+                    delta=request.delta,
+                    seed=request.seed,
+                ),
+            )
+
         key = request.job_key(checksum)
         existing = self._inflight.get(key)
         if existing is not None:
@@ -259,6 +295,22 @@ class JobManager:
             graph_path=graph_path,
             future=loop.create_future(),
         )
+        if refinable is not None:
+            entry, snapshot_path = refinable
+            job.refined_from = entry.key
+            job.resume_from = str(snapshot_path)
+            self.counters["cache_refines"] += 1
+        if self._snapshots_enabled():
+            # Writer-unique name: job ids restart at 1 in every service
+            # process, and the cache directory is explicitly shared across
+            # processes — a plain ".job-1.snap.tmp" would let two services
+            # clobber each other's snapshots and cache one under the other's
+            # (seed-keyed!) entry.
+            from repro.store.format import unique_tmp_path
+
+            job.checkpoint_path = str(
+                unique_tmp_path(self.cache.cache_dir / f".job-{job.id}.snap")
+            )
         # Errors must reach pollers even when no submitter awaits the future.
         job.future.add_done_callback(
             lambda f: f.exception() if not f.cancelled() else None
@@ -272,6 +324,29 @@ class JobManager:
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
+    def _snapshots_enabled(self) -> bool:
+        """Whether jobs should produce session checkpoints.
+
+        Custom estimators (the thread-mode test seam) have a pinned keyword
+        signature and never produce snapshots; the real facade writes one
+        whenever the resolved backend supports refinement.
+        """
+        return self._estimator is None
+
+    def _finish_cache_write(self, job: Job, result: BetweennessResult) -> None:
+        """Blocking: persist result (+ session snapshot, if produced)."""
+        snapshot = None
+        if job.checkpoint_path is not None and Path(job.checkpoint_path).is_file():
+            snapshot = job.checkpoint_path
+        try:
+            self.cache.put(job.checksum, job.request, result, snapshot=snapshot)
+        finally:
+            if snapshot is not None:
+                try:
+                    Path(snapshot).unlink()
+                except OSError:
+                    pass
+
     def _ensure_workers(self):
         if self._executor is not None:
             return self._executor
@@ -316,6 +391,10 @@ class JobManager:
         job.status = "running"
         job.started_at = time.time()
         kwargs = _estimate_kwargs(job.request, self._resources)
+        if job.resume_from is not None:
+            kwargs["resume_from"] = job.resume_from
+        if job.checkpoint_path is not None:
+            kwargs["checkpoint_path"] = job.checkpoint_path
         try:
             if self._worker_mode == "process":
                 func = functools.partial(
@@ -337,15 +416,18 @@ class JobManager:
             job.finished_at = time.time()
             self.counters["failed"] += 1
             self._inflight.pop(job.key, None)
+            if job.checkpoint_path is not None:
+                try:
+                    Path(job.checkpoint_path).unlink(missing_ok=True)
+                except OSError:
+                    pass
             if not job.future.cancelled():
                 job.future.set_exception(exc)
             return
         # The cache write is an optimization: an unwritable cache directory
         # must not turn a correctly computed result into a failed job.
         try:
-            await loop.run_in_executor(
-                None, self.cache.put, job.checksum, job.request, result
-            )
+            await loop.run_in_executor(None, self._finish_cache_write, job, result)
         except Exception as exc:  # noqa: BLE001
             self.counters["cache_write_failures"] += 1
             job.add_event(

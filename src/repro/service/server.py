@@ -238,6 +238,7 @@ class BetweennessService:
                     "supports_threads": spec.supports_threads,
                     "supports_processes": spec.supports_processes,
                     "supports_batching": spec.supports_batching,
+                    "supports_refinement": spec.supports_refinement,
                     "cost_hint": spec.cost_hint,
                     "description": spec.description,
                 }
@@ -289,6 +290,7 @@ class BetweennessService:
         return 200, {
             "status": "done",
             "served_from_cache": False,
+            "refined_from": job.refined_from,
             "deduplicated": outcome.deduplicated,
             "graph_checksum": outcome.checksum,
             "job_id": job.id,

@@ -1,0 +1,38 @@
+"""Resumable estimation sessions (see :mod:`repro.session.session`).
+
+The session layer turns the one-shot ``estimate_betweenness`` call into a
+handle: :func:`open_session` creates an :class:`EstimationSession` that owns
+the RNG stream, scratch pools and stopping state; ``run`` produces the
+classic result, ``refine`` tightens it by sampling only the delta,
+``checkpoint``/``restore`` move sessions across processes, and
+``peek``/``top_k`` answer confidence-aware queries from the live
+accumulators.
+"""
+
+from repro.session.session import (
+    ConfidenceEstimate,
+    EstimationSession,
+    SessionCapabilityError,
+    SessionStateError,
+    open_session,
+)
+from repro.session.snapshot import (
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    read_snapshot,
+    read_snapshot_meta,
+    write_snapshot,
+)
+
+__all__ = [
+    "ConfidenceEstimate",
+    "EstimationSession",
+    "SNAPSHOT_VERSION",
+    "SessionCapabilityError",
+    "SessionStateError",
+    "SnapshotError",
+    "open_session",
+    "read_snapshot",
+    "read_snapshot_meta",
+    "write_snapshot",
+]

@@ -1,0 +1,826 @@
+"""Resumable estimation sessions: incremental refinement over live state.
+
+The one-shot :func:`repro.estimate_betweenness` facade answers a single
+``(eps, delta)`` request and throws the sampling state away.  This module
+keeps that state alive: an :class:`EstimationSession` owns the RNG stream, the
+kernel :class:`~repro.kernels.ScratchPool` (via its batch sampler), the
+per-vertex sample accumulators and the stopping-condition state, and exposes
+
+* :meth:`EstimationSession.run` — the classic adaptive run (bit-identical to
+  the pre-session sequential driver for a fixed seed),
+* :meth:`EstimationSession.refine` — tighten ``eps``/``delta`` by drawing
+  *only the additional samples* the tighter guarantee needs, reusing every
+  accumulated contribution,
+* :meth:`EstimationSession.checkpoint` / :meth:`EstimationSession.restore` —
+  CRC-checked on-disk snapshots (see :mod:`repro.session.snapshot`) that
+  round-trip across processes,
+* :meth:`EstimationSession.peek` / :meth:`EstimationSession.top_k` —
+  confidence-aware queries against the live accumulators, using the same
+  per-vertex f/g bounds that drive the stopping rule.
+
+Why refinement is *exact*
+-------------------------
+The sequential driver's sample stream is a pure function of ``(graph, seed,
+sampler kind)`` — the interleaved pair strategy of the batch kernels draws it
+identically for any batch partitioning, and the per-vertex counters are
+integer-valued, so accumulation order cannot perturb them.  A fresh run at a
+tighter target consumes a *longer prefix* of the same stream; the only
+position-dependent decisions are (a) where the calibration phase ends and (b)
+where the stopping rule is evaluated.  Both are deterministic grids
+(:func:`~repro.core.calibration.calibration_sample_count`,
+:class:`~repro.core.stopping.CheckSchedule`), and both are monotone in the
+target: tighter ``(eps, delta)`` never shrinks ``omega``, the calibration
+count, or the check boundaries.  ``refine`` therefore
+
+1. extends the stored calibration frame to the tighter target's calibration
+   count — replaying already-drawn samples from the saved calibration RNG
+   state where the prefix overlaps, drawing genuinely new samples past the
+   live position — and recalibrates ``delta_L``/``delta_U`` exactly as the
+   cold run would,
+2. draws forward to the first check boundary of the tighter target's
+   schedule at or past the live position, and
+3. continues the standard check/draw loop until the tighter rule fires.
+
+The result is bit-identical to a fresh session run at the tighter target
+(asserted by ``tests/test_session.py``), at the cost of only the sample-count
+difference plus a calibration-gap replay.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.calibration import calibrate_deltas, calibration_sample_count
+from repro.core.options import KadabraOptions
+from repro.core.result import BetweennessResult
+from repro.core.state_frame import StateFrame
+from repro.core.stopping import CheckSchedule, StoppingCondition, compute_omega
+from repro.core.topk import TopKResult, confidence_bounds, identify_top_k
+from repro.diameter import vertex_diameter_upper_bound
+from repro.graph.csr import CSRGraph
+from repro.kernels import plan_batches, resolve_batch_size
+from repro.session.snapshot import (
+    SnapshotError,
+    read_snapshot,
+    require_keys,
+    write_snapshot,
+)
+from repro.util.progress import ProgressCallback, ProgressEvent
+from repro.util.timer import PhaseTimer
+
+__all__ = [
+    "ConfidenceEstimate",
+    "EstimationSession",
+    "SessionCapabilityError",
+    "SessionStateError",
+    "open_session",
+]
+
+PathLike = Union[str, Path]
+
+#: Session metadata keys every snapshot must carry (format enforcement).
+_REQUIRED_META = (
+    "kind",
+    "graph",
+    "options",
+    "achieved",
+    "omega",
+    "vertex_diameter",
+    "checks",
+    "frame",
+    "calibration",
+    "rng_state",
+)
+
+_SNAPSHOT_KIND = "repro-estimation-session"
+
+
+class SessionStateError(RuntimeError):
+    """An operation was called in the wrong session lifecycle state."""
+
+
+class SessionCapabilityError(RuntimeError):
+    """The session's backend does not support the requested operation."""
+
+
+@dataclass(frozen=True)
+class ConfidenceEstimate:
+    """A :meth:`EstimationSession.peek`: point estimates plus ADS bounds.
+
+    ``lower_bounds``/``upper_bounds`` are the per-vertex confidence interval
+    endpoints derived from the f/g deviation bounds at the current sample
+    count (infinite-width before any sampling happened); the half-widths are
+    exposed separately because the interval is asymmetric (``f`` bounds
+    overshoot, ``g`` bounds undershoot).
+    """
+
+    scores: np.ndarray
+    lower_bounds: np.ndarray
+    upper_bounds: np.ndarray
+    num_samples: int
+    eps: Optional[float]
+    delta: Optional[float]
+
+    @property
+    def half_width_lower(self) -> np.ndarray:
+        return self.scores - self.lower_bounds
+
+    @property
+    def half_width_upper(self) -> np.ndarray:
+        return self.upper_bounds - self.scores
+
+    @property
+    def max_half_width(self) -> float:
+        if self.scores.size == 0:
+            return 0.0
+        return float(
+            max(np.max(self.half_width_lower), np.max(self.half_width_upper))
+        )
+
+
+def _rng_from_state(state: Dict[str, object]) -> np.random.Generator:
+    """Rebuild a :class:`numpy.random.Generator` from a saved state dict."""
+    name = state.get("bit_generator")
+    try:
+        bit_generator = getattr(np.random, str(name))()
+    except (AttributeError, TypeError):
+        raise SnapshotError(f"unknown bit generator {name!r} in snapshot") from None
+    bit_generator.state = state
+    return np.random.Generator(bit_generator)
+
+
+def _jsonable_rng_state(rng: np.random.Generator) -> Dict[str, object]:
+    """The generator's state as a JSON-serializable dict (ints stay exact)."""
+
+    def convert(value):
+        if isinstance(value, dict):
+            return {k: convert(v) for k, v in value.items()}
+        if isinstance(value, np.integer):
+            return int(value)
+        if isinstance(value, np.ndarray):
+            return [int(v) for v in value]
+        return value
+
+    return convert(dict(rng.bit_generator.state))
+
+
+class EstimationSession:
+    """A resumable betweenness estimation over one graph and one RNG stream.
+
+    Create sessions with :func:`open_session` (registry-aware, used by the
+    facade) or :meth:`restore` (from a checkpoint).  Sessions come in two
+    flavours:
+
+    * **native** (``algorithm="sequential"`` or any backend registered with
+      ``supports_refinement=True``): the session drives the incremental
+      sequential engine itself and supports the full surface —
+      ``run``/``refine``/``checkpoint``/``restore``/``peek``/``top_k``.
+    * **delegated** (every other backend): ``run`` executes the registered
+      runner once; ``refine`` and ``checkpoint`` raise
+      :class:`SessionCapabilityError`, while ``peek``/``top_k`` fall back to
+      the uniform-split confidence bounds of :mod:`repro.core.topk`.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        options: Optional[KadabraOptions] = None,
+        *,
+        progress: Optional[ProgressCallback] = None,
+        batch_size: object = "auto",
+        _spec=None,
+        _resources=None,
+    ) -> None:
+        if not hasattr(graph, "num_vertices"):
+            raise TypeError(
+                f"graph must be a CSRGraph-like object, got {type(graph).__name__}"
+            )
+        self._graph = graph
+        self._options = options if options is not None else KadabraOptions()
+        self._progress = progress
+        self._batch_size = resolve_batch_size(batch_size)
+        self._spec = _spec
+        self._resources = _resources
+        self._native = _spec is None or getattr(_spec, "supports_refinement", False)
+
+        self._ran = False
+        self._eps: Optional[float] = None
+        self._delta: Optional[float] = None
+        self._omega: Optional[int] = None
+        self._vd: Optional[int] = None
+        self._checks = 0
+        self._frame = StateFrame.zeros(graph.num_vertices)
+        self._calibration_frame: Optional[StateFrame] = None
+        self._calibration_rng_state: Optional[Dict[str, object]] = None
+        self._delta_l: Optional[np.ndarray] = None
+        self._delta_u: Optional[np.ndarray] = None
+        self._condition: Optional[StoppingCondition] = None
+        self._rng: Optional[np.random.Generator] = None
+        self._sampler = None
+        self._last_result: Optional[BetweennessResult] = None
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> CSRGraph:
+        return self._graph
+
+    @property
+    def options(self) -> KadabraOptions:
+        return self._options
+
+    @property
+    def seed(self) -> Optional[int]:
+        return self._options.seed
+
+    @property
+    def algorithm(self) -> str:
+        return self._spec.name if self._spec is not None else "sequential"
+
+    @property
+    def supports_refinement(self) -> bool:
+        return self._native
+
+    @property
+    def has_run(self) -> bool:
+        return self._ran
+
+    @property
+    def num_samples(self) -> int:
+        return int(self._frame.num_samples)
+
+    @property
+    def eps(self) -> Optional[float]:
+        """The tightest absolute-error target certified so far."""
+        return self._eps
+
+    @property
+    def delta(self) -> Optional[float]:
+        """The failure probability of the current certificate."""
+        return self._delta
+
+    @property
+    def omega(self) -> Optional[int]:
+        return self._omega
+
+    @property
+    def last_result(self) -> Optional[BetweennessResult]:
+        return self._last_result
+
+    @property
+    def progress(self) -> Optional[ProgressCallback]:
+        """The (possibly backend-tagged) progress callback this session emits to."""
+        return self._progress
+
+    def __repr__(self) -> str:
+        state = "idle" if not self._ran else f"eps={self._eps}, delta={self._delta}"
+        return (
+            f"EstimationSession(algorithm={self.algorithm!r}, "
+            f"n={self._graph.num_vertices}, tau={self.num_samples}, {state})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internal plumbing
+    # ------------------------------------------------------------------ #
+    def _emit(self, **kwargs) -> None:
+        if self._progress is not None:
+            self._progress(ProgressEvent(**kwargs))
+
+    def _ensure_engine(self) -> None:
+        """Lazily create the RNG and sampler (restore injects them instead)."""
+        if self._rng is None:
+            self._rng = np.random.default_rng(self._options.seed)
+        if self._sampler is None:
+            from repro.core.kadabra import make_sampler
+
+            self._sampler = make_sampler(self._graph, self._options)
+
+    def _target_options(self, eps, delta) -> KadabraOptions:
+        """Validate an (eps, delta) target through the options dataclass."""
+        changes = {}
+        if eps is not None:
+            changes["eps"] = float(eps)
+        if delta is not None:
+            changes["delta"] = float(delta)
+        return self._options.with_(**changes) if changes else self._options
+
+    def _schedule(self, eps: float, delta: float) -> CheckSchedule:
+        omega = compute_omega(eps, delta, self._vd)
+        if self._options.max_samples_override is not None:
+            omega = min(omega, int(self._options.max_samples_override))
+        return CheckSchedule(
+            calibration_samples=calibration_sample_count(
+                self._options.calibration_samples, omega, self._graph.num_vertices
+            ),
+            samples_per_check=max(1, self._options.samples_per_check),
+            omega=omega,
+        )
+
+    def _draw(self, count: int, rng, *, into_calibration: Optional[StateFrame] = None) -> None:
+        """Draw ``count`` samples from ``rng`` into the aggregate frame."""
+        for take in plan_batches(count, self._batch_size):
+            batch = self._sampler.sample_batch(take, rng)
+            self._frame.record_batch(batch)
+            if into_calibration is not None:
+                into_calibration.record_batch(batch)
+
+    def _build_result(
+        self, timer: PhaseTimer, *, samples_reused: int
+    ) -> BetweennessResult:
+        tau = self._frame.num_samples
+        result = BetweennessResult(
+            scores=self._frame.betweenness_estimates(),
+            num_samples=tau,
+            eps=self._eps,
+            delta=self._delta,
+            omega=self._omega,
+            vertex_diameter=self._vd,
+            num_epochs=self._checks,
+            phase_seconds=timer.as_dict(),
+            extra={"edges_touched": float(self._frame.edges_touched)},
+            samples_drawn=tau - samples_reused,
+            samples_reused=samples_reused,
+        )
+        self._last_result = result
+        return result
+
+    def _trivial_result(self, eps: float, delta: float) -> BetweennessResult:
+        self._ran = True
+        self._eps, self._delta = eps, delta
+        result = BetweennessResult(
+            scores=np.zeros(self._graph.num_vertices), eps=eps, delta=delta
+        )
+        self._last_result = result
+        return result
+
+    # ------------------------------------------------------------------ #
+    # run
+    # ------------------------------------------------------------------ #
+    def run(self, eps: Optional[float] = None, delta: Optional[float] = None) -> BetweennessResult:
+        """Run the estimation to the ``(eps, delta)`` target from zero samples.
+
+        ``eps``/``delta`` default to the session options.  ``run`` may only
+        be called once per session; tighten an existing estimate with
+        :meth:`refine` instead.  For native sessions the sampling flow is
+        bit-identical to the pre-session sequential driver.
+        """
+        if self._ran:
+            raise SessionStateError(
+                "session has already run; use refine(eps, delta) to tighten "
+                "the guarantee without resampling"
+            )
+        target = self._target_options(eps, delta)
+        if not self._native:
+            opts = target
+            start = time.perf_counter()
+            result = self._spec.runner(
+                self._graph, opts, self._resources, self._progress
+            )
+            result.phase_seconds.setdefault("total", time.perf_counter() - start)
+            self._ran = True
+            self._eps, self._delta = opts.eps, opts.delta
+            self._frame.num_samples = int(result.num_samples)
+            self._last_result = result
+            return result
+
+        if self._graph.num_vertices < 2:
+            return self._trivial_result(target.eps, target.delta)
+
+        self._ensure_engine()
+        timer = PhaseTimer()
+
+        with timer.phase("diameter"):
+            if self._options.vertex_diameter_override is not None:
+                self._vd = int(self._options.vertex_diameter_override)
+            else:
+                self._vd = max(
+                    vertex_diameter_upper_bound(self._graph, seed=self._options.seed),
+                    2,
+                )
+        schedule = self._schedule(target.eps, target.delta)
+        self._omega = schedule.omega
+        self._emit(phase="diameter", omega=schedule.omega)
+
+        with timer.phase("calibration"):
+            self._draw(schedule.calibration_samples, self._rng)
+            self._calibration_frame = self._frame.copy()
+            self._calibration_rng_state = _jsonable_rng_state(self._rng)
+            self._recalibrate(target.eps, target.delta, schedule.omega)
+        self._emit(
+            phase="calibration",
+            num_samples=self._frame.num_samples,
+            omega=schedule.omega,
+        )
+
+        with timer.phase("adaptive_sampling"):
+            self._advance_to_stop(schedule)
+
+        self._ran = True
+        self._eps, self._delta = target.eps, target.delta
+        return self._build_result(timer, samples_reused=0)
+
+    def _recalibrate(self, eps: float, delta: float, omega: int) -> None:
+        """Derive delta_L/delta_U and the stopping condition for a target."""
+        calibration = calibrate_deltas(self._calibration_frame, delta, eps=eps)
+        self._delta_l = calibration.delta_l
+        self._delta_u = calibration.delta_u
+        self._condition = StoppingCondition(
+            eps=eps, omega=omega, delta_l=calibration.delta_l, delta_u=calibration.delta_u
+        )
+
+    def _advance_to_stop(self, schedule: CheckSchedule) -> None:
+        """The check/draw loop shared by ``run`` and ``refine``.
+
+        On entry the aggregate frame sits on a check boundary of
+        ``schedule``; each iteration evaluates the stopping rule and draws
+        exactly one block — the same decisions a one-shot run makes.
+        """
+        while not self._condition.should_stop(self._frame):
+            self._draw(schedule.advance(self._frame.num_samples), self._rng)
+            self._checks += 1
+            self._emit(
+                phase="adaptive_sampling",
+                epoch=self._checks,
+                num_samples=self._frame.num_samples,
+                omega=schedule.omega,
+            )
+
+    # ------------------------------------------------------------------ #
+    # refine
+    # ------------------------------------------------------------------ #
+    def refine(
+        self, eps: Optional[float] = None, delta: Optional[float] = None
+    ) -> BetweennessResult:
+        """Tighten the guarantee to ``(eps, delta)``, reusing all samples.
+
+        The target must be at least as tight as the current certificate in
+        both dimensions (``eps <= session.eps`` and ``delta <=
+        session.delta``); a no-op target returns the current estimate without
+        sampling.  The refined result is bit-identical to a fresh session run
+        at the same target with the same seed, while drawing only
+        ``omega_new - omega_old``-ish new samples plus a calibration-gap
+        replay (see the module docstring for why this is exact).
+        """
+        if not self._native:
+            raise SessionCapabilityError(
+                f"backend {self.algorithm!r} does not support refinement; "
+                "open the session with algorithm='sequential'"
+            )
+        if not self._ran:
+            raise SessionStateError("run() must complete before refine()")
+        eps = self._eps if eps is None else float(eps)
+        delta = self._delta if delta is None else float(delta)
+        target = self._target_options(eps, delta)
+        if target.eps > self._eps or target.delta > self._delta:
+            raise ValueError(
+                f"refine target (eps={target.eps}, delta={target.delta}) must be "
+                f"at least as tight as the current certificate "
+                f"(eps={self._eps}, delta={self._delta})"
+            )
+        reused = self._frame.num_samples
+        if target.eps == self._eps and target.delta == self._delta:
+            timer = PhaseTimer()
+            return self._build_result(timer, samples_reused=reused)
+        if self._graph.num_vertices < 2:
+            return self._trivial_result(target.eps, target.delta)
+
+        self._ensure_engine()
+        timer = PhaseTimer()
+        schedule = self._schedule(target.eps, target.delta)
+        old_c = self._calibration_frame.num_samples
+        new_c = schedule.calibration_samples
+        if new_c < old_c:  # impossible by monotonicity; guard the invariant
+            raise SessionStateError(
+                f"calibration count shrank ({old_c} -> {new_c}); "
+                "refinement requires a monotone schedule"
+            )
+
+        with timer.phase("calibration"):
+            # Extend the calibration frame to the tighter target's count: the
+            # overlap with already-drawn samples is *replayed* from the saved
+            # calibration RNG state (same stream positions, so identical
+            # contributions, charged only to the calibration frame), anything
+            # past the live position is drawn fresh and charged to both.
+            replay_until = min(new_c, reused)
+            if replay_until > old_c:
+                replay_rng = _rng_from_state(self._calibration_rng_state)
+                for take in plan_batches(replay_until - old_c, self._batch_size):
+                    self._calibration_frame.record_batch(
+                        self._sampler.sample_batch(take, replay_rng)
+                    )
+                self._calibration_rng_state = _jsonable_rng_state(replay_rng)
+            if new_c > reused:
+                self._draw(
+                    new_c - reused, self._rng, into_calibration=self._calibration_frame
+                )
+                self._calibration_rng_state = _jsonable_rng_state(self._rng)
+            self._recalibrate(target.eps, target.delta, schedule.omega)
+        replayed = replay_until - old_c if replay_until > old_c else 0
+        self._emit(
+            phase="calibration",
+            num_samples=self._frame.num_samples,
+            omega=schedule.omega,
+        )
+
+        with timer.phase("adaptive_sampling"):
+            # Realign with the cold run's check grid, then continue the
+            # standard loop.  Boundaries strictly before the current position
+            # were decided by the looser certificate already (monotone
+            # guarantees: the tighter rule cannot fire before the looser one
+            # did), so drawing straight to the next shared boundary is safe.
+            tau = self._frame.num_samples
+            aligned = schedule.next_boundary(tau)
+            if aligned > tau:
+                self._draw(aligned - tau, self._rng)
+            self._advance_to_stop(schedule)
+
+        self._eps, self._delta = target.eps, target.delta
+        self._omega = schedule.omega
+        result = self._build_result(timer, samples_reused=reused)
+        if replayed:
+            result.extra["samples_replayed"] = float(replayed)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Confidence-aware queries
+    # ------------------------------------------------------------------ #
+    def _result_for_bounds(self) -> BetweennessResult:
+        if not self._native and self._last_result is not None:
+            return self._last_result
+        return BetweennessResult(
+            scores=self._frame.betweenness_estimates(),
+            num_samples=self._frame.num_samples,
+            eps=self._eps,
+            delta=self._delta,
+            omega=self._omega,
+            vertex_diameter=self._vd,
+        )
+
+    def peek(self) -> ConfidenceEstimate:
+        """The current point estimate with per-vertex confidence bounds.
+
+        Valid at any epoch boundary — before ``run`` the bounds are infinite,
+        mid-session they reflect exactly the f/g deviation bounds of the
+        samples accumulated so far.  ``peek`` never draws samples.
+        """
+        result = self._result_for_bounds()
+        lower, upper = confidence_bounds(result, self._delta_l, self._delta_u)
+        return ConfidenceEstimate(
+            scores=result.scores,
+            lower_bounds=lower,
+            upper_bounds=upper,
+            num_samples=int(result.num_samples),
+            eps=self._eps,
+            delta=self._delta,
+        )
+
+    def top_k(self, k: int) -> TopKResult:
+        """Certified top-k against the session state (see :mod:`repro.core.topk`).
+
+        Uses the session's live calibration vectors when available, so the
+        separation test runs at exactly the confidence level the stopping
+        rule certified.
+        """
+        return identify_top_k(
+            self._result_for_bounds(), k, delta_l=self._delta_l, delta_u=self._delta_u
+        )
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+    # ------------------------------------------------------------------ #
+    def _graph_identity(self) -> Dict[str, object]:
+        source = getattr(self._graph, "source_path", None)
+        checksum = None
+        if source is not None:
+            try:
+                from repro.store.catalog import _header_checksum
+                from repro.store.format import read_header
+
+                checksum = _header_checksum(read_header(source))
+            except Exception:  # noqa: BLE001 - identity is best-effort metadata
+                checksum = None
+        return {
+            "num_vertices": int(self._graph.num_vertices),
+            "num_edges": int(self._graph.num_edges),
+            "source_path": None if source is None else str(source),
+            "checksum": checksum,
+        }
+
+    def checkpoint(self, path: PathLike) -> Path:
+        """Snapshot the session to ``path`` (atomically, CRC-checked).
+
+        The snapshot captures everything :meth:`restore` needs to continue
+        the exact sample stream: accumulators, calibration frame, both RNG
+        states and the scalar run state.  Returns the path written.
+        """
+        if not self._native:
+            raise SessionCapabilityError(
+                f"backend {self.algorithm!r} does not support checkpointing"
+            )
+        if not self._ran:
+            raise SessionStateError("nothing to checkpoint: run() has not completed")
+        if self._rng is None:  # trivial (< 2 vertices) sessions have no engine
+            self._ensure_engine()
+            self._calibration_frame = self._calibration_frame or StateFrame.zeros(
+                self._graph.num_vertices
+            )
+            self._calibration_rng_state = (
+                self._calibration_rng_state or _jsonable_rng_state(self._rng)
+            )
+        meta = {
+            "kind": _SNAPSHOT_KIND,
+            "created_at": time.time(),
+            "graph": self._graph_identity(),
+            "options": asdict(self._options),
+            "batch_size": self._batch_size,
+            "achieved": {"eps": self._eps, "delta": self._delta},
+            "omega": self._omega,
+            "vertex_diameter": self._vd,
+            "checks": int(self._checks),
+            "frame": self._frame.scalar_state(),
+            "calibration": {
+                **self._calibration_frame.scalar_state(),
+                "rng_state": self._calibration_rng_state,
+            },
+            "rng_state": _jsonable_rng_state(self._rng),
+        }
+        write_snapshot(
+            path,
+            meta,
+            {
+                "counts": self._frame.counts,
+                "calibration_counts": self._calibration_frame.counts,
+            },
+        )
+        return Path(path)
+
+    @classmethod
+    def restore(
+        cls,
+        path: PathLike,
+        *,
+        graph: Optional[CSRGraph] = None,
+        progress: Optional[ProgressCallback] = None,
+        batch_size: object = None,
+    ) -> "EstimationSession":
+        """Rebuild a session from a :meth:`checkpoint` snapshot.
+
+        ``graph`` may be passed explicitly (it is validated against the
+        recorded identity); otherwise the graph is re-opened from the
+        recorded ``source_path`` — which is how a refinement worker in
+        another process resumes against the shared ``.rcsr`` store.
+        """
+        meta, arrays = read_snapshot(path)
+        require_keys(meta, _REQUIRED_META, path)
+        if meta.get("kind") != _SNAPSHOT_KIND:
+            raise SnapshotError(f"{path}: not an estimation-session snapshot")
+        identity = meta["graph"]
+        if graph is None:
+            source = identity.get("source_path")
+            if not source:
+                raise SnapshotError(
+                    f"{path}: snapshot records no graph source path; pass the "
+                    "graph explicitly to restore()"
+                )
+            from repro.store import load_graph
+
+            graph = load_graph(source)
+        if int(graph.num_vertices) != int(identity["num_vertices"]):
+            raise SnapshotError(
+                f"{path}: graph mismatch (snapshot has {identity['num_vertices']} "
+                f"vertices, provided graph has {graph.num_vertices})"
+            )
+        recorded_checksum = identity.get("checksum")
+        if recorded_checksum is not None and getattr(graph, "source_path", None):
+            try:
+                from repro.store.catalog import _header_checksum
+                from repro.store.format import read_header
+
+                current = _header_checksum(read_header(graph.source_path))
+            except Exception:  # noqa: BLE001 - non-.rcsr sources have no checksum
+                current = None
+            if current is not None and current != recorded_checksum:
+                raise SnapshotError(
+                    f"{path}: graph contents changed since the snapshot "
+                    f"(checksum {current} != {recorded_checksum})"
+                )
+
+        for name in ("counts", "calibration_counts"):
+            if name not in arrays:
+                raise SnapshotError(f"{path}: snapshot lacks the {name!r} array")
+            if arrays[name].size != graph.num_vertices:
+                raise SnapshotError(
+                    f"{path}: {name!r} length {arrays[name].size} does not match "
+                    f"the graph ({graph.num_vertices} vertices)"
+                )
+
+        try:
+            options = KadabraOptions(**meta["options"])
+        except (TypeError, ValueError) as exc:
+            raise SnapshotError(f"{path}: invalid options in snapshot: {exc}") from None
+
+        session = cls(
+            graph,
+            options,
+            progress=progress,
+            batch_size=meta.get("batch_size", "auto") if batch_size is None else batch_size,
+        )
+        session._ran = True
+        achieved = meta["achieved"]
+        session._eps = achieved.get("eps")
+        session._delta = achieved.get("delta")
+        session._omega = None if meta["omega"] is None else int(meta["omega"])
+        session._vd = (
+            None if meta["vertex_diameter"] is None else int(meta["vertex_diameter"])
+        )
+        session._checks = int(meta["checks"])
+        session._frame = StateFrame.from_scalar_state(meta["frame"], arrays["counts"])
+        session._calibration_frame = StateFrame.from_scalar_state(
+            meta["calibration"], arrays["calibration_counts"]
+        )
+        session._calibration_rng_state = meta["calibration"].get("rng_state")
+        try:
+            session._rng = _rng_from_state(meta["rng_state"])
+        except (TypeError, ValueError, KeyError) as exc:
+            raise SnapshotError(f"{path}: invalid RNG state: {exc}") from None
+        from repro.core.kadabra import make_sampler
+
+        session._sampler = make_sampler(graph, options)
+        # Recompute the stopping state instead of storing 2n more floats: the
+        # calibration is a deterministic function of the stored frame.
+        if (
+            session._eps is not None
+            and session._delta is not None
+            and session._omega is not None
+            and session._calibration_frame.num_samples > 0
+        ):
+            session._recalibrate(session._eps, session._delta, session._omega)
+        return session
+
+
+def open_session(
+    graph,
+    *,
+    algorithm: str = "sequential",
+    seed=None,
+    options: Optional[KadabraOptions] = None,
+    resources=None,
+    callbacks=None,
+    **option_overrides,
+) -> EstimationSession:
+    """Open an estimation session — the handle behind the one-shot facade.
+
+    Parameters mirror :func:`repro.estimate_betweenness`: ``graph`` may be a
+    :class:`~repro.graph.csr.CSRGraph`, a path or a catalog name;
+    ``algorithm`` is a backend registry name or ``"auto"``; ``options`` plus
+    ``seed``/keyword overrides configure the run.  ``eps``/``delta`` may be
+    set here as defaults but are typically passed to
+    :meth:`EstimationSession.run` / :meth:`EstimationSession.refine`.
+
+    Only backends registered with ``supports_refinement=True`` (the
+    sequential adaptive engine) return fully resumable sessions; the rest are
+    delegated (``run`` works, ``refine``/``checkpoint`` raise
+    :class:`SessionCapabilityError`).
+    """
+    from repro.api import backends as _backends  # noqa: F401  (populate registry)
+    from repro.api.registry import AUTO, get_backend, select_backend
+    from repro.api.resources import Resources
+    from repro.util.progress import combine_callbacks, tag_backend
+
+    if isinstance(graph, (str, Path)):
+        from repro.store import load_graph
+
+        graph = load_graph(graph)
+    if not hasattr(graph, "num_vertices"):
+        raise TypeError(
+            f"graph must be a CSRGraph-like object, got {type(graph).__name__}"
+        )
+    resources = resources if resources is not None else Resources()
+    if not isinstance(resources, Resources):
+        raise TypeError("resources must be a repro.api.Resources instance")
+    if algorithm == AUTO:
+        spec = select_backend(graph.num_vertices, resources)
+    else:
+        spec = get_backend(algorithm)
+
+    base = options if options is not None else KadabraOptions()
+    changes = dict(option_overrides)
+    if seed is not None:
+        changes["seed"] = seed
+    opts = base.with_(**changes) if changes else base
+
+    progress = tag_backend(combine_callbacks(callbacks), spec.name)
+    return EstimationSession(
+        graph,
+        opts,
+        progress=progress,
+        batch_size=resources.batch_size,
+        _spec=spec,
+        _resources=resources,
+    )

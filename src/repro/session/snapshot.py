@@ -1,0 +1,207 @@
+"""The ``.snap`` session-snapshot container: one header, JSON meta, raw arrays.
+
+A snapshot freezes a resumable :class:`~repro.session.EstimationSession` at an
+epoch boundary: the per-vertex sample accumulators, the calibration-phase
+frame, both RNG states and the scalar run state (sample count, omega, achieved
+accuracy).  Restoring a snapshot — in the same process, another process, or on
+another machine sharing the graph store — continues the *exact* sample stream,
+which is what makes ``restore + refine`` bit-identical to a longer fresh run.
+
+Layout (all little-endian)::
+
+    ========  ====================  ====================================
+    offset    field                 meaning
+    ========  ====================  ====================================
+    0         ``magic``             ``b"RSNP"``
+    4         ``version`` (u16)     format version, currently 1
+    6         ``reserved`` (u16)    zero
+    8         ``meta_nbytes`` (u64) length of the JSON metadata section
+    16        ``arrays_nbytes``     length of the raw array section
+              (u64)
+    24        ``crc_meta`` (u32)    CRC-32 of the metadata section
+    28        ``crc_arrays`` (u32)  CRC-32 of the array section
+    ========  ====================  ====================================
+
+followed by the UTF-8 JSON metadata and the concatenated float64 arrays
+described by the metadata's ``arrays`` list (name + length each).  Like the
+``.rcsr`` graph container, every section is CRC-checked and writers go through
+``atomic_replace``, so a truncated, corrupted or version-mismatched file is
+rejected with a clear :class:`SnapshotError` instead of deserializing garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.store.format import atomic_replace
+
+__all__ = [
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
+    "SnapshotError",
+    "write_snapshot",
+    "read_snapshot",
+    "read_snapshot_meta",
+]
+
+PathLike = Union[str, Path]
+
+SNAPSHOT_MAGIC = b"RSNP"
+SNAPSHOT_VERSION = 1
+
+_HEADER_STRUCT = struct.Struct("<4sHHQQII")
+_HEADER_SIZE = _HEADER_STRUCT.size
+
+#: Refuse to parse absurd section lengths (corrupt headers must not trigger
+#: multi-gigabyte allocations before the CRC check can reject them).
+_MAX_SECTION_BYTES = 1 << 40
+
+
+class SnapshotError(ValueError):
+    """Raised for files that are not valid session snapshots."""
+
+
+def write_snapshot(
+    path: PathLike, meta: Dict[str, object], arrays: Dict[str, np.ndarray]
+) -> None:
+    """Write a snapshot atomically: meta JSON plus named float64 arrays.
+
+    The ``arrays`` entries are recorded in ``meta["arrays"]`` (name and
+    length, in file order) so :func:`read_snapshot` can slice them back out
+    without trusting anything but the CRC-checked metadata.
+    """
+    meta = dict(meta)
+    meta["arrays"] = [
+        {"name": name, "length": int(np.asarray(array).size)}
+        for name, array in arrays.items()
+    ]
+    blobs = [
+        np.ascontiguousarray(np.asarray(array, dtype=np.float64)).tobytes()
+        for array in arrays.values()
+    ]
+    arrays_blob = b"".join(blobs)
+    meta_blob = json.dumps(meta, sort_keys=True).encode("utf-8")
+    header = _HEADER_STRUCT.pack(
+        SNAPSHOT_MAGIC,
+        SNAPSHOT_VERSION,
+        0,
+        len(meta_blob),
+        len(arrays_blob),
+        zlib.crc32(meta_blob) & 0xFFFFFFFF,
+        zlib.crc32(arrays_blob) & 0xFFFFFFFF,
+    )
+    dest = Path(path)
+    if dest.parent and not dest.parent.exists():
+        dest.parent.mkdir(parents=True, exist_ok=True)
+    with atomic_replace(dest) as tmp:
+        with open(tmp, "wb") as fh:
+            fh.write(header)
+            fh.write(meta_blob)
+            fh.write(arrays_blob)
+
+
+def _read_header(blob: bytes, path: Path) -> Tuple[int, int, int, int]:
+    if len(blob) < _HEADER_SIZE:
+        raise SnapshotError(f"{path}: file too short for a snapshot header")
+    magic, version, _reserved, meta_nbytes, arrays_nbytes, crc_meta, crc_arrays = (
+        _HEADER_STRUCT.unpack_from(blob)
+    )
+    if magic != SNAPSHOT_MAGIC:
+        raise SnapshotError(f"{path}: not a session snapshot (bad magic {magic!r})")
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"{path}: unsupported snapshot version {version} "
+            f"(this build reads version {SNAPSHOT_VERSION})"
+        )
+    if meta_nbytes > _MAX_SECTION_BYTES or arrays_nbytes > _MAX_SECTION_BYTES:
+        raise SnapshotError(f"{path}: implausible section sizes (corrupt header)")
+    return meta_nbytes, arrays_nbytes, crc_meta, crc_arrays
+
+
+def _decode_meta(meta_blob: bytes, crc_meta: int, path: Path) -> Dict[str, object]:
+    if (zlib.crc32(meta_blob) & 0xFFFFFFFF) != crc_meta:
+        raise SnapshotError(f"{path}: metadata CRC mismatch (corrupted snapshot)")
+    try:
+        meta = json.loads(meta_blob.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"{path}: metadata is not valid JSON: {exc}") from None
+    if not isinstance(meta, dict):
+        raise SnapshotError(f"{path}: snapshot metadata must be a JSON object")
+    return meta
+
+
+def read_snapshot_meta(path: PathLike) -> Dict[str, object]:
+    """The CRC-checked metadata of a snapshot, without loading the arrays.
+
+    Used by inspection commands (``repro-betweenness session checkpoint``) and
+    by the service when deciding whether a cached snapshot can serve a
+    refinement — both only need the scalar state.
+    """
+    src = Path(path)
+    try:
+        with open(src, "rb") as fh:
+            blob = fh.read(_HEADER_SIZE)
+            meta_nbytes, _arrays_nbytes, crc_meta, _crc_arrays = _read_header(blob, src)
+            meta_blob = fh.read(meta_nbytes)
+    except OSError as exc:
+        raise SnapshotError(f"{src}: cannot read snapshot: {exc}") from None
+    if len(meta_blob) != meta_nbytes:
+        raise SnapshotError(f"{src}: truncated snapshot (metadata section)")
+    return _decode_meta(meta_blob, crc_meta, src)
+
+
+def read_snapshot(path: PathLike) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+    """Load and verify a snapshot; returns ``(meta, arrays)``.
+
+    Raises :class:`SnapshotError` for anything that is not a complete,
+    CRC-clean snapshot of a supported version.
+    """
+    src = Path(path)
+    try:
+        blob = src.read_bytes()
+    except OSError as exc:
+        raise SnapshotError(f"{src}: cannot read snapshot: {exc}") from None
+    meta_nbytes, arrays_nbytes, crc_meta, crc_arrays = _read_header(blob, src)
+    expected = _HEADER_SIZE + meta_nbytes + arrays_nbytes
+    if len(blob) < expected:
+        raise SnapshotError(
+            f"{src}: truncated snapshot ({len(blob)} bytes, expected {expected})"
+        )
+    meta = _decode_meta(blob[_HEADER_SIZE : _HEADER_SIZE + meta_nbytes], crc_meta, src)
+    arrays_blob = blob[_HEADER_SIZE + meta_nbytes : expected]
+    if (zlib.crc32(arrays_blob) & 0xFFFFFFFF) != crc_arrays:
+        raise SnapshotError(f"{src}: array CRC mismatch (corrupted snapshot)")
+
+    specs = meta.get("arrays")
+    if not isinstance(specs, list):
+        raise SnapshotError(f"{src}: metadata lacks the 'arrays' section list")
+    arrays: Dict[str, np.ndarray] = {}
+    offset = 0
+    for spec in specs:
+        try:
+            name, length = str(spec["name"]), int(spec["length"])
+        except (TypeError, KeyError, ValueError):
+            raise SnapshotError(f"{src}: malformed array descriptor {spec!r}") from None
+        nbytes = length * 8
+        if length < 0 or offset + nbytes > len(arrays_blob):
+            raise SnapshotError(f"{src}: array section shorter than described")
+        arrays[name] = np.frombuffer(
+            arrays_blob, dtype=np.float64, count=length, offset=offset
+        ).copy()
+        offset += nbytes
+    if offset != len(arrays_blob):
+        raise SnapshotError(f"{src}: array section longer than described")
+    return meta, arrays
+
+
+def require_keys(meta: Dict[str, object], keys: Sequence[str], path: PathLike) -> None:
+    """Validate that ``meta`` carries every key in ``keys`` (SnapshotError)."""
+    missing: List[str] = [key for key in keys if key not in meta]
+    if missing:
+        raise SnapshotError(f"{path}: snapshot metadata is missing {missing}")

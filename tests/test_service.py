@@ -26,6 +26,9 @@ import pytest
 from repro.core.result import BetweennessResult
 from repro.io_utils import load_result, save_result
 from repro.service import (
+    HIT,
+    MISS,
+    REFINABLE,
     BetweennessService,
     JobManager,
     QueryRequest,
@@ -34,6 +37,7 @@ from repro.service import (
     ServiceClient,
     ServiceError,
     algorithm_family,
+    classify,
     dominates,
     result_payload,
     select_dominating,
@@ -245,6 +249,46 @@ class TestDominance:
                                  eps=0.001, delta=0.1) is None
 
 
+class TestClassifyVerdicts:
+    """hit / refinable / miss, including the equal-eps/tighter-delta edge."""
+
+    def classify(self, cached_eps, cached_delta, *, eps, delta,
+                 cached_family="adaptive-sampling", family="adaptive-sampling",
+                 cached_seed=1, seed=1):
+        return classify(cached_family, cached_eps, cached_delta, cached_seed,
+                        family=family, eps=eps, delta=delta, seed=seed)
+
+    def test_dominating_entry_is_hit(self):
+        assert self.classify(0.05, 0.1, eps=0.1, delta=0.1) == HIT
+        assert self.classify(0.05, 0.1, eps=0.05, delta=0.1) == HIT
+
+    def test_tighter_eps_request_is_refinable(self):
+        assert self.classify(0.1, 0.1, eps=0.05, delta=0.1) == REFINABLE
+
+    def test_equal_eps_tighter_delta_is_refinable_not_hit(self):
+        """delta is compared exactly like eps: equality hits, tighter refines."""
+        assert self.classify(0.05, 0.1, eps=0.05, delta=0.1) == HIT
+        assert self.classify(0.05, 0.1, eps=0.05, delta=0.05) == REFINABLE
+
+    def test_seed_mismatch_is_miss(self):
+        assert self.classify(0.1, 0.1, eps=0.05, delta=0.1, seed=2) == MISS
+        assert self.classify(0.1, 0.1, eps=0.05, delta=0.1,
+                             cached_seed=None, seed=1) == MISS
+        # but None == None counts as the same (unseeded) stream family
+        assert self.classify(0.1, 0.1, eps=0.05, delta=0.1,
+                             cached_seed=None, seed=None) == REFINABLE
+
+    def test_non_adaptive_families_never_refine(self):
+        assert self.classify(0.1, 0.1, eps=0.05, delta=0.1,
+                             cached_family="fixed-sampling",
+                             family="fixed-sampling") == MISS
+        assert self.classify(None, None, eps=0.05, delta=0.1,
+                             cached_family="exact") == HIT  # exact dominates
+
+    def test_unknown_cached_accuracy_is_miss(self):
+        assert self.classify(None, None, eps=0.05, delta=0.1) == MISS
+
+
 # --------------------------------------------------------------------- #
 # Result cache
 # --------------------------------------------------------------------- #
@@ -352,6 +396,35 @@ class TestJobManager:
         assert second.job is None
         assert estimator.num_calls == 1  # the acceptance criterion: no re-sampling
         assert manager.counters["cache_hits"] == 1
+
+    def test_concurrent_identical_submits_deduplicate(self, tmp_path):
+        """No await may sit between the in-flight check and the job insertion.
+
+        Submitted via gather so both coroutines interleave on the event loop:
+        if submit() suspends between reading `_inflight` and inserting the new
+        job (as an awaited refinable-cache probe once did), both requests pass
+        the check and sample twice.
+        """
+        graph = write_graph(tmp_path / "g.txt")
+        hold = threading.Event()
+        estimator = CountingEstimator(hold=hold)
+        manager = make_manager(tmp_path, estimator)
+        request = QueryRequest(graph=str(graph), eps=0.1, seed=1)
+
+        async def scenario():
+            first, second = await asyncio.gather(
+                manager.submit(request), manager.submit(request)
+            )
+            hold.set()
+            await first.job.future
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        manager.close()
+        assert second.deduplicated or first.deduplicated
+        assert first.job is second.job
+        assert estimator.num_calls == 1
+        assert manager.counters["deduplicated"] == 1
 
     def test_looser_request_reuses_tighter_result(self, tmp_path):
         graph = write_graph(tmp_path / "g.txt")
@@ -500,6 +573,172 @@ class TestJobManager:
             JobManager(worker_mode="process", estimator=CountingEstimator())
         with pytest.raises(ValueError):
             JobManager(worker_mode="fiber")
+
+
+class TestSnapshotCache:
+    """Session checkpoints stored next to cached results (refinable entries)."""
+
+    def snap(self, tmp_path, name="session.snap"):
+        from repro.session import write_snapshot
+
+        path = tmp_path / name
+        write_snapshot(path, {"kind": "test"}, {"counts": np.zeros(5)})
+        return path
+
+    def test_put_with_snapshot_marks_entry_refinable(self, tmp_path):
+        cache = ResultCache(tmp_path / "results")
+        request = QueryRequest(graph="g", eps=0.1, algorithm="sequential", seed=1)
+        entry = cache.put(
+            "crc32:aa", request, make_result(), snapshot=self.snap(tmp_path)
+        )
+        assert entry.has_snapshot
+        stored = cache.entries("crc32:aa")[0]
+        assert stored.has_snapshot
+        assert cache.snapshot_path(stored) is not None
+
+    def test_find_refinable_matches_classify(self, tmp_path):
+        cache = ResultCache(tmp_path / "results")
+        request = QueryRequest(graph="g", eps=0.1, algorithm="sequential", seed=1)
+        cache.put("crc32:aa", request, make_result(), snapshot=self.snap(tmp_path))
+        hit = cache.find_refinable(
+            "crc32:aa", family="adaptive-sampling", eps=0.05, delta=0.1, seed=1
+        )
+        assert hit is not None
+        entry, path = hit
+        assert path.is_file()
+        # wrong seed, wrong family, dominated request: no refinable entry
+        assert cache.find_refinable(
+            "crc32:aa", family="adaptive-sampling", eps=0.05, delta=0.1, seed=2
+        ) is None
+        assert cache.find_refinable(
+            "crc32:aa", family="fixed-sampling", eps=0.05, delta=0.1, seed=1
+        ) is None
+        assert cache.find_refinable(
+            "crc32:aa", family="adaptive-sampling", eps=0.2, delta=0.5, seed=1
+        ) is None
+
+    def test_find_refinable_prefers_most_samples(self, tmp_path):
+        cache = ResultCache(tmp_path / "results")
+        loose = QueryRequest(graph="g", eps=0.4, algorithm="sequential", seed=1)
+        tight = QueryRequest(graph="g", eps=0.2, algorithm="sequential", seed=1)
+        cache.put("crc32:aa", loose, make_result(eps=0.4, num_samples=50),
+                  snapshot=self.snap(tmp_path, "a.snap"))
+        best = cache.put("crc32:aa", tight, make_result(eps=0.2, num_samples=200),
+                         snapshot=self.snap(tmp_path, "b.snap"))
+        entry, _ = cache.find_refinable(
+            "crc32:aa", family="adaptive-sampling", eps=0.1, delta=0.1, seed=1
+        )
+        assert entry.key == best.key
+
+    def test_entry_without_snapshot_not_refinable(self, tmp_path):
+        cache = ResultCache(tmp_path / "results")
+        request = QueryRequest(graph="g", eps=0.1, algorithm="sequential", seed=1)
+        cache.put("crc32:aa", request, make_result())
+        assert cache.find_refinable(
+            "crc32:aa", family="adaptive-sampling", eps=0.05, delta=0.1, seed=1
+        ) is None
+
+    def test_evict_removes_snapshot_files(self, tmp_path):
+        cache = ResultCache(tmp_path / "results")
+        request = QueryRequest(graph="g", eps=0.1, algorithm="sequential", seed=1)
+        cache.put("crc32:aa", request, make_result(), snapshot=self.snap(tmp_path))
+        assert cache.evict() == 1
+        assert not list((tmp_path / "results").rglob("*.session.snap"))
+
+
+class TestServiceRefinement:
+    """End to end: a tighter-eps request is served by restore + refine."""
+
+    def manager(self, tmp_path):
+        # No custom estimator: the real facade runs (and writes snapshots).
+        return JobManager(
+            cache=ResultCache(tmp_path / "results"),
+            catalog=GraphCatalog(tmp_path / "graph-cache"),
+            worker_mode="thread",
+        )
+
+    def test_tighter_request_refines_from_checkpoint(self, tmp_path):
+        graph = write_graph(tmp_path / "g.txt")
+        manager = self.manager(tmp_path)
+
+        async def scenario():
+            first = await manager.submit(QueryRequest(
+                graph=str(graph), eps=0.3, delta=0.2, seed=1, algorithm="sequential"))
+            await first.job.future
+            second = await manager.submit(QueryRequest(
+                graph=str(graph), eps=0.1, delta=0.2, seed=1, algorithm="sequential"))
+            result = await second.job.future
+            return first, second, result
+
+        try:
+            first, second, result = asyncio.run(scenario())
+        finally:
+            manager.close()
+        entry = manager.cache.entries(first.checksum)[0]
+        assert entry.has_snapshot
+        assert not second.served_from_cache
+        assert second.job.refined_from is not None
+        assert result.samples_reused > 0
+        assert result.samples_drawn == result.num_samples - result.samples_reused
+        assert manager.counters["cache_refines"] == 1
+
+        # bit-identical to a cold run at the tighter target
+        from repro.api import estimate_betweenness
+
+        cold = estimate_betweenness(
+            str(graph), algorithm="sequential", eps=0.1, delta=0.2, seed=1
+        )
+        assert np.array_equal(result.scores, cold.scores)
+
+    def test_refined_entry_serves_and_refines_again(self, tmp_path):
+        graph = write_graph(tmp_path / "g.txt")
+        manager = self.manager(tmp_path)
+
+        async def scenario():
+            first = await manager.submit(QueryRequest(
+                graph=str(graph), eps=0.3, delta=0.2, seed=1, algorithm="sequential"))
+            await first.job.future
+            second = await manager.submit(QueryRequest(
+                graph=str(graph), eps=0.1, delta=0.2, seed=1, algorithm="sequential"))
+            await second.job.future
+            # looser than the refined entry: plain cache hit, no job
+            third = await manager.submit(QueryRequest(
+                graph=str(graph), eps=0.2, delta=0.2, seed=1, algorithm="sequential"))
+            # tighter still: refines from the *refined* checkpoint
+            fourth = await manager.submit(QueryRequest(
+                graph=str(graph), eps=0.05, delta=0.2, seed=1, algorithm="sequential"))
+            result4 = await fourth.job.future
+            return third, fourth, result4
+
+        try:
+            third, fourth, result4 = asyncio.run(scenario())
+        finally:
+            manager.close()
+        assert third.served_from_cache
+        assert fourth.job.refined_from is not None
+        assert result4.samples_reused > 0
+        assert manager.counters["cache_refines"] == 2
+
+    def test_different_seed_runs_cold(self, tmp_path):
+        graph = write_graph(tmp_path / "g.txt")
+        manager = self.manager(tmp_path)
+
+        async def scenario():
+            first = await manager.submit(QueryRequest(
+                graph=str(graph), eps=0.3, delta=0.2, seed=1, algorithm="sequential"))
+            await first.job.future
+            second = await manager.submit(QueryRequest(
+                graph=str(graph), eps=0.1, delta=0.2, seed=2, algorithm="sequential"))
+            result = await second.job.future
+            return second, result
+
+        try:
+            second, result = asyncio.run(scenario())
+        finally:
+            manager.close()
+        assert second.job.refined_from is None
+        assert result.samples_reused == 0
+        assert manager.counters["cache_refines"] == 0
 
 
 # --------------------------------------------------------------------- #

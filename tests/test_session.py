@@ -1,0 +1,490 @@
+"""Resumable estimation sessions: refinement exactness, snapshots, queries.
+
+The load-bearing guarantees:
+
+* ``run(eps1)`` then ``refine(eps2 < eps1)`` is **bit-identical** to a fresh
+  session run at ``eps2`` with the same seed, while drawing strictly fewer
+  new samples than the cold run;
+* ``checkpoint`` / ``restore`` round-trip the session across processes, and
+  corrupted / truncated / version-mismatched snapshots raise a clear
+  :class:`~repro.session.SnapshotError` (mirroring the ``.rcsr`` corruption
+  tests in ``tests/test_store.py``);
+* the facade's ``checkpoint_path`` / ``resume_from`` keywords and the query
+  service's refinable cache entries build on exactly these semantics.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import Resources, estimate_betweenness, get_backend
+from repro.core.calibration import calibration_sample_count
+from repro.core.stopping import CheckSchedule
+from repro.graph.generators import barabasi_albert
+from repro.graph.io import read_edge_list
+from repro.session import (
+    EstimationSession,
+    SessionCapabilityError,
+    SessionStateError,
+    SnapshotError,
+    open_session,
+    read_snapshot_meta,
+    write_snapshot,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLE_GRAPH = REPO_ROOT / "examples" / "data" / "example-social.txt"
+
+
+@pytest.fixture(scope="module")
+def example_graph():
+    return read_edge_list(EXAMPLE_GRAPH)
+
+
+def assert_results_identical(a, b):
+    __tracebackhide__ = True
+    assert np.array_equal(a.scores, b.scores), "score vectors differ"
+    assert a.num_samples == b.num_samples
+    assert a.omega == b.omega
+
+
+class TestRunEquivalence:
+    """session.run is the sequential driver (the facade routes through it)."""
+
+    def test_run_matches_facade(self, example_graph):
+        session = open_session(example_graph, seed=11)
+        result = session.run(0.1, 0.1)
+        via_facade = estimate_betweenness(
+            example_graph, algorithm="sequential", eps=0.1, delta=0.1, seed=11
+        )
+        assert_results_identical(result, via_facade)
+
+    def test_run_twice_rejected(self, small_social_graph):
+        session = open_session(small_social_graph, seed=1, max_samples_override=300)
+        session.run(0.2, 0.2)
+        with pytest.raises(SessionStateError, match="refine"):
+            session.run(0.2, 0.2)
+
+    def test_refine_before_run_rejected(self, small_social_graph):
+        session = open_session(small_social_graph, seed=1)
+        with pytest.raises(SessionStateError, match="run"):
+            session.refine(0.1)
+
+    def test_tiny_graph_trivial_result(self):
+        from repro.graph.csr import CSRGraph
+
+        session = open_session(CSRGraph.empty(1), seed=0)
+        result = session.run(0.1, 0.1)
+        assert result.num_samples == 0
+        assert np.all(result.scores == 0.0)
+
+
+class TestRefineExactness:
+    """refine == cold run at the tighter target, bit for bit."""
+
+    def test_refine_eps_bit_identical(self, example_graph):
+        session = open_session(example_graph, seed=42)
+        first = session.run(0.05, 0.1)
+        refined = session.refine(0.025)
+
+        cold = open_session(example_graph, seed=42).run(0.025, 0.1)
+        assert_results_identical(refined, cold)
+        # strictly fewer new samples than the cold run drew
+        assert refined.samples_reused == first.num_samples
+        assert refined.samples_drawn == cold.num_samples - first.num_samples
+        assert 0 < refined.samples_drawn < cold.num_samples
+
+    def test_refine_delta_only(self, example_graph):
+        """The equal-eps/tighter-delta edge refines exactly as well."""
+        session = open_session(example_graph, seed=8)
+        session.run(0.05, 0.2)
+        refined = session.refine(0.05, 0.05)
+        cold = open_session(example_graph, seed=8).run(0.05, 0.05)
+        assert_results_identical(refined, cold)
+
+    def test_chained_refines(self, example_graph):
+        session = open_session(example_graph, seed=3)
+        session.run(0.1, 0.2)
+        session.refine(0.05, 0.2)
+        final = session.refine(0.025, 0.1)
+        cold = open_session(example_graph, seed=3).run(0.025, 0.1)
+        assert_results_identical(final, cold)
+
+    def test_refine_off_grid_budget_cap(self, example_graph):
+        """A run that stopped at the omega cap (off the check grid) realigns."""
+        kwargs = dict(seed=7, max_samples_override=4000)
+        session = open_session(example_graph, **kwargs)
+        first = session.run(0.1, 0.1)
+        assert first.num_samples == first.omega  # budget-capped, off-grid
+        refined = session.refine(0.05)
+        cold = open_session(example_graph, **kwargs).run(0.05, 0.1)
+        assert_results_identical(refined, cold)
+
+    def test_refine_explicit_calibration_growth(self, example_graph):
+        """Small eps grows the calibration count; the gap is replayed."""
+        session = open_session(example_graph, seed=13)
+        session.run(0.05, 0.1)
+        refined = session.refine(0.00625)
+        cold = open_session(example_graph, seed=13).run(0.00625, 0.1)
+        assert_results_identical(refined, cold)
+        assert refined.extra.get("samples_replayed", 0) > 0
+
+    def test_noop_refine_draws_nothing(self, example_graph):
+        session = open_session(example_graph, seed=4)
+        first = session.run(0.1, 0.1)
+        again = session.refine(0.1, 0.1)
+        assert np.array_equal(first.scores, again.scores)
+        assert again.samples_drawn == 0
+        assert again.samples_reused == first.num_samples
+
+    def test_looser_target_rejected(self, example_graph):
+        session = open_session(example_graph, seed=4)
+        session.run(0.1, 0.1)
+        with pytest.raises(ValueError, match="tight"):
+            session.refine(0.2)
+        with pytest.raises(ValueError, match="tight"):
+            session.refine(0.1, 0.5)
+
+    def test_monotone_schedule_helpers(self):
+        schedule = CheckSchedule(calibration_samples=200, samples_per_check=1000, omega=4797)
+        assert schedule.first_check == 200
+        assert schedule.next_boundary(0) == 200
+        assert schedule.next_boundary(200) == 200
+        assert schedule.next_boundary(201) == 1200
+        assert schedule.next_boundary(1300) == 2200
+        assert schedule.next_boundary(4300) == 4797  # clamped to omega
+        assert schedule.advance(4200) == 597
+        # the calibration count is monotone in omega (refinement invariant)
+        assert calibration_sample_count(None, 300, 300) <= calibration_sample_count(
+            None, 76746, 300
+        )
+
+
+class TestDelegatedSessions:
+    def test_delegated_backend_runs_but_cannot_refine(self, small_social_graph):
+        session = open_session(
+            small_social_graph,
+            algorithm="shared-memory",
+            seed=1,
+            max_samples_override=300,
+            calibration_samples=50,
+        )
+        result = session.run(0.2, 0.2)
+        assert result.num_samples > 0
+        assert not session.supports_refinement
+        with pytest.raises(SessionCapabilityError, match="refinement"):
+            session.refine(0.1)
+        with pytest.raises(SessionCapabilityError, match="checkpoint"):
+            session.checkpoint("nowhere.snap")
+        # confidence queries degrade to the uniform-split fallback
+        top = session.top_k(3)
+        assert len(top.vertices) == 3
+
+    def test_registry_capability_flags(self):
+        assert get_backend("sequential").supports_refinement
+        for name in ("shared-memory", "distributed", "mpi-only", "rk", "exact"):
+            assert not get_backend(name).supports_refinement
+
+
+class TestConfidenceQueries:
+    def test_peek_bounds_contain_estimates(self, example_graph):
+        session = open_session(example_graph, seed=42)
+        session.run(0.1, 0.1)
+        peek = session.peek()
+        assert peek.num_samples == session.num_samples
+        assert np.all(peek.lower_bounds <= peek.scores)
+        assert np.all(peek.scores <= peek.upper_bounds)
+        assert np.all(peek.lower_bounds >= 0.0)
+        assert np.all(peek.upper_bounds <= 1.0)
+        assert np.isfinite(peek.max_half_width)
+
+    def test_peek_before_run_is_infinite(self, small_social_graph):
+        session = open_session(small_social_graph, seed=0)
+        peek = session.peek()
+        assert peek.num_samples == 0
+        assert np.all(np.isinf(peek.half_width_upper))
+
+    def test_refine_shrinks_half_widths(self, example_graph):
+        session = open_session(example_graph, seed=42)
+        session.run(0.1, 0.1)
+        before = session.peek().max_half_width
+        session.refine(0.025)
+        after = session.peek().max_half_width
+        assert after < before
+
+    def test_top_k_uses_session_calibration(self, example_graph):
+        session = open_session(example_graph, seed=42)
+        session.run(0.05, 0.1)
+        top = session.top_k(5)
+        assert len(top.vertices) == 5
+        # the separation threshold comes from real per-vertex deltas, so the
+        # ordering must agree with the raw scores
+        scores = session.peek().scores
+        assert list(top.vertices) == list(np.argsort(-scores, kind="stable")[:5])
+
+
+class TestCheckpointRestore:
+    def test_roundtrip_in_process(self, example_graph, tmp_path):
+        session = open_session(example_graph, seed=42)
+        session.run(0.05, 0.1)
+        snap = tmp_path / "run.snap"
+        session.checkpoint(snap)
+
+        restored = EstimationSession.restore(snap, graph=example_graph)
+        assert restored.num_samples == session.num_samples
+        assert restored.eps == 0.05
+        refined = restored.refine(0.025)
+        cold = open_session(example_graph, seed=42).run(0.025, 0.1)
+        assert_results_identical(refined, cold)
+        assert refined.samples_reused == session.num_samples
+
+    def test_restored_peek_matches_live(self, example_graph, tmp_path):
+        session = open_session(example_graph, seed=9)
+        session.run(0.1, 0.1)
+        snap = tmp_path / "run.snap"
+        session.checkpoint(snap)
+        restored = EstimationSession.restore(snap, graph=example_graph)
+        live, back = session.peek(), restored.peek()
+        assert np.array_equal(live.scores, back.scores)
+        assert np.array_equal(live.lower_bounds, back.lower_bounds)
+        assert np.array_equal(live.upper_bounds, back.upper_bounds)
+
+    def test_roundtrip_across_processes(self, tmp_path):
+        """checkpoint in this process, refine in a subprocess, compare."""
+        graph = read_edge_list(EXAMPLE_GRAPH)
+        session = open_session(graph, seed=42)
+        session.run(0.1, 0.1)
+        snap = tmp_path / "xproc.snap"
+        session.checkpoint(snap)
+
+        code = (
+            "import sys, numpy as np\n"
+            "from repro.graph.io import read_edge_list\n"
+            "from repro.session import EstimationSession\n"
+            f"graph = read_edge_list({str(EXAMPLE_GRAPH)!r})\n"
+            f"session = EstimationSession.restore({str(snap)!r}, graph=graph)\n"
+            "result = session.refine(0.05)\n"
+            "np.save(sys.argv[1], result.scores)\n"
+        )
+        out = tmp_path / "scores.npy"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", code, str(out)],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        subprocess_scores = np.load(out)
+
+        cold = open_session(graph, seed=42).run(0.05, 0.1)
+        assert np.array_equal(subprocess_scores, cold.scores)
+
+    def test_checkpoint_before_run_rejected(self, small_social_graph, tmp_path):
+        session = open_session(small_social_graph, seed=0)
+        with pytest.raises(SessionStateError, match="checkpoint"):
+            session.checkpoint(tmp_path / "early.snap")
+
+    def test_restore_wrong_graph_rejected(self, example_graph, tmp_path):
+        session = open_session(example_graph, seed=1, max_samples_override=300)
+        session.run(0.2, 0.2)
+        snap = tmp_path / "run.snap"
+        session.checkpoint(snap)
+        other = barabasi_albert(50, 2, seed=0)
+        with pytest.raises(SnapshotError, match="mismatch"):
+            EstimationSession.restore(snap, graph=other)
+
+    def test_restore_without_graph_needs_source(self, example_graph, tmp_path):
+        # the in-memory example graph records no source path
+        session = open_session(example_graph, seed=1, max_samples_override=300)
+        session.run(0.2, 0.2)
+        snap = tmp_path / "run.snap"
+        session.checkpoint(snap)
+        with pytest.raises(SnapshotError, match="source"):
+            EstimationSession.restore(snap)
+
+
+class TestSnapshotIntegrity:
+    """Corrupted snapshots must fail loudly (mirrors the .rcsr store tests)."""
+
+    @pytest.fixture()
+    def snapshot(self, small_social_graph, tmp_path):
+        session = open_session(
+            small_social_graph, seed=5, max_samples_override=300, calibration_samples=50
+        )
+        session.run(0.2, 0.2)
+        snap = tmp_path / "intact.snap"
+        session.checkpoint(snap)
+        return snap
+
+    def test_meta_readable_without_arrays(self, snapshot):
+        meta = read_snapshot_meta(snapshot)
+        assert meta["kind"] == "repro-estimation-session"
+        assert meta["achieved"]["eps"] == 0.2
+
+    def test_truncated_rejected(self, snapshot):
+        blob = snapshot.read_bytes()
+        for cut in (0, 3, 17, len(blob) // 2, len(blob) - 1):
+            snapshot.write_bytes(blob[:cut])
+            with pytest.raises(SnapshotError):
+                EstimationSession.restore(snapshot)
+
+    def test_corrupted_arrays_rejected(self, snapshot):
+        blob = bytearray(snapshot.read_bytes())
+        blob[-5] ^= 0xFF  # flip a bit inside the counts array
+        snapshot.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError, match="CRC"):
+            EstimationSession.restore(snapshot)
+
+    def test_corrupted_meta_rejected(self, snapshot):
+        blob = bytearray(snapshot.read_bytes())
+        blob[40] ^= 0xFF  # inside the JSON section
+        snapshot.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError):
+            EstimationSession.restore(snapshot)
+
+    def test_bad_magic_rejected(self, snapshot):
+        blob = bytearray(snapshot.read_bytes())
+        blob[:4] = b"NOPE"
+        snapshot.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError, match="magic"):
+            EstimationSession.restore(snapshot)
+
+    def test_version_mismatch_rejected(self, snapshot):
+        blob = bytearray(snapshot.read_bytes())
+        struct.pack_into("<H", blob, 4, 99)
+        snapshot.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError, match="version"):
+            EstimationSession.restore(snapshot)
+
+    def test_not_a_snapshot_rejected(self, tmp_path):
+        path = tmp_path / "garbage.snap"
+        path.write_bytes(b"this is not a snapshot at all, sorry")
+        with pytest.raises(SnapshotError):
+            EstimationSession.restore(path)
+        path.write_bytes(b"")
+        with pytest.raises(SnapshotError, match="short"):
+            EstimationSession.restore(path)
+
+    def test_foreign_kind_rejected(self, tmp_path, small_social_graph):
+        path = tmp_path / "foreign.snap"
+        write_snapshot(
+            path,
+            {"kind": "something-else"},
+            {"counts": np.zeros(small_social_graph.num_vertices)},
+        )
+        with pytest.raises(SnapshotError):
+            EstimationSession.restore(path, graph=small_social_graph)
+
+
+class TestFacadeIntegration:
+    KW = dict(eps=0.1, delta=0.1, seed=21)
+
+    def test_checkpoint_path_written_for_sequential(self, example_graph, tmp_path):
+        snap = tmp_path / "facade.snap"
+        result = estimate_betweenness(
+            example_graph, algorithm="sequential", checkpoint_path=snap, **self.KW
+        )
+        assert snap.is_file()
+        meta = read_snapshot_meta(snap)
+        assert meta["frame"]["num_samples"] == result.num_samples
+        assert result.samples_drawn == result.num_samples
+        assert result.samples_reused == 0
+
+    def test_checkpoint_path_skipped_for_exact(self, tmp_path):
+        graph = barabasi_albert(40, 2, seed=0)
+        snap = tmp_path / "exact.snap"
+        estimate_betweenness(graph, algorithm="exact", checkpoint_path=snap)
+        assert not snap.exists()
+
+    def test_resume_from_refines_bit_identically(self, example_graph, tmp_path):
+        snap = tmp_path / "facade.snap"
+        estimate_betweenness(
+            example_graph, algorithm="sequential", checkpoint_path=snap, **self.KW
+        )
+        refined = estimate_betweenness(
+            example_graph, eps=0.05, delta=0.1, seed=21, resume_from=snap
+        )
+        cold = estimate_betweenness(
+            example_graph, algorithm="sequential", eps=0.05, delta=0.1, seed=21
+        )
+        assert np.array_equal(refined.scores, cold.scores)
+        assert refined.samples_reused > 0
+        assert refined.backend == "sequential"
+        # the JSON schema carries the accounting
+        payload = json.loads(refined.to_json())
+        assert payload["samples_reused"] == refined.samples_reused
+        assert payload["samples_drawn"] == refined.samples_drawn
+
+    def test_resume_from_corrupt_snapshot_falls_back_cold(self, example_graph, tmp_path):
+        """A bad checkpoint degrades to a cold run, it does not fail the call."""
+        snap = tmp_path / "bad.snap"
+        snap.write_bytes(b"definitely not a snapshot")
+        with pytest.warns(RuntimeWarning, match="running cold"):
+            result = estimate_betweenness(
+                example_graph, eps=0.1, delta=0.1, seed=21, resume_from=snap
+            )
+        cold = estimate_betweenness(
+            example_graph, algorithm="sequential", eps=0.1, delta=0.1, seed=21
+        )
+        assert np.array_equal(result.scores, cold.scores)
+        assert result.samples_reused == 0
+
+    def test_resume_from_seed_mismatch_rejected(self, example_graph, tmp_path):
+        snap = tmp_path / "facade.snap"
+        estimate_betweenness(
+            example_graph, algorithm="sequential", checkpoint_path=snap, **self.KW
+        )
+        with pytest.raises(ValueError, match="seed"):
+            estimate_betweenness(example_graph, eps=0.05, seed=99, resume_from=snap)
+
+    def test_resume_tightens_to_dominating_target(self, example_graph, tmp_path):
+        """A request looser in one dimension refines to the per-axis minimum."""
+        snap = tmp_path / "facade.snap"
+        estimate_betweenness(
+            example_graph, algorithm="sequential", checkpoint_path=snap, **self.KW
+        )
+        result = estimate_betweenness(
+            example_graph, eps=0.2, delta=0.05, seed=21, resume_from=snap
+        )
+        assert result.eps == 0.1  # kept the checkpoint's tighter eps
+        assert result.delta == 0.05
+
+    def test_batch_size_invariance_of_refine(self, example_graph):
+        """Refinement exactness is independent of the batch partitioning."""
+        baseline = open_session(example_graph, seed=42)
+        baseline.run(0.1, 0.1)
+        expected = baseline.refine(0.05)
+        for batch_size in (1, 7, 256):
+            session = open_session(
+                example_graph, seed=42, resources=Resources(batch_size=batch_size)
+            )
+            session.run(0.1, 0.1)
+            refined = session.refine(0.05)
+            assert np.array_equal(refined.scores, expected.scores)
+
+
+class TestLegacyShims:
+    def test_source_sampling_shim_warns(self, small_social_graph):
+        from repro.baselines import SourceSamplingBetweenness
+
+        with pytest.warns(DeprecationWarning, match="source-sampling"):
+            SourceSamplingBetweenness(small_social_graph, seed=0, num_sources=5)
+
+    def test_facade_source_sampling_does_not_warn(self, small_social_graph, recwarn):
+        estimate_betweenness(
+            small_social_graph,
+            algorithm="source-sampling",
+            max_samples_override=5,
+            seed=0,
+        )
+        assert not [w for w in recwarn if issubclass(w.category, DeprecationWarning)]
