@@ -1,0 +1,168 @@
+"""Benchmark of incremental updates vs. a cold re-run after a graph mutation.
+
+The acceptance bar for the evolving-graph subsystem: after an edge delta
+touching at most **1%** of the graph's edges, serving the mutated graph by
+checkpoint-restore + invalidate + re-sample (:func:`repro.evolve.
+update_session`) must be at least **3x** faster than a cold run on the child
+graph at the same ``(eps, delta)`` — and the updated estimate must still meet
+the guarantee against exact Brandes scores on the child.
+
+The speedup comes from locality: a small delta invalidates only the samples
+whose shortest-path structure it touched (reported as
+``invalidated_fraction``), so the update redraws that fraction plus the
+adaptive re-certification tail, while the cold run redraws everything.
+
+Running the module as a script records the numbers into a
+``BENCH_evolve.json`` artifact for CI::
+
+    python benchmarks/bench_evolve.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines.brandes import brandes_betweenness
+from repro.evolve import update_session
+from repro.graph.io import read_edge_list
+from repro.graph.traversal import bfs_distances
+from repro.session import open_session
+from repro.store import GraphDelta, apply_delta
+
+EXAMPLE_GRAPH = Path(__file__).resolve().parent.parent / "examples" / "data" / "example-social.txt"
+
+#: Required wall-clock ratio: cold child run over restore + incremental update.
+REQUIRED_SPEEDUP = 3.0
+
+#: Largest fraction of the parent's edges the benchmark delta may touch.
+MAX_DELTA_FRACTION = 0.01
+
+EPS = 0.0125
+DELTA = 0.1
+SEED = 42
+REPEATS = 3
+
+
+def _median(values):
+    return sorted(values)[len(values) // 2]
+
+
+def _connected(graph) -> bool:
+    return int((bfs_distances(graph, 0).distances >= 0).sum()) == graph.num_vertices
+
+
+def make_benchmark_delta(graph, budget: int) -> GraphDelta:
+    """A deterministic delta of ``budget`` edges: half connectivity-preserving
+    deletions of existing edges, half insertions of absent edges."""
+    num_delete = budget // 2
+    num_insert = budget - num_delete
+    deletions, current = [], graph
+    for u, v in sorted({(int(a), int(b)) for a, b in graph.edge_array()}):
+        if len(deletions) == num_delete:
+            break
+        candidate = apply_delta(current, GraphDelta(deletions=[(u, v)]))
+        if not _connected(candidate):
+            continue
+        deletions.append((u, v))
+        current = candidate
+    insertions = []
+    for u in range(graph.num_vertices):
+        for v in range(u + 1, graph.num_vertices):
+            if len(insertions) == num_insert:
+                break
+            if not graph.has_edge(u, v):
+                insertions.append((u, v))
+        if len(insertions) == num_insert:
+            break
+    return GraphDelta(insertions=insertions, deletions=deletions)
+
+
+def measure() -> dict:
+    parent = read_edge_list(EXAMPLE_GRAPH)
+    budget = max(2, int(MAX_DELTA_FRACTION * parent.num_edges))
+    delta_obj = make_benchmark_delta(parent, budget)
+    assert delta_obj.num_edges <= max(2, MAX_DELTA_FRACTION * parent.num_edges)
+    child = apply_delta(parent, delta_obj)
+
+    exact = brandes_betweenness(child).scores
+
+    update_times, cold_times = [], []
+    snapshot = Path("bench-evolve.snap")
+    for _ in range(REPEATS):
+        base = open_session(parent, seed=SEED)
+        base.run(EPS, DELTA)
+        base.checkpoint(snapshot)
+
+        start = time.perf_counter()
+        updated, report = update_session(snapshot, child, delta_obj, parent_graph=parent)
+        update_times.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        cold = open_session(child, seed=SEED).run(EPS, DELTA)
+        cold_times.append(time.perf_counter() - start)
+
+        result = report.result
+        assert result.samples_reused > 0, "the update must reuse parent samples"
+        assert result.samples_invalidated + result.samples_reused == report.parent_samples
+        # Same certificate as the cold run, verified against exact scores.
+        assert result.eps == EPS and result.delta == DELTA
+        error = float(np.max(np.abs(result.scores - exact)))
+        assert error <= EPS, f"update error {error} exceeds eps {EPS}"
+        cold_error = float(np.max(np.abs(cold.scores - exact)))
+        assert cold_error <= EPS, f"cold error {cold_error} exceeds eps {EPS}"
+    snapshot.unlink(missing_ok=True)
+
+    update_s = _median(update_times)
+    cold_s = _median(cold_times)
+    return {
+        "graph": str(EXAMPLE_GRAPH),
+        "num_vertices": parent.num_vertices,
+        "num_edges": parent.num_edges,
+        "delta_edges": delta_obj.num_edges,
+        "delta_fraction": round(delta_obj.num_edges / parent.num_edges, 6),
+        "eps": EPS,
+        "delta": DELTA,
+        "seed": SEED,
+        "parent_samples": int(report.parent_samples),
+        "samples_invalidated": int(report.samples_invalidated),
+        "invalidated_fraction": round(report.invalidated_fraction, 6),
+        "samples_reused": int(result.samples_reused),
+        "samples_drawn": int(result.samples_drawn),
+        "samples_cold_drew": int(cold.num_samples),
+        "update_bfs": int(report.num_bfs),
+        "max_abs_error_update": round(error, 6),
+        "max_abs_error_cold": round(cold_error, 6),
+        "update_seconds": round(update_s, 6),
+        "cold_seconds": round(cold_s, 6),
+        "speedup": round(cold_s / update_s, 2),
+        "required_speedup": REQUIRED_SPEEDUP,
+    }
+
+
+def main(argv: list[str]) -> int:
+    output = Path(argv[1]) if len(argv) > 1 else Path("BENCH_evolve.json")
+    report = measure()
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if report["speedup"] < REQUIRED_SPEEDUP:
+        print(
+            f"FAIL: incremental-update speedup {report['speedup']}x below "
+            f"required {REQUIRED_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: restore + update across a {report['delta_fraction']:.2%} edge delta "
+        f"is {report['speedup']}x faster than a cold run at the same (eps, delta), "
+        f"error {report['max_abs_error_update']} <= eps {report['eps']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

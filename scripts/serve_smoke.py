@@ -7,7 +7,12 @@ process-pool workers — the production configuration), then issues over HTTP:
 1. a **fresh** query on the bundled example graph (populates the cache),
 2. the **identical** query again — must report ``served_from_cache`` and be
    at least ``REQUIRED_SPEEDUP``x faster than the fresh run,
-3. a **looser** (eps, delta) query — must also hit, via the dominance policy.
+3. a **looser** (eps, delta) query — must also hit, via the dominance policy,
+4. a query on a **mutated** version of the graph (derived with
+   ``GraphCatalog.apply_delta``, so lineage is recorded) — must be served
+   *update-refinably* from the parent's checkpoint (``updated_from`` names
+   the parent checksum, ``samples_reused`` is nonzero), and asking again
+   must hit the cache under the child checksum.
 
 Everything runs against scratch cache directories, so the invoking user's
 real graph/result caches are untouched.  The measured latencies land in a
@@ -85,8 +90,51 @@ async def run_smoke() -> dict:
             "dominated hit did not come from the tighter cached entry"
         )
 
+        # 4. Mutated graph: served from the parent checkpoint via lineage.
+        from repro.store import GraphCatalog, GraphDelta, open_rcsr
+
+        catalog = GraphCatalog()
+        parent_path = catalog.resolve(EXAMPLE_GRAPH)
+        parent_checksum = catalog.checksum(parent_path)
+        graph = open_rcsr(parent_path)
+        deletions = [tuple(int(x) for x in graph.edge_array()[0])]
+        insertions = []
+        for u in range(graph.num_vertices):
+            for v in range(u + 1, graph.num_vertices):
+                if not graph.has_edge(u, v):
+                    insertions.append((u, v))
+                    break
+            if insertions:
+                break
+        child_path = catalog.apply_delta(
+            EXAMPLE_GRAPH, GraphDelta(insertions=insertions, deletions=deletions)
+        )
+
+        updated, updated_seconds = await timed_query(
+            **{**QUERY, "graph": str(child_path)}
+        )
+        assert updated["status"] == "done", f"mutated-graph query failed: {updated}"
+        assert updated["served_from_cache"] is False, (
+            "a mutated graph must never be served stale scores"
+        )
+        assert updated["updated_from"] == parent_checksum, (
+            f"mutated-graph query was not update-refined from the parent "
+            f"checkpoint: {updated}"
+        )
+        assert updated["result"]["samples_reused"] > 0, (
+            "the update must reuse parent samples"
+        )
+        assert updated["result"]["samples_invalidated"] > 0, (
+            "the delta must invalidate some samples"
+        )
+        recached, _ = await timed_query(**{**QUERY, "graph": str(child_path)})
+        assert recached["served_from_cache"] is True, (
+            "the updated result was not cached under the child checksum"
+        )
+
         stats = await asyncio.to_thread(client.stats)
-        assert stats["cache_hits"] == 2 and stats["completed"] == 1, stats
+        assert stats["cache_hits"] == 3 and stats["completed"] == 2, stats
+        assert stats["cache_updates"] == 1, stats
     finally:
         await service.stop()
 
@@ -99,8 +147,12 @@ async def run_smoke() -> dict:
         "fresh_seconds": round(fresh_seconds, 4),
         "cached_seconds": round(cached_seconds, 4),
         "dominated_seconds": round(dominated_seconds, 4),
+        "updated_seconds": round(updated_seconds, 4),
+        "samples_reused_by_update": updated["result"]["samples_reused"],
+        "samples_invalidated_by_update": updated["result"]["samples_invalidated"],
         "cache_hit": True,
         "dominated_hit": True,
+        "update_hit": True,
         "speedup": round(speedup, 2),
         "required_speedup": REQUIRED_SPEEDUP,
     }
@@ -123,7 +175,9 @@ def main(argv: list) -> int:
         return 1
     print(
         f"OK: identical and dominated queries served from cache "
-        f"({report['speedup']}x faster than sampling)"
+        f"({report['speedup']}x faster than sampling); mutated-graph query "
+        f"update-refined from the parent checkpoint "
+        f"({report['samples_reused_by_update']} samples reused)"
     )
     return 0
 

@@ -153,6 +153,7 @@ def register_default_backends(*, replace: bool = False) -> None:
         description="Sequential KADABRA adaptive sampling (Section III)",
         supports_batching=True,
         supports_refinement=True,
+        supports_updates=True,
         cost_hint="adaptive-sampling",
         auto_rank=10,
         replace=replace,

@@ -13,7 +13,10 @@ and stamps the uniform schema.  Callers that keep the session instead gain
 incremental refinement, checkpoint/resume and confidence-aware queries; the
 ``checkpoint_path``/``resume_from`` keywords below expose the two
 session capabilities that make sense for one-shot calls (producing a
-refinable checkpoint, and serving a tighter request from one).
+refinable checkpoint, and serving a tighter request from one).  A third
+keyword family (``update_from``/``graph_delta``/``update_threshold``) serves
+requests on a *mutated* graph from a parent checkpoint via the incremental
+estimator of :mod:`repro.evolve`.
 """
 
 from __future__ import annotations
@@ -178,6 +181,9 @@ def estimate_betweenness(
     options: Optional[KadabraOptions] = None,
     checkpoint_path: Union[str, Path, None] = None,
     resume_from: Union[str, Path, None] = None,
+    update_from: Union[str, Path, None] = None,
+    graph_delta=None,
+    update_threshold: float = 0.5,
     **option_overrides,
 ) -> BetweennessResult:
     """Estimate (or compute exactly) the betweenness of every vertex.
@@ -235,6 +241,28 @@ def estimate_betweenness(
         checkpoint (truncated, corrupted, stale graph) degrades to a cold
         run with a ``RuntimeWarning`` instead of failing — resuming is an
         optimization, never a correctness dependency.
+    update_from:
+        Path to a session checkpoint taken on a *parent* of ``graph`` — the
+        same graph before an edge delta was applied.  The call restores the
+        parent session, invalidates exactly the samples the delta touched,
+        re-samples those pairs on ``graph`` and re-certifies the requested
+        guarantee (see :func:`repro.evolve.update_session`), reusing every
+        untouched sample.  Mutually exclusive with ``resume_from``.  Like
+        resuming, updating is an optimization: an unusable checkpoint, a
+        delta that invalidates more than ``update_threshold`` of the
+        samples, or a missing lineage record degrades to a cold run with a
+        ``RuntimeWarning``; a *seed mismatch* still raises.
+    graph_delta:
+        The edge delta connecting the parent to ``graph``: a
+        :class:`~repro.store.GraphDelta`, its ``as_dict()`` payload, or the
+        path of a delta JSON file.  When omitted, the delta is looked up in
+        the :class:`~repro.store.GraphCatalog` lineage sidecar by ``graph``'s
+        content checksum (which requires ``graph`` to have been produced by
+        :meth:`~repro.store.GraphCatalog.apply_delta`).
+    update_threshold:
+        Invalidation-fraction ceiling for the incremental path, in
+        ``(0, 1]``.  Past it, surgery plus re-certification costs more than
+        sampling from zero, so the call falls back cold.
     **option_overrides:
         Any further :class:`~repro.core.options.KadabraOptions` field (e.g.
         ``calibration_samples=200``, ``max_samples_override=5000``).
@@ -262,11 +290,146 @@ def estimate_betweenness(
     if not isinstance(resources, Resources):
         raise TypeError("resources must be a repro.api.Resources instance")
 
+    if update_from is not None and resume_from is not None:
+        raise ValueError("update_from and resume_from are mutually exclusive")
+    if update_from is not None:
+        return _update_estimate(
+            graph,
+            opts,
+            resources,
+            callbacks,
+            update_from,
+            graph_delta,
+            update_threshold,
+            checkpoint_path,
+        )
     if resume_from is not None:
         return _resume_estimate(
             graph, opts, resources, callbacks, resume_from, checkpoint_path
         )
     return _cold_estimate(graph, algorithm, opts, resources, callbacks, checkpoint_path)
+
+
+def _resolve_graph_delta(graph, graph_delta):
+    """Normalise the ``graph_delta`` keyword to a :class:`GraphDelta`.
+
+    Accepts a ``GraphDelta``, an ``as_dict()`` payload, a delta JSON path, or
+    ``None`` — the last resolved through the catalog lineage sidecar by the
+    child graph's content checksum.  Raises :class:`LookupError` when no
+    delta can be determined (the caller degrades to a cold run).
+    """
+    from repro.store import GraphDelta
+
+    if isinstance(graph_delta, GraphDelta):
+        return graph_delta
+    if isinstance(graph_delta, dict):
+        return GraphDelta.from_dict(graph_delta)
+    if isinstance(graph_delta, (str, Path)):
+        return GraphDelta.load(graph_delta)
+    if graph_delta is not None:
+        raise TypeError(
+            "graph_delta must be a GraphDelta, a payload dict, or a path, "
+            f"got {type(graph_delta).__name__}"
+        )
+    source = getattr(graph, "source_path", None)
+    if source is None:
+        raise LookupError(
+            "graph_delta omitted and the graph has no source path to look "
+            "lineage up by"
+        )
+    from repro.store import GraphCatalog
+
+    catalog = GraphCatalog()
+    lineage = catalog.lineage(catalog.checksum(source))
+    if lineage is None or not isinstance(lineage.get("delta"), dict):
+        raise LookupError(f"no lineage record for {source}")
+    return GraphDelta.from_dict(lineage["delta"])
+
+
+def _update_estimate(
+    graph,
+    opts: KadabraOptions,
+    resources: Resources,
+    callbacks,
+    update_from,
+    graph_delta,
+    update_threshold: float,
+    checkpoint_path,
+) -> BetweennessResult:
+    """Serve a mutated-graph request from a parent checkpoint (repro.evolve).
+
+    Degrades to a cold run (with a ``RuntimeWarning``) for everything that
+    makes the *optimization* unavailable — unreadable checkpoint, missing
+    lineage, delta/graph mismatch, threshold exceeded — but still raises for
+    caller contract violations (seed mismatch, bad ``update_threshold``).
+    """
+    import warnings
+
+    from repro.evolve import EvolveError, update_session
+    from repro.session import EstimationSession, SnapshotError
+    from repro.store import DeltaError
+
+    if not 0.0 < update_threshold <= 1.0:
+        raise ValueError(f"update_threshold must be in (0, 1], got {update_threshold}")
+    progress = tag_backend(combine_callbacks(callbacks), "sequential")
+    start = time.perf_counter()
+
+    def cold(reason: str) -> BetweennessResult:
+        warnings.warn(
+            f"cannot update from {update_from} ({reason}); running cold instead",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        return _cold_estimate(
+            graph, "sequential", opts, resources, callbacks, checkpoint_path
+        )
+
+    try:
+        delta_obj = _resolve_graph_delta(graph, graph_delta)
+    except LookupError as exc:
+        return cold(str(exc))
+    try:
+        session = EstimationSession.restore(
+            update_from,
+            progress=progress,
+            batch_size=resources.batch_size if resources.batch_size != "auto" else None,
+        )
+    except (SnapshotError, OSError) as exc:
+        return cold(str(exc))
+    if opts.seed is not None and session.seed is not None and opts.seed != session.seed:
+        raise ValueError(
+            f"seed mismatch: requested seed {opts.seed} but the checkpoint was "
+            f"produced with seed {session.seed}"
+        )
+    # Re-certify at the tightest of (request, parent) per dimension, so the
+    # result dominates the request and the cache entry it becomes is at
+    # least as valuable as the parent's.
+    eff_eps = min(opts.eps, session.eps) if session.eps is not None else opts.eps
+    eff_delta = (
+        min(opts.delta, session.delta) if session.delta is not None else opts.delta
+    )
+    try:
+        session, report = update_session(
+            session,
+            graph,
+            delta_obj,
+            eps=eff_eps,
+            delta=eff_delta,
+            threshold=update_threshold,
+        )
+    except (EvolveError, DeltaError) as exc:
+        return cold(str(exc))
+    if checkpoint_path is not None:
+        session.checkpoint(checkpoint_path)
+    return _finalize_result(
+        report.result,
+        backend=session.algorithm,
+        resources=resources,
+        eps=eff_eps,
+        delta=eff_delta,
+        elapsed=time.perf_counter() - start,
+        progress=progress,
+    )
 
 
 def _cold_estimate(

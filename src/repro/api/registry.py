@@ -69,6 +69,12 @@ class BackendSpec:
         decide between the native engine and one-shot delegation, and the
         query service uses it to decide which cached results may carry a
         refinable checkpoint.
+    supports_updates:
+        Whether the backend's session checkpoints can be carried across an
+        edge delta by the incremental estimator (:mod:`repro.evolve`) —
+        requires the per-sample path log only the native sequential engine
+        records, so this implies (and is stricter than)
+        ``supports_refinement``.
     cost_hint:
         Coarse cost model: ``"adaptive-sampling"`` (KADABRA-style),
         ``"fixed-sampling"`` (a-priori bound) or ``"n-sssp"`` (per-source
@@ -90,6 +96,7 @@ class BackendSpec:
     supports_processes: bool = False
     supports_batching: bool = False
     supports_refinement: bool = False
+    supports_updates: bool = False
     cost_hint: str = "adaptive-sampling"
     auto_rank: int = 100
     max_auto_vertices: Optional[int] = None
@@ -108,6 +115,7 @@ def register_backend(
     supports_processes: bool = False,
     supports_batching: bool = False,
     supports_refinement: bool = False,
+    supports_updates: bool = False,
     cost_hint: str = "adaptive-sampling",
     auto_rank: int = 100,
     max_auto_vertices: Optional[int] = None,
@@ -135,6 +143,7 @@ def register_backend(
         supports_processes=supports_processes,
         supports_batching=supports_batching,
         supports_refinement=supports_refinement,
+        supports_updates=supports_updates,
         cost_hint=cost_hint,
         auto_rank=auto_rank,
         max_auto_vertices=max_auto_vertices,
@@ -205,7 +214,7 @@ def select_backend(num_vertices: int, resources: Resources) -> BackendSpec:
 
 def format_backend_table() -> str:
     """A plain-text capability table of all registered backends."""
-    headers = ("name", "kind", "threads", "processes", "batching", "refine", "cost", "description")
+    headers = ("name", "kind", "threads", "processes", "batching", "refine", "updates", "cost", "description")
     rows = [
         (
             spec.name,
@@ -214,6 +223,7 @@ def format_backend_table() -> str:
             "yes" if spec.supports_processes else "no",
             "yes" if spec.supports_batching else "no",
             "yes" if spec.supports_refinement else "no",
+            "yes" if spec.supports_updates else "no",
             spec.cost_hint,
             spec.description,
         )

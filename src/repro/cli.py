@@ -13,6 +13,8 @@ Usage::
     python -m repro.cli session run GRAPH --checkpoint S [--eps E] [...]
     python -m repro.cli session refine SNAPSHOT --eps E [--delta D] [...]
     python -m repro.cli session checkpoint SNAPSHOT [--json]
+    python -m repro.cli evolve apply GRAPH --delta-file D.json [--name N]
+    python -m repro.cli evolve run GRAPH --snapshot S [--delta-file D.json] [...]
     python -m repro.cli --list-backends
 
 The ``--algorithm`` choices are derived from the backend registry in
@@ -33,6 +35,12 @@ inspects/evicts its on-disk result cache.
 ``session run`` estimates and writes a checkpoint, ``session refine``
 restores a checkpoint and tightens eps/delta by drawing only the additional
 samples, and ``session checkpoint`` inspects a snapshot file.
+
+``evolve`` exposes the evolving-graph layer (see ``docs/evolving.md``):
+``evolve apply`` applies an edge-delta JSON file to a stored graph,
+producing a versioned child ``.rcsr`` with a lineage record, and ``evolve
+run`` carries a session checkpoint across the delta — invalidating only the
+samples the mutation touched and re-certifying on the mutated graph.
 """
 
 from __future__ import annotations
@@ -57,9 +65,10 @@ __all__ = [
     "build_query_parser",
     "build_cache_parser",
     "build_session_parser",
+    "build_evolve_parser",
 ]
 
-SUBCOMMANDS = ("convert", "info", "serve", "query", "cache", "session")
+SUBCOMMANDS = ("convert", "info", "serve", "query", "cache", "session", "evolve")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,7 +77,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Approximate betweenness centrality (KADABRA / MPI-style parallel KADABRA).",
         epilog="Subcommands: 'convert' (edge list -> .rcsr store), 'info' "
         "(stored-graph metadata), 'serve' (cached query service), 'query' "
-        "(ask a running service) and 'cache' (result-cache ls/evict); each "
+        "(ask a running service), 'cache' (result-cache ls/evict), 'session' "
+        "(resumable estimation sessions) and 'evolve' (edge deltas and "
+        "incremental updates on evolving graphs); each "
         "has its own --help.  A graph file literally named like a subcommand "
         "can be forced positional with '--', e.g. 'repro-betweenness --eps "
         "0.1 -- convert'.  Docs: README.md (quickstart), docs/architecture.md "
@@ -332,6 +343,63 @@ def build_session_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_evolve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-betweenness evolve",
+        description="Evolving graphs: apply an edge delta to a stored graph "
+        "(producing a versioned child with a lineage record), or carry a "
+        "session checkpoint across a delta — re-sampling only the shortest "
+        "paths the mutation invalidated and re-certifying the guarantee.",
+        epilog="The delta JSON format, the invalidation test and a worked "
+        "example are in docs/evolving.md.",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    apply_p = sub.add_parser(
+        "apply", help="apply a delta file to a stored graph, with lineage"
+    )
+    apply_p.add_argument("graph", help=".rcsr store file or registered dataset name")
+    apply_p.add_argument(
+        "--delta-file",
+        required=True,
+        help='delta JSON: {"version": 1, "insert": [[u, v], ...], "delete": [...]}',
+    )
+    apply_p.add_argument(
+        "--output", default=None, help="child .rcsr path (default: the graph cache)"
+    )
+    apply_p.add_argument(
+        "--name", default=None, help="register the child under this catalog name"
+    )
+
+    run = sub.add_parser(
+        "run", help="update a session checkpoint onto the mutated graph"
+    )
+    run.add_argument("graph", help="the *mutated* graph: .rcsr file or dataset name")
+    run.add_argument(
+        "--snapshot", required=True, help="parent session checkpoint to update from"
+    )
+    run.add_argument(
+        "--delta-file",
+        default=None,
+        help="delta JSON connecting parent to graph (default: the catalog's "
+        "lineage record for the mutated graph)",
+    )
+    run.add_argument("--eps", type=float, default=None, help="re-certification error bound (default: keep the checkpoint's)")
+    run.add_argument("--delta", type=float, default=None, help="re-certification failure probability (default: keep)")
+    run.add_argument(
+        "--threshold",
+        type=float,
+        default=0.5,
+        help="invalidation-fraction ceiling before refusing to update (default 0.5)",
+    )
+    run.add_argument(
+        "--checkpoint", default=None, help="write the updated session to this snapshot"
+    )
+    run.add_argument("--top", type=int, default=10, help="number of top vertices to print")
+    run.add_argument("--output", default=None, help="write the full result as JSON")
+    return parser
+
+
 def _progress_printer(event) -> None:
     budget = f"/{event.omega}" if event.omega is not None else ""
     print(
@@ -424,6 +492,8 @@ def _print_query_result(payload: dict, top: int) -> None:
         origin = "result cache"
     elif payload.get("refined_from"):
         origin = "cached checkpoint, refined"
+    elif payload.get("updated_from"):
+        origin = f"parent checkpoint {payload['updated_from']}, updated"
     else:
         origin = "fresh run"
     print(
@@ -443,6 +513,8 @@ def _print_query_result(payload: dict, top: int) -> None:
                 f", {result.get('samples_drawn')} drawn + "
                 f"{result.get('samples_reused')} reused"
             )
+        if result.get("samples_invalidated"):
+            line += f", {result['samples_invalidated']} invalidated"
         print(line)
     print(f"top-{top} vertices:")
     for vertex, score in result.get("top", []):
@@ -554,6 +626,8 @@ def _samples_line(result) -> str:
             f", {result.samples_drawn} drawn + {result.samples_reused} reused "
             f"from the session"
         )
+    if getattr(result, "samples_invalidated", 0):
+        line += f" ({result.samples_invalidated} invalidated by the delta)"
     return line
 
 
@@ -665,6 +739,101 @@ def _cmd_session(argv: list) -> int:
     return 0
 
 
+def _cmd_evolve(argv: list) -> int:
+    from repro.evolve import EvolveError, update_session
+    from repro.session import SnapshotError
+    from repro.store import (
+        DeltaError,
+        GraphCatalog,
+        GraphDelta,
+        StoreFormatError,
+        open_rcsr,
+    )
+
+    args = build_evolve_parser().parse_args(argv)
+    catalog = GraphCatalog()
+
+    if args.action == "apply":
+        try:
+            graph_delta = GraphDelta.load(args.delta_file)
+        except (OSError, DeltaError) as exc:
+            print(f"error: cannot read delta {args.delta_file}: {exc}", file=sys.stderr)
+            return 2
+        try:
+            child_path = catalog.apply_delta(
+                args.graph, graph_delta, name=args.name, output=args.output
+            )
+        except (OSError, DeltaError, StoreFormatError, FileNotFoundError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        child_checksum = catalog.checksum(child_path)
+        record = catalog.lineage(child_checksum) or {}
+        print(f"child graph:     {child_path}")
+        print(f"child checksum:  {child_checksum}")
+        print(f"parent checksum: {record.get('parent_checksum')}")
+        print(
+            f"delta:           +{graph_delta.num_insertions} edge(s), "
+            f"-{graph_delta.num_deletions} edge(s)"
+        )
+        if args.name:
+            print(f"registered as:   {args.name}")
+        return 0
+
+    # action == "run"
+    try:
+        child_path = catalog.resolve(args.graph)
+        graph = open_rcsr(child_path)
+    except (OSError, StoreFormatError, FileNotFoundError) as exc:
+        print(f"error: cannot read graph {args.graph}: {exc}", file=sys.stderr)
+        return 2
+    if args.delta_file is not None:
+        try:
+            graph_delta = GraphDelta.load(args.delta_file)
+        except (OSError, DeltaError) as exc:
+            print(f"error: cannot read delta {args.delta_file}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        record = catalog.lineage(catalog.checksum(child_path))
+        if record is None:
+            print(
+                f"error: no lineage record for {args.graph}; pass --delta-file "
+                f"(or derive the graph via 'evolve apply')",
+                file=sys.stderr,
+            )
+            return 2
+        graph_delta = GraphDelta.from_dict(record["delta"])
+    try:
+        start = time.perf_counter()
+        session, report = update_session(
+            args.snapshot,
+            graph,
+            graph_delta,
+            eps=args.eps,
+            delta=args.delta,
+            threshold=args.threshold,
+        )
+        elapsed = time.perf_counter() - start
+    except (SnapshotError, DeltaError, EvolveError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = report.result
+    print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
+    print(
+        f"update: {report.samples_invalidated}/{report.parent_samples} parent "
+        f"samples invalidated ({report.invalidated_fraction:.1%}, "
+        f"threshold {report.threshold:.0%}), {report.num_bfs} BFS"
+    )
+    _print_session_result(result, session, args.top)
+    print(f"wall-clock time: {elapsed:.2f} s")
+    if args.checkpoint is not None:
+        session.checkpoint(args.checkpoint)
+        print(f"updated checkpoint written to {args.checkpoint}")
+    if args.output:
+        save_result(result, args.output)
+        print(f"result written to {args.output}")
+    return 0
+
+
 def _load_cli_graph(spec: str, *, use_cache: bool) -> Tuple[CSRGraph, Optional[int]]:
     """Load the graph for the estimation command.
 
@@ -695,6 +864,7 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
             "query": _cmd_query,
             "cache": _cmd_cache,
             "session": _cmd_session,
+            "evolve": _cmd_evolve,
         }
         return dispatch[raw[0]](raw[1:])
 

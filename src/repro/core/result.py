@@ -48,6 +48,12 @@ class BetweennessResult:
         facade normalises one-shot runs to ``samples_drawn == num_samples``
         and ``samples_reused == 0`` so the refinement savings are always
         directly readable from the result (and its JSON form).
+    samples_invalidated:
+        How many previously-accumulated samples an incremental update over a
+        graph delta discarded and re-sampled (see :mod:`repro.evolve`).
+        Always 0 outside the update path; disjoint from ``samples_reused``
+        (``samples_reused + samples_invalidated`` is the parent sample
+        count an update started from).
     phase_seconds:
         Wall-clock (or simulated) seconds per phase.  The facade guarantees a
         ``"total"`` entry for every backend, exact baselines included.
@@ -79,6 +85,7 @@ class BetweennessResult:
     resources: Dict[str, int] = field(default_factory=dict)
     samples_drawn: int = 0
     samples_reused: int = 0
+    samples_invalidated: int = 0
 
     def __post_init__(self) -> None:
         self.scores = np.asarray(self.scores, dtype=np.float64)
@@ -123,9 +130,10 @@ class BetweennessResult:
              "samples_drawn": int, "samples_reused": int}
 
         ``samples_drawn``/``samples_reused`` were added for session
-        refinement; the version stays 1 because the addition is purely
-        additive (old payloads load with zero defaults, old readers ignore
-        the extra keys).
+        refinement and ``samples_invalidated`` for incremental updates; the
+        version stays 1 because the additions are purely additive (old
+        payloads load with zero defaults, old readers ignore the extra
+        keys).
         """
         return {
             "format_version": RESULT_FORMAT_VERSION,
@@ -144,6 +152,7 @@ class BetweennessResult:
             "resources": dict(self.resources),
             "samples_drawn": int(self.samples_drawn),
             "samples_reused": int(self.samples_reused),
+            "samples_invalidated": int(self.samples_invalidated),
         }
 
     def to_json(self) -> str:
@@ -174,6 +183,7 @@ class BetweennessResult:
             resources=dict(payload.get("resources", {})),
             samples_drawn=int(payload.get("samples_drawn", 0)),
             samples_reused=int(payload.get("samples_reused", 0)),
+            samples_invalidated=int(payload.get("samples_invalidated", 0)),
         )
 
     @classmethod

@@ -1,0 +1,30 @@
+"""``repro.evolve`` — incremental betweenness on evolving graphs.
+
+The static pipeline treats a graph as immutable: mutate an edge and every
+accumulated sample is thrown away.  This package keeps them.  Edge deltas
+(:class:`repro.store.GraphDelta`) are applied to stored graphs through the
+catalog's lineage layer (:meth:`repro.store.GraphCatalog.apply_delta`), and
+:func:`update_session` carries a checkpointed estimation session across the
+delta: it decides *exactly* which sampled shortest paths the mutation
+invalidated (:func:`invalidated_samples`), re-samples only those pairs on the
+mutated graph, and re-certifies the ``(eps, delta)`` guarantee — typically at
+a small fraction of a cold run's cost for local edits.  See
+``docs/evolving.md`` for the walkthrough and :mod:`repro.evolve.incremental`
+for why the invalidation test is exact.
+"""
+
+from repro.evolve.incremental import (
+    EvolveError,
+    UpdateReport,
+    UpdateThresholdExceeded,
+    invalidated_samples,
+    update_session,
+)
+
+__all__ = [
+    "EvolveError",
+    "UpdateReport",
+    "UpdateThresholdExceeded",
+    "invalidated_samples",
+    "update_session",
+]

@@ -9,8 +9,10 @@ sampling.  The pieces:
 * :mod:`repro.service.schema` — the validated JSON request
   (:class:`QueryRequest`) and response shaping;
 * :mod:`repro.service.dominance` — when a cached result may answer a new
-  query (checksum identity, algorithm families, eps/delta dominance), and
-  when a near-miss is *refinable* from a cached session checkpoint;
+  query (checksum identity, algorithm families, eps/delta dominance), when a
+  near-miss is *refinable* from a cached session checkpoint, and when a
+  mutated graph's query is *update-refinable* from a cached parent
+  checkpoint via lineage (:mod:`repro.evolve`);
 * :mod:`repro.service.cache` — the persistent on-disk
   :class:`ResultCache` next to the graph cache;
 * :mod:`repro.service.jobs` — the asyncio :class:`JobManager`: in-flight
@@ -29,6 +31,7 @@ from repro.service.dominance import (
     HIT,
     MISS,
     REFINABLE,
+    UPDATE_REFINABLE,
     algorithm_family,
     classify,
     dominates,
@@ -52,6 +55,7 @@ __all__ = [
     "HIT",
     "MISS",
     "REFINABLE",
+    "UPDATE_REFINABLE",
     "algorithm_family",
     "classify",
     "dominates",

@@ -41,6 +41,7 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.core.result import BetweennessResult
 from repro.service.dominance import (
     REFINABLE,
+    UPDATE_REFINABLE,
     algorithm_family,
     classify,
     select_dominating,
@@ -158,6 +159,15 @@ class ResultCache:
         if snapshot is not None:
             with atomic_replace(self._snapshot_path(entry_dir, entry.key)) as tmp:
                 tmp.write_bytes(Path(snapshot).read_bytes())
+        else:
+            # Overwriting a snapshot-carrying entry with a snapshot-less run
+            # must drop the old checkpoint, or it leaks on disk forever (the
+            # new meta says has_snapshot=False, so nothing would ever serve
+            # or evict it through the entry again).
+            try:
+                self._snapshot_path(entry_dir, entry.key).unlink()
+            except OSError:
+                pass
         with atomic_replace(self._result_path(entry_dir, entry.key)) as tmp:
             tmp.write_text(result.to_json())
         with atomic_replace(self._meta_path(entry_dir, entry.key)) as tmp:
@@ -280,6 +290,56 @@ class ResultCache:
                 continue
             path = self.snapshot_path(entry)
             if path is None:
+                continue
+            if best is None or entry.num_samples > best[0].num_samples:
+                best = (entry, path)
+        return best
+
+    def find_update_refinable(
+        self,
+        parent_checksum: str,
+        *,
+        family: str,
+        eps: float,
+        delta: float,
+        seed: Optional[int],
+    ) -> Optional[Tuple[CacheEntry, Path]]:
+        """The best *parent-graph* entry that can serve a mutated-graph query.
+
+        Called when the requested graph has no usable entries of its own but
+        the catalog's lineage records it as ``parent_checksum`` plus a delta.
+        An entry qualifies when :func:`~repro.service.dominance.classify`
+        with ``same_graph=False`` says ``update_refinable`` (adaptive family,
+        matching seed, known accuracy), it carries a session checkpoint,
+        *and* that checkpoint holds the per-sample log the incremental
+        estimator needs (``sample_log`` in the snapshot metadata — pre-log
+        checkpoints restore fine but cannot be updated).  Most accumulated
+        samples wins.  Returns ``(entry, snapshot_path)`` or ``None``.
+        """
+        from repro.session.snapshot import read_snapshot_meta
+
+        best: Optional[Tuple[CacheEntry, Path]] = None
+        for entry in self.entries(parent_checksum):
+            verdict = classify(
+                entry.family,
+                entry.eps,
+                entry.delta,
+                entry.seed,
+                family=family,
+                eps=eps,
+                delta=delta,
+                seed=seed,
+                same_graph=False,
+            )
+            if verdict != UPDATE_REFINABLE:
+                continue
+            path = self.snapshot_path(entry)
+            if path is None:
+                continue
+            try:
+                if not read_snapshot_meta(path).get("sample_log"):
+                    continue
+            except (OSError, ValueError, KeyError):
                 continue
             if best is None or entry.num_samples > best[0].num_samples:
                 best = (entry, path)

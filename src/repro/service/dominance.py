@@ -58,6 +58,7 @@ __all__ = [
     "HIT",
     "MISS",
     "REFINABLE",
+    "UPDATE_REFINABLE",
     "algorithm_family",
     "classify",
     "dominates",
@@ -67,6 +68,7 @@ __all__ = [
 #: Cache verdicts returned by :func:`classify`.
 HIT = "hit"
 REFINABLE = "refinable"
+UPDATE_REFINABLE = "update_refinable"
 MISS = "miss"
 
 FAMILY_EXACT = "exact"
@@ -162,23 +164,34 @@ def classify(
     eps: float,
     delta: float,
     seed: Optional[int],
+    same_graph: bool = True,
 ) -> str:
     """Verdict for one cached entry against one request.
 
     :data:`HIT`
         The entry dominates the request (:func:`dominates`); its scores serve
-        the request as-is.
+        the request as-is.  Requires ``same_graph`` — scores never transfer
+        across a mutation.
     :data:`REFINABLE`
-        Not a hit, but the entry is an adaptive-sampling run with the same
-        seed as the request (``None == None`` counts) whose guarantee is too
-        loose in at least one dimension — including the equal-eps /
-        tighter-delta edge.  A stored session checkpoint for the entry can
-        serve the request via ``restore + refine``.
+        Not a hit, but the entry is an adaptive-sampling run on the *same*
+        graph with the same seed as the request (``None == None`` counts)
+        whose guarantee is too loose in at least one dimension — including
+        the equal-eps / tighter-delta edge.  A stored session checkpoint for
+        the entry can serve the request via ``restore + refine``.
+    :data:`UPDATE_REFINABLE`
+        ``same_graph=False`` — the entry belongs to a *parent* graph that the
+        requested graph descends from via a recorded edge delta (the caller
+        establishes the lineage; this function only sees the flag).  An
+        adaptive-sampling entry with the request's seed and known accuracy
+        can then serve via ``restore + invalidate + re-sample``
+        (:mod:`repro.evolve`), whatever the requested ``(eps, delta)`` —
+        cross-graph reuse always re-certifies, so dominance does not apply.
     :data:`MISS`
-        Anything else (different family, different seed, or unknown cached
-        accuracy): the request needs a fresh run.
+        Anything else (different family, different seed, unknown cached
+        accuracy, or a cross-graph entry that is not update-refinable): the
+        request needs a fresh run.
     """
-    if dominates(
+    if same_graph and dominates(
         cached_family, cached_eps, cached_delta, family=family, eps=eps, delta=delta
     ):
         return HIT
@@ -189,5 +202,5 @@ def classify(
         and cached_eps is not None
         and cached_delta is not None
     ):
-        return REFINABLE
+        return REFINABLE if same_graph else UPDATE_REFINABLE
     return MISS

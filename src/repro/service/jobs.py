@@ -15,7 +15,14 @@ is a thin translation.  One query flows through it as:
    (same adaptive family and seed, tighter-than-cached eps/delta) whose entry
    carries a session checkpoint becomes a *refine* job instead of a cold one:
    the worker restores the checkpoint and draws only the additional samples
-   (``resume_from`` in :func:`repro.api.estimate_betweenness`).
+   (``resume_from`` in :func:`repro.api.estimate_betweenness`).  When even
+   that misses but the catalog's lineage records the requested graph as a
+   *mutation* of a cached parent (see
+   :meth:`~repro.store.GraphCatalog.apply_delta`), an update-refinable parent
+   checkpoint turns the job into an *update* instead: the worker restores the
+   parent session, invalidates only the samples the edge delta touched, and
+   re-certifies on the mutated graph (``update_from`` / ``graph_delta`` in
+   the facade, :mod:`repro.evolve` underneath).
 3. **Dedup** — an identical request (same
    :meth:`~repro.service.schema.QueryRequest.job_key`) already in flight is
    joined, not re-run: both clients await the same job.
@@ -109,6 +116,12 @@ class Job:
     #: (``None`` for cold runs) and the snapshot path handed to the worker.
     refined_from: Optional[str] = None
     resume_from: Optional[str] = field(default=None, repr=False)
+    #: Parent-graph checksum this job incrementally updates from (``None``
+    #: outside the evolving-graph path), plus the parent snapshot path and
+    #: the lineage delta payload handed to the worker.
+    updated_from: Optional[str] = None
+    update_from: Optional[str] = field(default=None, repr=False)
+    update_delta: Optional[dict] = field(default=None, repr=False)
     #: Where the worker should checkpoint the finished session (``None``
     #: disables snapshot production, e.g. for custom-estimator test seams).
     checkpoint_path: Optional[str] = field(default=None, repr=False)
@@ -141,6 +154,7 @@ class Job:
             "progress": list(self.events),
             "num_events": self.num_events,
             "refined_from": self.refined_from,
+            "updated_from": self.updated_from,
         }
         if self.error is not None:
             out["error"] = self.error
@@ -216,6 +230,7 @@ class JobManager:
             "cache_hits": 0,
             "cache_misses": 0,
             "cache_refines": 0,
+            "cache_updates": 0,
             "deduplicated": 0,
             "completed": 0,
             "failed": 0,
@@ -280,6 +295,21 @@ class JobManager:
                 ),
             )
 
+        # Still nothing for this graph — but if the catalog's lineage says it
+        # is a recorded mutation of a cached parent, an update-refinable
+        # parent checkpoint serves via restore + invalidate + re-sample
+        # (repro.evolve).  Custom-estimator seams have a pinned keyword
+        # signature, so the probe is skipped for them.
+        update = None
+        if (
+            refinable is None
+            and family == "adaptive-sampling"
+            and self._snapshots_enabled()
+        ):
+            update = await loop.run_in_executor(
+                None, functools.partial(self._find_update, checksum, request)
+            )
+
         key = request.job_key(checksum)
         existing = self._inflight.get(key)
         if existing is not None:
@@ -300,6 +330,12 @@ class JobManager:
             job.refined_from = entry.key
             job.resume_from = str(snapshot_path)
             self.counters["cache_refines"] += 1
+        elif update is not None:
+            parent_checksum, entry, snapshot_path, delta_payload = update
+            job.updated_from = parent_checksum
+            job.update_from = snapshot_path
+            job.update_delta = delta_payload
+            self.counters["cache_updates"] += 1
         if self._snapshots_enabled():
             # Writer-unique name: job ids restart at 1 in every service
             # process, and the cache directory is explicitly shared across
@@ -324,6 +360,35 @@ class JobManager:
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
+    def _find_update(
+        self, checksum: str, request: QueryRequest
+    ) -> Optional[Tuple[str, CacheEntry, str, dict]]:
+        """Blocking: lineage probe + parent-cache scan for an update source.
+
+        Returns ``(parent_checksum, entry, snapshot_path, delta_payload)``
+        when the requested graph descends from a cached parent whose entry is
+        update-refinable (adaptive family, matching seed, checkpoint with a
+        sample log), else ``None``.
+        """
+        lineage = self.catalog.lineage(checksum)
+        if lineage is None:
+            return None
+        parent_checksum = lineage.get("parent_checksum")
+        delta_payload = lineage.get("delta")
+        if not parent_checksum or not isinstance(delta_payload, dict):
+            return None
+        found = self.cache.find_update_refinable(
+            parent_checksum,
+            family="adaptive-sampling",
+            eps=request.eps,
+            delta=request.delta,
+            seed=request.seed,
+        )
+        if found is None:
+            return None
+        entry, snapshot_path = found
+        return parent_checksum, entry, str(snapshot_path), delta_payload
+
     def _snapshots_enabled(self) -> bool:
         """Whether jobs should produce session checkpoints.
 
@@ -393,6 +458,9 @@ class JobManager:
         kwargs = _estimate_kwargs(job.request, self._resources)
         if job.resume_from is not None:
             kwargs["resume_from"] = job.resume_from
+        if job.update_from is not None:
+            kwargs["update_from"] = job.update_from
+            kwargs["graph_delta"] = job.update_delta
         if job.checkpoint_path is not None:
             kwargs["checkpoint_path"] = job.checkpoint_path
         try:

@@ -239,6 +239,7 @@ class BetweennessService:
                     "supports_processes": spec.supports_processes,
                     "supports_batching": spec.supports_batching,
                     "supports_refinement": spec.supports_refinement,
+                    "supports_updates": spec.supports_updates,
                     "cost_hint": spec.cost_hint,
                     "description": spec.description,
                 }
@@ -291,6 +292,7 @@ class BetweennessService:
             "status": "done",
             "served_from_cache": False,
             "refined_from": job.refined_from,
+            "updated_from": job.updated_from,
             "deduplicated": outcome.deduplicated,
             "graph_checksum": outcome.checksum,
             "job_id": job.id,

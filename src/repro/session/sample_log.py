@@ -1,0 +1,190 @@
+"""Per-sample path log: what makes a session checkpoint *update-refinable*.
+
+The aggregate :class:`~repro.core.state_frame.StateFrame` is a sufficient
+statistic for the static algorithm — per-vertex counters plus a sample count —
+but it cannot answer the question an evolving graph poses: *which* of the
+accumulated samples did a given edge mutation invalidate?  The
+:class:`SampleLog` keeps exactly the per-sample facts needed to answer it:
+
+* ``sources``/``targets`` — the sampled vertex pair,
+* ``lengths`` — the hop distance ``d(s, t)`` at sampling time (``-1`` for a
+  disconnected pair; an *adjacent* pair has length 1 and an empty interior,
+  which is why the interior alone cannot stand in for the distance),
+* ``vertices``/``indptr`` — the interior path vertices in CSR layout (the
+  vertices whose counters the sample incremented).
+
+With these, :mod:`repro.evolve.incremental` runs the exact invalidation test
+(a deleted edge lay on some shortest ``s``-``t`` path; an inserted edge
+created a ``<=``-length one) and performs *surgery*: subtract the stale
+contributions, re-sample the same pairs on the mutated graph, and
+:meth:`replace` the log rows in place — keeping the log consistent with the
+frame at all times.
+
+The log serializes into the session snapshot as five extra float64 arrays
+(``log_*``; exact for values below 2**53), so old snapshots restore fine
+without one — they are simply not update-refinable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["SampleLog"]
+
+#: Snapshot array names, in file order (``meta["sample_log"]`` marks presence).
+SNAPSHOT_ARRAYS = (
+    "log_sources",
+    "log_targets",
+    "log_lengths",
+    "log_indptr",
+    "log_vertices",
+)
+
+
+def _segment_gather(values: np.ndarray, indptr: np.ndarray, sample_idx: np.ndarray) -> np.ndarray:
+    """Concatenate the CSR segments of ``sample_idx``, in the given order."""
+    counts = np.diff(indptr)[sample_idx]
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=values.dtype)
+    # offsets of every gathered element into `values`: segment start repeated
+    # per element, plus a within-segment ramp (0, 1, ..., count-1 per segment).
+    starts = np.repeat(indptr[sample_idx], counts)
+    ramp = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    return values[starts + ramp]
+
+
+class SampleLog:
+    """Append-only per-sample record of one session's sampled paths."""
+
+    __slots__ = ("sources", "targets", "lengths", "indptr", "vertices")
+
+    def __init__(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        lengths: np.ndarray,
+        indptr: np.ndarray,
+        vertices: np.ndarray,
+    ) -> None:
+        self.sources = np.asarray(sources, dtype=np.int64)
+        self.targets = np.asarray(targets, dtype=np.int64)
+        self.lengths = np.asarray(lengths, dtype=np.int64)
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.vertices = np.asarray(vertices, dtype=np.int64)
+        k = self.sources.size
+        if self.targets.size != k or self.lengths.size != k:
+            raise ValueError("sample log arrays disagree on the sample count")
+        if self.indptr.size != k + 1 or int(self.indptr[-1]) != self.vertices.size:
+            raise ValueError("sample log contribution layout is inconsistent")
+
+    @classmethod
+    def empty(cls) -> "SampleLog":
+        return cls(
+            sources=np.zeros(0, np.int64),
+            targets=np.zeros(0, np.int64),
+            lengths=np.zeros(0, np.int64),
+            indptr=np.zeros(1, np.int64),
+            vertices=np.zeros(0, np.int64),
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_samples(self) -> int:
+        return int(self.sources.size)
+
+    def contributions_of(self, i: int) -> np.ndarray:
+        """Interior path vertices of sample ``i`` (a view)."""
+        return self.vertices[self.indptr[i] : self.indptr[i + 1]]
+
+    def contributions_concat(self, sample_idx: np.ndarray) -> np.ndarray:
+        """All interior vertices of the given samples, concatenated."""
+        return _segment_gather(self.vertices, self.indptr, np.asarray(sample_idx, np.int64))
+
+    # ------------------------------------------------------------------ #
+    def append_batch(self, batch) -> None:
+        """Log one :class:`~repro.kernels.batch.SampleBatch` of fresh samples."""
+        lengths = np.where(
+            np.asarray(batch.connected, dtype=bool),
+            np.asarray(batch.lengths, dtype=np.int64),
+            np.int64(-1),
+        )
+        self.sources = np.concatenate([self.sources, np.asarray(batch.sources, np.int64)])
+        self.targets = np.concatenate([self.targets, np.asarray(batch.targets, np.int64)])
+        self.lengths = np.concatenate([self.lengths, lengths])
+        offset = self.indptr[-1]
+        self.indptr = np.concatenate(
+            [self.indptr, np.asarray(batch.contrib_indptr[1:], np.int64) + offset]
+        )
+        self.vertices = np.concatenate(
+            [self.vertices, np.asarray(batch.contrib_vertices, np.int64)]
+        )
+
+    def replace(self, sample_idx: np.ndarray, batch) -> None:
+        """Overwrite the logged rows ``sample_idx`` with re-sampled paths.
+
+        ``batch`` must hold one sample per index, in the same order and for
+        the same (source, target) pairs — the incremental estimator re-samples
+        the *pair*, never swaps it, so only lengths and interiors change.
+        """
+        sample_idx = np.asarray(sample_idx, dtype=np.int64)
+        if sample_idx.size != batch.num_samples:
+            raise ValueError("replacement batch size does not match the index set")
+        if sample_idx.size == 0:
+            return
+        if not (
+            np.array_equal(self.sources[sample_idx], np.asarray(batch.sources, np.int64))
+            and np.array_equal(self.targets[sample_idx], np.asarray(batch.targets, np.int64))
+        ):
+            raise ValueError("replacement batch pairs do not match the logged pairs")
+        self.lengths[sample_idx] = np.where(
+            np.asarray(batch.connected, dtype=bool),
+            np.asarray(batch.lengths, dtype=np.int64),
+            np.int64(-1),
+        )
+        counts = np.diff(self.indptr)
+        counts[sample_idx] = np.diff(np.asarray(batch.contrib_indptr, np.int64))
+        new_indptr = np.zeros(counts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=new_indptr[1:])
+        new_vertices = np.empty(int(new_indptr[-1]), dtype=np.int64)
+        keep = np.ones(self.num_samples, dtype=bool)
+        keep[sample_idx] = False
+        kept_idx = np.flatnonzero(keep)
+        kept_positions = _segment_gather(
+            np.arange(new_vertices.size, dtype=np.int64), new_indptr, kept_idx
+        )
+        new_vertices[kept_positions] = _segment_gather(self.vertices, self.indptr, kept_idx)
+        replaced_positions = _segment_gather(
+            np.arange(new_vertices.size, dtype=np.int64), new_indptr, sample_idx
+        )
+        new_vertices[replaced_positions] = np.asarray(batch.contrib_vertices, np.int64)
+        self.indptr = new_indptr
+        self.vertices = new_vertices
+
+    # ------------------------------------------------------------------ #
+    # Snapshot round-trip
+    # ------------------------------------------------------------------ #
+    def snapshot_arrays(self) -> Dict[str, np.ndarray]:
+        """The log as the named snapshot arrays (float64-coerced on write)."""
+        return {
+            "log_sources": self.sources,
+            "log_targets": self.targets,
+            "log_lengths": self.lengths,
+            "log_indptr": self.indptr,
+            "log_vertices": self.vertices,
+        }
+
+    @classmethod
+    def from_snapshot_arrays(cls, arrays: Dict[str, np.ndarray]) -> "SampleLog":
+        """Rebuild a log from snapshot arrays (raises ``KeyError`` if absent)."""
+        return cls(
+            sources=arrays["log_sources"].astype(np.int64),
+            targets=arrays["log_targets"].astype(np.int64),
+            lengths=arrays["log_lengths"].astype(np.int64),
+            indptr=arrays["log_indptr"].astype(np.int64),
+            vertices=arrays["log_vertices"].astype(np.int64),
+        )

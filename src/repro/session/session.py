@@ -64,6 +64,7 @@ from repro.core.topk import TopKResult, confidence_bounds, identify_top_k
 from repro.diameter import vertex_diameter_upper_bound
 from repro.graph.csr import CSRGraph
 from repro.kernels import plan_batches, resolve_batch_size
+from repro.session.sample_log import SampleLog
 from repro.session.snapshot import (
     SnapshotError,
     read_snapshot,
@@ -223,6 +224,11 @@ class EstimationSession:
         self._rng: Optional[np.random.Generator] = None
         self._sampler = None
         self._last_result: Optional[BetweennessResult] = None
+        # Native sessions log every sample's (pair, distance, interior path):
+        # the extra state that makes their checkpoints update-refinable when
+        # the graph mutates (see repro.evolve).  Delegated backends never go
+        # through _draw, so their sessions carry no log.
+        self._sample_log: Optional[SampleLog] = SampleLog.empty() if self._native else None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -272,6 +278,12 @@ class EstimationSession:
     @property
     def last_result(self) -> Optional[BetweennessResult]:
         return self._last_result
+
+    @property
+    def sample_log(self) -> Optional[SampleLog]:
+        """The per-sample path log, or ``None`` (delegated backends, or a
+        session restored from a pre-log snapshot)."""
+        return self._sample_log
 
     @property
     def progress(self) -> Optional[ProgressCallback]:
@@ -327,6 +339,10 @@ class EstimationSession:
         for take in plan_batches(count, self._batch_size):
             batch = self._sampler.sample_batch(take, rng)
             self._frame.record_batch(batch)
+            if self._sample_log is not None:
+                # Calibration *replays* in refine() bypass _draw on purpose:
+                # their stream positions are already logged.
+                self._sample_log.append_batch(batch)
             if into_calibration is not None:
                 into_calibration.record_batch(batch)
 
@@ -650,14 +666,17 @@ class EstimationSession:
             },
             "rng_state": _jsonable_rng_state(self._rng),
         }
-        write_snapshot(
-            path,
-            meta,
-            {
-                "counts": self._frame.counts,
-                "calibration_counts": self._calibration_frame.counts,
-            },
-        )
+        arrays = {
+            "counts": self._frame.counts,
+            "calibration_counts": self._calibration_frame.counts,
+        }
+        if (
+            self._sample_log is not None
+            and self._sample_log.num_samples == self._frame.num_samples
+        ):
+            meta["sample_log"] = {"num_samples": self._sample_log.num_samples}
+            arrays.update(self._sample_log.snapshot_arrays())
+        write_snapshot(path, meta, arrays)
         return Path(path)
 
     @classmethod
@@ -745,6 +764,20 @@ class EstimationSession:
             meta["calibration"], arrays["calibration_counts"]
         )
         session._calibration_rng_state = meta["calibration"].get("rng_state")
+        # Pre-log snapshots restore fine; the session just is not
+        # update-refinable (repro.evolve requires the per-sample log).
+        session._sample_log = None
+        if isinstance(meta.get("sample_log"), dict):
+            try:
+                log = SampleLog.from_snapshot_arrays(arrays)
+            except (KeyError, ValueError) as exc:
+                raise SnapshotError(f"{path}: invalid sample log: {exc}") from None
+            if log.num_samples != session._frame.num_samples:
+                raise SnapshotError(
+                    f"{path}: sample log holds {log.num_samples} samples but the "
+                    f"frame holds {session._frame.num_samples}"
+                )
+            session._sample_log = log
         try:
             session._rng = _rng_from_state(meta["rng_state"])
         except (TypeError, ValueError, KeyError) as exc:

@@ -32,6 +32,12 @@ from repro.store.convert import (
     convert_metis,
     resolve_format,
 )
+from repro.store.delta import (
+    DELTA_FORMAT_VERSION,
+    DeltaError,
+    GraphDelta,
+    apply_delta,
+)
 from repro.store.format import (
     FORMAT_VERSION,
     MAGIC,
@@ -47,13 +53,17 @@ __all__ = [
     "CACHE_ENV_VAR",
     "RESULT_CACHE_ENV_VAR",
     "ConversionReport",
+    "DELTA_FORMAT_VERSION",
+    "DeltaError",
     "FORMAT_VERSION",
     "GraphCatalog",
+    "GraphDelta",
     "GraphInfo",
     "MAGIC",
     "PAGE_SIZE",
     "RcsrHeader",
     "StoreFormatError",
+    "apply_delta",
     "convert_any",
     "convert_edge_list",
     "convert_metis",

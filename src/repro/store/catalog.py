@@ -23,9 +23,11 @@ The cache directory defaults to ``$REPRO_GRAPH_CACHE`` or
 
 from __future__ import annotations
 
+import difflib
 import hashlib
 import json
 import os
+import time
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -35,6 +37,7 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.store.convert import ConversionReport, convert_any
+from repro.store.delta import GraphDelta, apply_delta
 from repro.store.format import (
     RcsrHeader,
     StoreFormatError,
@@ -412,13 +415,119 @@ class GraphCatalog:
             recorded = Path(registry[key])
             if not recorded.exists():
                 raise FileNotFoundError(
-                    f"catalog entry {key!r} points to missing file {recorded}"
+                    f"catalog entry {key!r} points to missing file {recorded} "
+                    f"(registered datasets: {', '.join(self.names()) or 'none'})"
                 )
             return recorded
+        known = self.names()
+        close = difflib.get_close_matches(key, known, n=3, cutoff=0.6)
+        hint = f"; did you mean {', '.join(repr(c) for c in close)}?" if close else ""
         raise FileNotFoundError(
             f"graph not found: {spec!r} is neither an existing file nor a "
-            f"registered dataset (known: {self.names() or 'none'})"
+            f"registered dataset (known: {', '.join(known) or 'none'}){hint}"
         )
+
+    # ------------------------------------------------------------------ #
+    # Evolving graphs: delta application + lineage
+    # ------------------------------------------------------------------ #
+    @property
+    def _lineage_path(self) -> Path:
+        return self._cache_dir / "lineage.json"
+
+    def _read_lineage(self) -> Dict[str, dict]:
+        try:
+            payload = json.loads(self._lineage_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+        children = payload.get("children", {})
+        return {str(k): dict(v) for k, v in children.items() if isinstance(v, dict)}
+
+    def _write_lineage(self, children: Dict[str, dict]) -> None:
+        self._cache_dir.mkdir(parents=True, exist_ok=True)
+        with atomic_replace(self._lineage_path) as tmp:
+            tmp.write_text(
+                json.dumps(
+                    {"version": 1, "children": children}, indent=2, sort_keys=True
+                )
+            )
+
+    def record_lineage(
+        self,
+        *,
+        child_checksum: str,
+        parent_checksum: str,
+        parent_path: PathLike,
+        child_path: PathLike,
+        delta: GraphDelta,
+    ) -> None:
+        """Record that ``child`` was produced from ``parent`` by ``delta``.
+
+        Entries are keyed by the *child* checksum — the direction a query
+        walks: a request against a mutated graph looks its own checksum up to
+        find the parent whose cached session checkpoint can serve it
+        incrementally (``repro.evolve``).  Re-deriving the same child
+        overwrites the record idempotently.
+        """
+        entry = {
+            "parent_checksum": parent_checksum,
+            "parent_path": str(parent_path),
+            "child_path": str(child_path),
+            "delta": delta.as_dict(),
+            "created_at": time.time(),
+        }
+        with self._registry_lock():
+            children = self._read_lineage()
+            children[child_checksum] = entry
+            self._write_lineage(children)
+
+    def lineage(self, child_checksum: str) -> Optional[Dict[str, object]]:
+        """The lineage record of a graph checksum, or ``None`` for roots.
+
+        The record carries ``parent_checksum``, ``parent_path``,
+        ``child_path``, the connecting ``delta`` payload
+        (:meth:`~repro.store.delta.GraphDelta.as_dict`) and ``created_at``.
+        """
+        return self._read_lineage().get(child_checksum)
+
+    def apply_delta(
+        self,
+        spec: PathLike,
+        delta: GraphDelta,
+        *,
+        name: Optional[str] = None,
+        output: Optional[PathLike] = None,
+    ) -> Path:
+        """Apply ``delta`` to a stored graph, producing a versioned child.
+
+        The parent resolves like any other graph spec; the child is written
+        as a new ``.rcsr`` (by default into the cache directory, named after
+        the parent plus a digest of the delta so identical derivations share
+        one file), gets a metadata sidecar, and the parent -> child edge is
+        recorded in the lineage sidecar.  Pass ``name`` to also register the
+        child as a dataset.  Returns the child path.
+        """
+        parent_path = self.resolve(spec)
+        parent = open_rcsr(parent_path)
+        child = apply_delta(parent, delta)
+        parent_checksum = _header_checksum(read_header(parent_path))
+        if output is None:
+            digest = hashlib.sha1(
+                (parent_checksum + json.dumps(delta.as_dict(), sort_keys=True)).encode()
+            ).hexdigest()[:10]
+            output = self._cache_dir / f"{parent_path.stem}+{digest}.rcsr"
+        output = Path(output)
+        write_rcsr(child, output)
+        self._write_sidecar(output, name=name or output.stem, source=None)
+        if name is not None:
+            self.register(name, output)
+        self.record_lineage(
+            child_checksum=_header_checksum(read_header(output)),
+            parent_checksum=parent_checksum,
+            parent_path=parent_path,
+            child_path=output,
+            delta=delta,
+        )
+        return output
 
     # ------------------------------------------------------------------ #
     # Loading / metadata

@@ -29,6 +29,7 @@ from repro.service import (
     HIT,
     MISS,
     REFINABLE,
+    UPDATE_REFINABLE,
     BetweennessService,
     JobManager,
     QueryRequest,
@@ -286,6 +287,42 @@ class TestClassifyVerdicts:
                              cached_family="exact") == HIT  # exact dominates
 
     def test_unknown_cached_accuracy_is_miss(self):
+        assert self.classify(None, None, eps=0.05, delta=0.1) == MISS
+
+
+class TestClassifyCrossGraph:
+    """same_graph=False: the lineage caller's verdicts (update_refinable)."""
+
+    def classify(self, cached_eps, cached_delta, *, eps, delta,
+                 cached_family="adaptive-sampling", family="adaptive-sampling",
+                 cached_seed=1, seed=1):
+        return classify(cached_family, cached_eps, cached_delta, cached_seed,
+                        family=family, eps=eps, delta=delta, seed=seed,
+                        same_graph=False)
+
+    def test_cross_graph_adaptive_same_seed_is_update_refinable(self):
+        # Whatever the accuracy relation: cross-graph reuse always
+        # re-certifies, so even a dominating parent entry is an update, not
+        # a hit — scores never transfer across a mutation.
+        assert self.classify(0.05, 0.1, eps=0.1, delta=0.1) == UPDATE_REFINABLE
+        assert self.classify(0.1, 0.1, eps=0.05, delta=0.1) == UPDATE_REFINABLE
+        assert self.classify(0.1, 0.1, eps=0.1, delta=0.1) == UPDATE_REFINABLE
+
+    def test_cross_graph_never_hits_or_refines(self):
+        for cached in [(0.05, 0.1), (0.1, 0.1), (None, None)]:
+            for req in [(0.1, 0.1), (0.05, 0.05)]:
+                verdict = self.classify(cached[0], cached[1],
+                                        eps=req[0], delta=req[1])
+                assert verdict in (UPDATE_REFINABLE, MISS)
+
+    def test_cross_graph_misses(self):
+        assert self.classify(0.1, 0.1, eps=0.05, delta=0.1, seed=2) == MISS
+        assert self.classify(0.1, 0.1, eps=0.05, delta=0.1,
+                             cached_family="fixed-sampling",
+                             family="fixed-sampling") == MISS
+        # Exact parent scores still do not transfer across a mutation.
+        assert self.classify(None, None, eps=0.05, delta=0.1,
+                             cached_family="exact") == MISS
         assert self.classify(None, None, eps=0.05, delta=0.1) == MISS
 
 
@@ -645,6 +682,75 @@ class TestSnapshotCache:
         assert cache.evict() == 1
         assert not list((tmp_path / "results").rglob("*.session.snap"))
 
+    def test_overwriting_entry_without_snapshot_drops_old_checkpoint(self, tmp_path):
+        """Regression: put() over a snapshot-carrying entry used to orphan
+        the old ``.session.snap`` on disk forever when the new run produced
+        no checkpoint."""
+        cache = ResultCache(tmp_path / "results")
+        request = QueryRequest(graph="g", eps=0.1, algorithm="sequential", seed=1)
+        cache.put("crc32:aa", request, make_result(), snapshot=self.snap(tmp_path))
+        assert len(list((tmp_path / "results").rglob("*.session.snap"))) == 1
+        entry = cache.put("crc32:aa", request, make_result())  # same key, no snapshot
+        assert not entry.has_snapshot
+        assert not list((tmp_path / "results").rglob("*.session.snap"))
+        assert cache.find_refinable(
+            "crc32:aa", family="adaptive-sampling", eps=0.05, delta=0.1, seed=1
+        ) is None
+
+    def snap_with_log(self, tmp_path, name="logged.snap"):
+        from repro.session import write_snapshot
+
+        path = tmp_path / name
+        write_snapshot(
+            path,
+            {"kind": "test", "sample_log": {"num_samples": 3}},
+            {"counts": np.zeros(5)},
+        )
+        return path
+
+    def test_find_update_refinable_requires_a_sample_log(self, tmp_path):
+        cache = ResultCache(tmp_path / "results")
+
+        def req(eps):
+            return QueryRequest(graph="g", eps=eps, algorithm="sequential", seed=1)
+
+        # Entry 1: snapshot without a sample log (pre-log format) — skipped.
+        cache.put("crc32:pp", req(0.3), make_result(eps=0.3, num_samples=50),
+                  snapshot=self.snap(tmp_path))
+        assert cache.find_update_refinable(
+            "crc32:pp", family="adaptive-sampling", eps=0.3, delta=0.1, seed=1
+        ) is None
+        # Entry 2: logged snapshot — found, even for a *looser* request
+        # (cross-graph reuse re-certifies, dominance does not apply).
+        best = cache.put("crc32:pp", req(0.1), make_result(eps=0.1, num_samples=200),
+                         snapshot=self.snap_with_log(tmp_path))
+        found = cache.find_update_refinable(
+            "crc32:pp", family="adaptive-sampling", eps=0.3, delta=0.1, seed=1
+        )
+        assert found is not None
+        entry, path = found
+        assert entry.key == best.key and path.is_file()
+        # Wrong seed or family: nothing.
+        assert cache.find_update_refinable(
+            "crc32:pp", family="adaptive-sampling", eps=0.3, delta=0.1, seed=2
+        ) is None
+        assert cache.find_update_refinable(
+            "crc32:pp", family="fixed-sampling", eps=0.3, delta=0.1, seed=1
+        ) is None
+
+    def test_find_update_refinable_prefers_most_samples(self, tmp_path):
+        cache = ResultCache(tmp_path / "results")
+        small = QueryRequest(graph="g", eps=0.3, algorithm="sequential", seed=1)
+        large = QueryRequest(graph="g", eps=0.2, algorithm="sequential", seed=1)
+        cache.put("crc32:pp", small, make_result(eps=0.3, num_samples=50),
+                  snapshot=self.snap_with_log(tmp_path, "a.snap"))
+        best = cache.put("crc32:pp", large, make_result(eps=0.2, num_samples=500),
+                         snapshot=self.snap_with_log(tmp_path, "b.snap"))
+        entry, _ = cache.find_update_refinable(
+            "crc32:pp", family="adaptive-sampling", eps=0.25, delta=0.1, seed=1
+        )
+        assert entry.key == best.key
+
 
 class TestServiceRefinement:
     """End to end: a tighter-eps request is served by restore + refine."""
@@ -739,6 +845,82 @@ class TestServiceRefinement:
         assert second.job.refined_from is None
         assert result.samples_reused == 0
         assert manager.counters["cache_refines"] == 0
+
+
+class TestServiceUpdate:
+    """End to end: a mutated-graph query is served by a parent checkpoint
+    via lineage + restore + invalidate + re-sample (repro.evolve)."""
+
+    def manager(self, tmp_path, catalog):
+        return JobManager(
+            cache=ResultCache(tmp_path / "results"),
+            catalog=catalog,
+            worker_mode="thread",
+        )
+
+    def test_mutated_graph_query_updates_from_parent(self, tmp_path):
+        from repro.store import GraphDelta
+
+        graph = write_graph(tmp_path / "g.txt")
+        catalog = GraphCatalog(tmp_path / "graph-cache")
+        manager = self.manager(tmp_path, catalog)
+        child_path = catalog.apply_delta(
+            graph, GraphDelta(insertions=[(0, 3)], deletions=[(0, 1)])
+        )
+
+        async def scenario():
+            first = await manager.submit(QueryRequest(
+                graph=str(graph), eps=0.2, delta=0.2, seed=1, algorithm="sequential"))
+            await first.job.future
+            second = await manager.submit(QueryRequest(
+                graph=str(child_path), eps=0.2, delta=0.2, seed=1,
+                algorithm="sequential"))
+            result = await second.job.future
+            # The updated result was cached under the *child* checksum: the
+            # same query again is a plain cache hit, no third job.
+            third = await manager.submit(QueryRequest(
+                graph=str(child_path), eps=0.2, delta=0.2, seed=1,
+                algorithm="sequential"))
+            return first, second, third, result
+
+        try:
+            first, second, third, result = asyncio.run(scenario())
+        finally:
+            manager.close()
+        assert second.checksum != first.checksum
+        assert not second.served_from_cache
+        assert second.job.updated_from == first.checksum
+        assert second.job.refined_from is None
+        assert second.job.status_dict()["updated_from"] == first.checksum
+        assert result.samples_reused > 0
+        assert result.samples_invalidated > 0
+        assert result.samples_drawn == result.num_samples - result.samples_reused
+        assert manager.counters["cache_updates"] == 1
+        assert third.served_from_cache
+
+    def test_unrelated_graph_runs_cold(self, tmp_path):
+        graph = write_graph(tmp_path / "g.txt")
+        other = write_graph(tmp_path / "h.txt",
+                            edges=[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+        catalog = GraphCatalog(tmp_path / "graph-cache")
+        manager = self.manager(tmp_path, catalog)
+
+        async def scenario():
+            first = await manager.submit(QueryRequest(
+                graph=str(graph), eps=0.2, delta=0.2, seed=1, algorithm="sequential"))
+            await first.job.future
+            second = await manager.submit(QueryRequest(
+                graph=str(other), eps=0.2, delta=0.2, seed=1, algorithm="sequential"))
+            result = await second.job.future
+            return second, result
+
+        try:
+            second, result = asyncio.run(scenario())
+        finally:
+            manager.close()
+        assert second.job.updated_from is None
+        assert result.samples_reused == 0
+        assert manager.counters["cache_updates"] == 0
 
 
 # --------------------------------------------------------------------- #

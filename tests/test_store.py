@@ -409,6 +409,24 @@ class TestCatalog:
         with pytest.raises(FileNotFoundError):
             catalog.load("no-such-dataset")
 
+    def test_unknown_spec_error_lists_names_and_suggests(self, tmp_path, social_graph):
+        catalog = GraphCatalog(tmp_path / "cache")
+        path = tmp_path / "g.rcsr"
+        write_rcsr(social_graph, path)
+        catalog.register("roadNet-PA", path)
+        catalog.register("orkut", path)
+        with pytest.raises(FileNotFoundError) as exc:
+            catalog.resolve("roadnet-pa")
+        message = str(exc.value)
+        # The error names every registered dataset and spell-corrects.
+        assert "roadNet-PA" in message and "orkut" in message
+        assert "did you mean" in message and "'roadNet-PA'" in message
+        # No near-miss: still lists the registry, but offers no guess.
+        with pytest.raises(FileNotFoundError) as exc:
+            catalog.resolve("zzzz")
+        assert "did you mean" not in str(exc.value)
+        assert "orkut" in str(exc.value)
+
     def test_load_graph_uses_env_cache(self, tmp_path, social_graph):
         src = tmp_path / "graph.txt"
         write_edge_list(social_graph, src)
