@@ -12,7 +12,11 @@ process-pool workers — the production configuration), then issues over HTTP:
    ``GraphCatalog.apply_delta``, so lineage is recorded) — must be served
    *update-refinably* from the parent's checkpoint (``updated_from`` names
    the parent checksum, ``samples_reused`` is nonzero), and asking again
-   must hit the cache under the child checksum.
+   must hit the cache under the child checksum,
+5. a ``GET /metrics`` scrape — the Prometheus exposition must agree with
+   ``/v1/stats`` on the cache hit/miss/update counters, carry the
+   per-endpoint latency histogram of the five queries above, and include
+   the kernel sample counters merged back from the worker processes.
 
 Everything runs against scratch cache directories, so the invoking user's
 real graph/result caches are untouched.  The measured latencies land in a
@@ -135,6 +139,28 @@ async def run_smoke() -> dict:
         stats = await asyncio.to_thread(client.stats)
         assert stats["cache_hits"] == 3 and stats["completed"] == 2, stats
         assert stats["cache_updates"] == 1, stats
+
+        # 5. /metrics must expose the same counters as Prometheus text, plus
+        # the per-endpoint latency histograms the queries above produced.
+        metrics_text = await asyncio.to_thread(client.metrics)
+        counters = {}
+        for line in metrics_text.splitlines():
+            if line.startswith("#") or not line.strip():
+                continue
+            name, _, value = line.rpartition(" ")
+            counters[name] = float(value)
+        assert counters.get("repro_service_cache_hits_total") == 3.0, metrics_text
+        assert counters.get("repro_service_cache_misses_total") == 2.0, metrics_text
+        assert counters.get("repro_service_cache_updates_total") == 1.0, metrics_text
+        assert counters.get("repro_service_completed_total") == 2.0, metrics_text
+        query_count = counters.get(
+            'repro_http_request_duration_seconds_count{endpoint="/v1/query"}'
+        )
+        assert query_count == 5.0, metrics_text
+        assert "# TYPE repro_http_request_duration_seconds histogram" in metrics_text
+        assert counters.get("repro_kernel_samples_total", 0.0) > 0.0, (
+            "worker kernel counters did not reach the parent /metrics"
+        )
     finally:
         await service.stop()
 

@@ -32,6 +32,7 @@ from repro.api.resources import Resources
 from repro.core.options import KadabraOptions
 from repro.core.result import BetweennessResult
 from repro.graph.csr import CSRGraph
+from repro.obs import trace as obs_trace
 from repro.util.progress import (
     ProgressCallback,
     ProgressEvent,
@@ -99,6 +100,7 @@ def _finalize_result(
                 epoch=result.num_epochs,
                 num_samples=result.num_samples,
                 omega=result.omega,
+                ts=elapsed,
             )
         )
     return result
@@ -292,22 +294,37 @@ def estimate_betweenness(
 
     if update_from is not None and resume_from is not None:
         raise ValueError("update_from and resume_from are mutually exclusive")
-    if update_from is not None:
-        return _update_estimate(
-            graph,
-            opts,
-            resources,
-            callbacks,
-            update_from,
-            graph_delta,
-            update_threshold,
-            checkpoint_path,
-        )
-    if resume_from is not None:
-        return _resume_estimate(
-            graph, opts, resources, callbacks, resume_from, checkpoint_path
-        )
-    return _cold_estimate(graph, algorithm, opts, resources, callbacks, checkpoint_path)
+    # One root span per facade call; the session/driver/store spans nest
+    # under it, so a traced run exports a single tree covering
+    # diameter -> calibration -> sampling -> stopping.
+    with obs_trace.span("estimate") as root:
+        if update_from is not None:
+            root.set("mode", "update")
+            result = _update_estimate(
+                graph,
+                opts,
+                resources,
+                callbacks,
+                update_from,
+                graph_delta,
+                update_threshold,
+                checkpoint_path,
+            )
+        elif resume_from is not None:
+            root.set("mode", "resume")
+            result = _resume_estimate(
+                graph, opts, resources, callbacks, resume_from, checkpoint_path
+            )
+        else:
+            result = _cold_estimate(
+                graph, algorithm, opts, resources, callbacks, checkpoint_path
+            )
+            root.set("mode", "cold")
+        root.set("backend", result.backend)
+        root.set("num_samples", int(result.num_samples))
+    if root:
+        result.extra["trace"] = root.summary()
+    return result
 
 
 def _resolve_graph_delta(graph, graph_delta):

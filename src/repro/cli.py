@@ -15,6 +15,7 @@ Usage::
     python -m repro.cli session checkpoint SNAPSHOT [--json]
     python -m repro.cli evolve apply GRAPH --delta-file D.json [--name N]
     python -m repro.cli evolve run GRAPH --snapshot S [--delta-file D.json] [...]
+    python -m repro.cli obs TRACE.jsonl [--json] [--limit N]
     python -m repro.cli --list-backends
 
 The ``--algorithm`` choices are derived from the backend registry in
@@ -35,6 +36,10 @@ inspects/evicts its on-disk result cache.
 ``session run`` estimates and writes a checkpoint, ``session refine``
 restores a checkpoint and tightens eps/delta by drawing only the additional
 samples, and ``session checkpoint`` inspects a snapshot file.
+
+``obs`` pretty-prints a phase trace (a ``$REPRO_TRACE`` JSONL file or a
+result JSON carrying ``extra.trace``) as a per-phase time breakdown; see
+``docs/observability.md``.
 
 ``evolve`` exposes the evolving-graph layer (see ``docs/evolving.md``):
 ``evolve apply`` applies an edge-delta JSON file to a stored graph,
@@ -66,9 +71,10 @@ __all__ = [
     "build_cache_parser",
     "build_session_parser",
     "build_evolve_parser",
+    "build_obs_parser",
 ]
 
-SUBCOMMANDS = ("convert", "info", "serve", "query", "cache", "session", "evolve")
+SUBCOMMANDS = ("convert", "info", "serve", "query", "cache", "session", "evolve", "obs")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -398,6 +404,117 @@ def build_evolve_parser() -> argparse.ArgumentParser:
     run.add_argument("--top", type=int, default=10, help="number of top vertices to print")
     run.add_argument("--output", default=None, help="write the full result as JSON")
     return parser
+
+
+def build_obs_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-betweenness obs",
+        description="Pretty-print a phase trace as a per-phase time breakdown. "
+        "Accepts a JSONL trace file written via $REPRO_TRACE (one span tree "
+        "per line) or a result JSON whose extra.trace carries the facade's "
+        "trace summary.",
+        epilog="Tracing and the span tree format are described in "
+        "docs/observability.md.",
+    )
+    parser.add_argument("file", help="JSONL trace file or result JSON")
+    parser.add_argument(
+        "--json", action="store_true", help="emit the aggregated breakdown as JSON"
+    )
+    parser.add_argument(
+        "--limit", type=int, default=0, help="show only the N slowest phases (0 = all)"
+    )
+    return parser
+
+
+def _span_phases(node: dict, prefix: str, phases: dict, counter: list) -> None:
+    """Accumulate ``{dotted path: seconds}`` over one span-tree dict."""
+    path = f"{prefix}.{node.get('name', '?')}" if prefix else str(node.get("name", "?"))
+    phases[path] = phases.get(path, 0.0) + float(node.get("seconds", 0.0))
+    counter[0] += 1
+    for child in node.get("children", ()):
+        if isinstance(child, dict):
+            _span_phases(child, path, phases, counter)
+
+
+def _load_trace_breakdown(path: Path) -> Tuple[dict, int, float]:
+    """Parse a trace file into ``(phases, num_spans, total_seconds)``.
+
+    ``total_seconds`` sums the root spans only (children are contained in
+    their roots); a result JSON contributes its recorded summary instead.
+    """
+    text = path.read_text()
+    phases: dict = {}
+    counter = [0]
+    total = 0.0
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        payload = None
+    if isinstance(payload, dict) and "children" not in payload and (
+        "extra" in payload or "trace" in payload
+    ):
+        # A result JSON (or a bare summary): the flat summary the facade
+        # stores — phases are relative to the root span.
+        summary = payload.get("trace") or payload.get("extra", {}).get("trace")
+        if not isinstance(summary, dict):
+            raise ValueError(f"{path} carries no extra.trace summary (traced run?)")
+        root = str(summary.get("name", "estimate"))
+        total = float(summary.get("seconds", 0.0))
+        phases[root] = total
+        for sub, seconds in (summary.get("phases") or {}).items():
+            phases[f"{root}.{sub}"] = float(seconds)
+        return phases, int(summary.get("num_spans", len(phases))), total
+    # JSONL: one span tree per line (a single span dict is one-line JSONL).
+    roots = 0
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            node = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: not JSON ({exc})") from None
+        if not isinstance(node, dict) or "name" not in node:
+            raise ValueError(f"{path}:{lineno}: not a span object")
+        roots += 1
+        total += float(node.get("seconds", 0.0))
+        _span_phases(node, "", phases, counter)
+    if roots == 0:
+        raise ValueError(f"{path} contains no spans")
+    return phases, counter[0], total
+
+
+def _cmd_obs(argv: list) -> int:
+    args = build_obs_parser().parse_args(argv)
+    path = Path(args.file)
+    try:
+        phases, num_spans, total = _load_trace_breakdown(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = sorted(phases.items(), key=lambda kv: kv[1], reverse=True)
+    if args.limit and args.limit > 0:
+        rows = rows[: args.limit]
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "file": str(path),
+                    "num_spans": num_spans,
+                    "total_seconds": round(total, 9),
+                    "phases": {k: round(v, 9) for k, v in rows},
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(f"trace: {path} — {num_spans} span(s), {total:.3f} s total")
+    width = max((len(name) for name, _ in rows), default=5)
+    print(f"{'phase'.ljust(width)}  {'seconds':>10}  {'share':>6}")
+    for name, seconds in rows:
+        share = f"{seconds / total:6.1%}" if total > 0 else "   n/a"
+        print(f"{name.ljust(width)}  {seconds:10.4f}  {share}")
+    return 0
 
 
 def _progress_printer(event) -> None:
@@ -865,6 +982,7 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
             "cache": _cmd_cache,
             "session": _cmd_session,
             "evolve": _cmd_evolve,
+            "obs": _cmd_obs,
         }
         return dispatch[raw[0]](raw[1:])
 

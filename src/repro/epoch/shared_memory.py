@@ -22,6 +22,7 @@ from repro.core.kadabra import make_sampler, prepare_stopping_condition
 from repro.graph.csr import CSRGraph
 from repro.kernels import resolve_batch_size
 from repro.mpi.interface import SelfComm
+from repro.obs import trace as obs_trace
 from repro.parallel.algorithm2 import adaptive_sampling_algorithm2
 from repro.parallel.epoch_length import thread_zero_samples_per_epoch
 from repro.sampling.rng import rng_for_rank_thread
@@ -87,7 +88,9 @@ class _SharedMemoryKadabra:
             rng_for_rank_thread(options.seed, 0, t + 1, num_threads=self.num_threads + 1)
             for t in range(self.num_threads)
         ]
-        with timer.phase("adaptive_sampling"):
+        with timer.phase("adaptive_sampling"), obs_trace.span(
+            "adaptive_sampling", num_threads=self.num_threads, omega=omega
+        ):
             stats = adaptive_sampling_algorithm2(
                 comm,
                 lambda _thread: make_sampler(graph, options),

@@ -59,6 +59,7 @@ from repro.core.result import BetweennessResult
 from repro.diameter import vertex_diameter_upper_bound
 from repro.graph.csr import CSRGraph
 from repro.graph.traversal import UNREACHED, bfs_distances
+from repro.obs import trace as obs_trace
 from repro.session.sample_log import SampleLog
 from repro.session.session import EstimationSession, _jsonable_rng_state
 from repro.store.delta import GraphDelta
@@ -243,6 +244,36 @@ def update_session(
     :class:`~repro.store.DeltaError` when the delta does not connect the two
     graphs; neither modifies the session.
     """
+    with obs_trace.span("evolve.update") as sp:
+        session, report = _update_session_impl(
+            source,
+            graph,
+            graph_delta,
+            eps=eps,
+            delta=delta,
+            threshold=threshold,
+            parent_graph=parent_graph,
+            progress=progress,
+            batch_size=batch_size,
+        )
+        if sp:
+            sp.set("invalidated_fraction", report.invalidated_fraction)
+            sp.set("samples_reused", report.samples_reused)
+    return session, report
+
+
+def _update_session_impl(
+    source: Union[EstimationSession, PathLike],
+    graph: CSRGraph,
+    graph_delta: GraphDelta,
+    *,
+    eps: Optional[float] = None,
+    delta: Optional[float] = None,
+    threshold: float = 0.5,
+    parent_graph: Optional[CSRGraph] = None,
+    progress=None,
+    batch_size=None,
+) -> Tuple[EstimationSession, UpdateReport]:
     if not 0.0 < threshold <= 1.0:
         raise ValueError(f"threshold must be in (0, 1], got {threshold}")
     session = _obtain_session(source, parent_graph, progress, batch_size)
@@ -278,7 +309,7 @@ def update_session(
     delta = float(session.delta if delta is None else delta)
     timer = PhaseTimer()
 
-    with timer.phase("invalidation"):
+    with timer.phase("invalidation"), obs_trace.span("invalidation"):
         mask, num_bfs = invalidated_samples(parent, graph, graph_delta, log)
     tau_parent = log.num_samples
     invalid_count = int(np.count_nonzero(mask))
@@ -293,7 +324,7 @@ def update_session(
     # prefix of the first C samples, so the invalidated indices below C
     # get the same subtract/add treatment there.
     # -------------------------------------------------------------- #
-    with timer.phase("resample"):
+    with timer.phase("resample"), obs_trace.span("resample"):
         frame = session._frame
         calibration = session._calibration_frame
         idx = np.flatnonzero(mask)

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from typing import Iterator, Union
 
+from repro.obs import metrics as _metrics
+
 __all__ = [
     "AUTO_BATCH",
     "MIN_AUTO_BATCH",
@@ -46,6 +48,17 @@ MAX_AUTO_BATCH = 1024
 WORKER_BATCH = 16
 
 BatchSize = Union[int, str]
+
+# Hot-path instrumentation (gated on repro.obs.metrics.ENABLED): every driver
+# funnels its sampling through plan_batches, so these two counters are the
+# per-process samples/sec source of truth for /metrics without touching any
+# kernel inner loop.
+_BATCHES_TOTAL = _metrics.REGISTRY.counter(
+    "repro_kernel_batches_total", "Sampling batches planned by the batch policy"
+)
+_SAMPLES_TOTAL = _metrics.REGISTRY.counter(
+    "repro_kernel_samples_total", "Samples scheduled through plan_batches"
+)
 
 
 def resolve_batch_size(batch_size: BatchSize) -> BatchSize:
@@ -79,6 +92,9 @@ def plan_batches(
     remaining = int(total)
     while remaining > 0:
         take = min(size, remaining)
+        if _metrics.ENABLED:
+            _BATCHES_TOTAL.inc()
+            _SAMPLES_TOTAL.inc(take)
         yield take
         remaining -= take
         if batch_size == AUTO_BATCH and size < cap:

@@ -39,6 +39,7 @@ from repro.kernels import plan_batches, resolve_batch_size
 from repro.graph.csr import CSRGraph
 from repro.mpi.interface import Communicator, SelfComm
 from repro.mpi.threaded import run_threaded
+from repro.obs import trace as obs_trace
 from repro.mpi.topology import build_topology
 from repro.parallel.algorithm1 import adaptive_sampling_algorithm1
 from repro.parallel.algorithm2 import adaptive_sampling_algorithm2
@@ -150,7 +151,10 @@ class _DistributedKadabra:
         timer = PhaseTimer()
 
         # ---------------- Phase 1: diameter (sequential at rank 0) -------- #
-        with timer.phase("diameter"):
+        # Ranks run on their own threads, so non-root spans root their own
+        # per-rank trees (the span stack is thread-local); rank 0 under
+        # SelfComm nests beneath the facade's "estimate" span as usual.
+        with timer.phase("diameter"), obs_trace.span("diameter", rank=rank):
             if comm.is_root:
                 if options.vertex_diameter_override is not None:
                     vd = int(options.vertex_diameter_override)
@@ -167,7 +171,7 @@ class _DistributedKadabra:
             progress(ProgressEvent(phase="diameter", omega=omega))
 
         # ---------------- Phase 2: calibration ---------------------------- #
-        with timer.phase("calibration"):
+        with timer.phase("calibration"), obs_trace.span("calibration", rank=rank):
             # Same deterministic count as the sequential session engine, so
             # the phase structure (and the cost model built on it) agrees
             # across execution modes.
@@ -217,7 +221,9 @@ class _DistributedKadabra:
             base=float(options.samples_per_check),
             exponent=options.epoch_exponent,
         )
-        with timer.phase("adaptive_sampling"):
+        with timer.phase("adaptive_sampling"), obs_trace.span(
+            "adaptive_sampling", rank=rank, omega=omega
+        ):
             if self.algorithm == "mpi-only":
                 stats = adaptive_sampling_algorithm1(
                     comm,

@@ -71,9 +71,35 @@ class ServiceClient:
             )
         return decoded
 
+    def request_text(self, method: str, path: str) -> str:
+        """One HTTP exchange; returns the raw response body as text.
+
+        The path for non-JSON endpoints — ``/metrics`` is Prometheus text,
+        which :meth:`request` would reject as malformed JSON.
+        """
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            try:
+                conn.request(method, path)
+                response = conn.getresponse()
+                raw = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServiceError(
+                    f"cannot reach service at http://{self.host}:{self.port}: {exc}"
+                ) from None
+        finally:
+            conn.close()
+        if response.status >= 400:
+            raise ServiceError(f"HTTP {response.status}", status=response.status)
+        return raw.decode("utf-8", errors="replace")
+
     # ------------------------------------------------------------------ #
     def health(self) -> Dict[str, object]:
         return self.request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """The Prometheus text exposition (``GET /metrics``), verbatim."""
+        return self.request_text("GET", "/metrics")
 
     def backends(self) -> Dict[str, object]:
         return self.request("GET", "/v1/backends")

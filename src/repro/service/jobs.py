@@ -52,6 +52,8 @@ from pathlib import Path
 from typing import Callable, Deque, Dict, Optional, Tuple
 
 from repro.core.result import BetweennessResult
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import MetricsRegistry
 from repro.service.cache import CacheEntry, ResultCache
 from repro.service.dominance import algorithm_family
 from repro.service.schema import QueryRequest
@@ -67,6 +69,22 @@ MAX_FINISHED_JOBS = 256
 
 WORKER_MODES = ("process", "thread")
 
+#: The service counters, in the order ``stats()`` reports them.  Each becomes
+#: a ``repro_service_<key>_total`` counter on the manager's registry; the
+#: :attr:`JobManager.counters` mapping view keeps the historical dict-of-int
+#: shape on top of them.
+_COUNTER_KEYS = (
+    ("queries", "Queries received by the job manager"),
+    ("cache_hits", "Queries answered straight from the result cache"),
+    ("cache_misses", "Queries that required sampling"),
+    ("cache_refines", "Jobs that refined a cached session checkpoint"),
+    ("cache_updates", "Jobs that incrementally updated a cached parent session"),
+    ("deduplicated", "Queries joined onto an identical in-flight job"),
+    ("completed", "Jobs finished successfully"),
+    ("failed", "Jobs finished with an error"),
+    ("cache_write_failures", "Results computed but not persisted to the cache"),
+)
+
 
 def _estimate_kwargs(request: QueryRequest, resources) -> Dict[str, object]:
     kwargs: Dict[str, object] = {
@@ -81,7 +99,13 @@ def _estimate_kwargs(request: QueryRequest, resources) -> Dict[str, object]:
     return kwargs
 
 
-def _process_run(job_id: str, graph_path: str, kwargs: Dict[str, object], queue):
+def _process_run(
+    job_id: str,
+    graph_path: str,
+    kwargs: Dict[str, object],
+    queue,
+    collect_metrics: bool = False,
+):
     """Worker-process entry point: run one estimation, stream progress back.
 
     Runs in a ``ProcessPoolExecutor`` worker, so it re-imports the facade and
@@ -89,8 +113,22 @@ def _process_run(job_id: str, graph_path: str, kwargs: Dict[str, object], queue)
     the path.  ``queue`` is a ``multiprocessing.Manager`` queue proxy; events
     that fail to enqueue are dropped (progress is best-effort, results are
     not).
+
+    Returns ``(result, metrics_snapshot)``.  When ``collect_metrics`` the
+    worker's process-global registry is cleared before the run and its
+    snapshot shipped back with the result, so the parent can ``merge()`` the
+    kernel counters (samples, batches) of every worker into its own registry
+    — worker processes have no other channel back to ``/metrics``.  The
+    registry is a pure transport buffer here: nothing else in the worker
+    reads it, so clearing per job keeps the snapshot equal to this job's
+    delta even when the pool reuses the process.
     """
     from repro.api import estimate_betweenness
+    from repro.obs import metrics as worker_metrics
+
+    if collect_metrics:
+        worker_metrics.REGISTRY.clear()
+        worker_metrics.enable_metrics()
 
     def on_event(event) -> None:
         try:
@@ -98,7 +136,9 @@ def _process_run(job_id: str, graph_path: str, kwargs: Dict[str, object], queue)
         except Exception:
             pass
 
-    return estimate_betweenness(graph_path, callbacks=on_event, **kwargs)
+    result = estimate_betweenness(graph_path, callbacks=on_event, **kwargs)
+    snapshot = worker_metrics.REGISTRY.snapshot() if collect_metrics else None
+    return result, snapshot
 
 
 @dataclass
@@ -225,17 +265,58 @@ class JobManager:
         self._jobs: Dict[str, Job] = {}
         self._inflight: Dict[str, Job] = {}
         self._ids = itertools.count(1)
-        self.counters: Dict[str, int] = {
-            "queries": 0,
-            "cache_hits": 0,
-            "cache_misses": 0,
-            "cache_refines": 0,
-            "cache_updates": 0,
-            "deduplicated": 0,
-            "completed": 0,
-            "failed": 0,
-            "cache_write_failures": 0,
+        #: Per-manager metrics registry: the counters below plus the job
+        #: latency histogram and in-flight gauge.  The server renders it next
+        #: to the process-global :data:`repro.obs.metrics.REGISTRY` on
+        #: ``GET /metrics``.  These service counters are the source of truth
+        #: for :meth:`stats`, so they increment unconditionally (not gated on
+        #: ``REPRO_METRICS`` — they sit on the asyncio control path, far off
+        #: the sampling hot loop).
+        self.metrics = MetricsRegistry()
+        self._counter_metrics = {
+            key: self.metrics.counter(f"repro_service_{key}_total", help)
+            for key, help in _COUNTER_KEYS
         }
+        self._inflight_gauge = self.metrics.gauge(
+            "repro_service_inflight_jobs", "Jobs currently queued or running"
+        )
+        self._job_seconds = self.metrics.histogram(
+            "repro_service_job_duration_seconds",
+            "Wall-clock duration of finished estimation jobs",
+            buckets=(0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0),
+        )
+        self._job_samples = self.metrics.counter(
+            "repro_service_job_samples_total",
+            "Shortest-path samples drawn by finished jobs",
+        )
+        self._samples_per_second = self.metrics.gauge(
+            "repro_service_samples_per_second",
+            "Sampling throughput of the most recently finished job",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Metrics
+    # ------------------------------------------------------------------ #
+    def _count(self, key: str) -> None:
+        """Increment one service counter (atomic: one lock per registry)."""
+        self._counter_metrics[key].inc()
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """The service counters as the historical ``{name: int}`` mapping."""
+        return {key: int(metric.value) for key, metric in self._counter_metrics.items()}
+
+    def _observe_finished(self, job: Job, result: BetweennessResult) -> None:
+        """Record duration/throughput metrics of one finished job."""
+        if job.started_at is None or job.finished_at is None:
+            return
+        seconds = max(0.0, job.finished_at - job.started_at)
+        self._job_seconds.observe(seconds)
+        num_samples = int(result.num_samples)
+        if num_samples > 0:
+            self._job_samples.inc(num_samples)
+            if seconds > 0:
+                self._samples_per_second.set(num_samples / seconds)
 
     # ------------------------------------------------------------------ #
     # Submission
@@ -249,7 +330,7 @@ class JobManager:
         """Decide how a request is served: cache, an existing job, or a new one."""
         loop = asyncio.get_running_loop()
         self._loop = loop
-        self.counters["queries"] += 1
+        self._count("queries")
         graph_path, checksum = await loop.run_in_executor(
             None, self._resolve, request.graph
         )
@@ -266,14 +347,14 @@ class JobManager:
         )
         if hit is not None:
             entry, result = hit
-            self.counters["cache_hits"] += 1
+            self._count("cache_hits")
             return SubmitOutcome(
                 checksum=checksum,
                 served_from_cache=True,
                 result=result,
                 cache_entry=entry,
             )
-        self.counters["cache_misses"] += 1
+        self._count("cache_misses")
 
         # Near-miss: a cached adaptive run with the same seed, too loose for
         # the request, but carrying a session checkpoint — refine it instead
@@ -314,7 +395,7 @@ class JobManager:
         existing = self._inflight.get(key)
         if existing is not None:
             existing.num_waiters += 1
-            self.counters["deduplicated"] += 1
+            self._count("deduplicated")
             return SubmitOutcome(checksum=checksum, deduplicated=True, job=existing)
 
         job = Job(
@@ -329,13 +410,13 @@ class JobManager:
             entry, snapshot_path = refinable
             job.refined_from = entry.key
             job.resume_from = str(snapshot_path)
-            self.counters["cache_refines"] += 1
+            self._count("cache_refines")
         elif update is not None:
             parent_checksum, entry, snapshot_path, delta_payload = update
             job.updated_from = parent_checksum
             job.update_from = snapshot_path
             job.update_delta = delta_payload
-            self.counters["cache_updates"] += 1
+            self._count("cache_updates")
         if self._snapshots_enabled():
             # Writer-unique name: job ids restart at 1 in every service
             # process, and the cache directory is explicitly shared across
@@ -353,6 +434,7 @@ class JobManager:
         )
         self._jobs[job.id] = job
         self._inflight[key] = job
+        self._inflight_gauge.set(len(self._inflight))
         self._prune_finished()
         asyncio.ensure_future(self._run(job))
         return SubmitOutcome(checksum=checksum, job=job)
@@ -466,7 +548,12 @@ class JobManager:
         try:
             if self._worker_mode == "process":
                 func = functools.partial(
-                    _process_run, job.id, job.graph_path, kwargs, self._event_queue
+                    _process_run,
+                    job.id,
+                    job.graph_path,
+                    kwargs,
+                    self._event_queue,
+                    obs_metrics.metrics_enabled(),
                 )
             else:
                 estimator = self._estimator or _default_estimator()
@@ -478,12 +565,20 @@ class JobManager:
                     estimator, job.graph_path, callbacks=on_event, **kwargs
                 )
             result = await loop.run_in_executor(executor, func)
+            if self._worker_mode == "process":
+                result, worker_snapshot = result
+                if worker_snapshot:
+                    # Fold the worker's kernel counters (samples/batches) into
+                    # this process's global registry — it is what /metrics
+                    # renders; worker registries die with their processes.
+                    obs_metrics.REGISTRY.merge(worker_snapshot)
         except Exception as exc:  # noqa: BLE001 - job errors become status
             job.status = "error"
             job.error = f"{type(exc).__name__}: {exc}"
             job.finished_at = time.time()
-            self.counters["failed"] += 1
+            self._count("failed")
             self._inflight.pop(job.key, None)
+            self._inflight_gauge.set(len(self._inflight))
             if job.checkpoint_path is not None:
                 try:
                     Path(job.checkpoint_path).unlink(missing_ok=True)
@@ -497,15 +592,17 @@ class JobManager:
         try:
             await loop.run_in_executor(None, self._finish_cache_write, job, result)
         except Exception as exc:  # noqa: BLE001
-            self.counters["cache_write_failures"] += 1
+            self._count("cache_write_failures")
             job.add_event(
                 {"phase": "cache-write-failed", "error": f"{type(exc).__name__}: {exc}"}
             )
         job.result = result
         job.status = "done"
         job.finished_at = time.time()
-        self.counters["completed"] += 1
+        self._count("completed")
+        self._observe_finished(job, result)
         self._inflight.pop(job.key, None)
+        self._inflight_gauge.set(len(self._inflight))
         if not job.future.cancelled():
             job.future.set_result(result)
 

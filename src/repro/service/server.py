@@ -16,6 +16,9 @@ schemas in ``docs/serving.md``):
 ``GET  /v1/cache``          cached result entries (metadata only)
 ``POST /v1/cache/evict``    evict by checksum / key / everything
 ``GET  /v1/stats``          counters: hits, misses, dedups, inflight
+``GET  /metrics``           Prometheus text exposition (the only non-JSON
+                            endpoint): cache/job counters, per-endpoint
+                            request latency histograms, sampling throughput
 ==========================  ====================================================
 
 The long-run story is the almost-asynchronous epoch design of the paper
@@ -29,8 +32,10 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Dict, Optional, Tuple
+import time
+from typing import Dict, Optional, Tuple, Union
 
+from repro.obs import metrics as obs_metrics
 from repro.service.cache import ResultCache
 from repro.service.jobs import JobManager
 from repro.service.schema import QueryRequest, SchemaError, result_payload
@@ -58,6 +63,42 @@ class _HttpError(Exception):
         super().__init__(message)
         self.status = status
         self.message = message
+
+
+class _PlainText:
+    """A non-JSON response payload (``/metrics`` is the only producer)."""
+
+    __slots__ = ("text", "content_type")
+
+    def __init__(self, text: str, content_type: str) -> None:
+        self.text = text
+        self.content_type = content_type
+
+
+#: Content type of the Prometheus text exposition format 0.0.4.
+_PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Endpoint label values for the request metrics.  Everything else (404
+#: probes, scanners) collapses into ``"other"`` so label cardinality stays
+#: bounded no matter what clients throw at the socket.
+_KNOWN_ENDPOINTS = (
+    "/healthz",
+    "/metrics",
+    "/v1/backends",
+    "/v1/query",
+    "/v1/jobs",
+    "/v1/cache",
+    "/v1/cache/evict",
+    "/v1/stats",
+)
+
+
+def _endpoint_label(path: str) -> str:
+    if path.startswith("/v1/jobs/"):
+        return "/v1/jobs/{id}"
+    if path in _KNOWN_ENDPOINTS:
+        return path
+    return "other"
 
 
 class BetweennessService:
@@ -96,12 +137,31 @@ class BetweennessService:
             estimator=estimator,
         )
         self._server: Optional[asyncio.AbstractServer] = None
+        self._http_seconds = self.jobs.metrics.histogram(
+            "repro_http_request_duration_seconds",
+            "HTTP request latency by endpoint",
+            labelnames=("endpoint",),
+        )
+        self._http_requests = self.jobs.metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests by endpoint and status code",
+            labelnames=("endpoint", "status"),
+        )
+        self._http_inflight = self.jobs.metrics.gauge(
+            "repro_http_requests_inflight", "HTTP requests currently being handled"
+        )
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
     async def start(self) -> None:
-        """Bind and start accepting connections; resolves :attr:`port`."""
+        """Bind and start accepting connections; resolves :attr:`port`.
+
+        Serving turns the gated sampling instrumentation on: a process that
+        exposes ``/metrics`` wants the kernel counters behind it, and the
+        ~ns-per-batch cost is noise next to socket handling.
+        """
+        obs_metrics.enable_metrics()
         self._server = await asyncio.start_server(self._handle, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
 
@@ -133,10 +193,15 @@ class BetweennessService:
                 return
             except Exception as exc:  # noqa: BLE001 - never kill the acceptor
                 status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
-            body = json.dumps(payload).encode()
+            if isinstance(payload, _PlainText):
+                body = payload.text.encode()
+                content_type = payload.content_type
+            else:
+                body = json.dumps(payload).encode()
+                content_type = "application/json"
             head = (
                 f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-                f"Content-Type: application/json\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 f"Connection: close\r\n\r\n"
             ).encode()
@@ -153,7 +218,9 @@ class BetweennessService:
             except (ConnectionError, OSError):
                 pass
 
-    async def _handle_request(self, reader: asyncio.StreamReader) -> Tuple[int, dict]:
+    async def _handle_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, Union[dict, _PlainText]]:
         request_line = (await reader.readline()).decode("latin-1").strip()
         if not request_line:
             raise _HttpError(400, "empty request")
@@ -178,7 +245,28 @@ class BetweennessService:
             raise _HttpError(413, f"request body over {MAX_BODY_BYTES} bytes")
         body = await reader.readexactly(length) if length else b""
         path, _, query = target.partition("?")
-        return await self._route(method.upper(), path, body, query)
+        method = method.upper()
+        # Per-endpoint request metrics.  Timing starts after the request is
+        # parsed (socket read time is the client's, not the handler's) and the
+        # status is recorded in the finally so error paths count too — a 404
+        # storm or a failing route must be visible on /metrics, not hidden by
+        # an early raise.
+        endpoint = _endpoint_label(path)
+        status = 500
+        started = time.perf_counter()
+        self._http_inflight.inc()
+        try:
+            status, payload = await self._route(method, path, body, query)
+            return status, payload
+        except _HttpError as exc:
+            status = exc.status
+            raise
+        finally:
+            self._http_inflight.dec()
+            self._http_seconds.labels(endpoint=endpoint).observe(
+                time.perf_counter() - started
+            )
+            self._http_requests.labels(endpoint=endpoint, status=str(status)).inc()
 
     @staticmethod
     def _json_body(body: bytes) -> dict:
@@ -197,7 +285,7 @@ class BetweennessService:
     # ------------------------------------------------------------------ #
     async def _route(
         self, method: str, path: str, body: bytes, query: str = ""
-    ) -> Tuple[int, dict]:
+    ) -> Tuple[int, Union[dict, _PlainText]]:
         if path == "/healthz" and method == "GET":
             from repro import __version__
 
@@ -224,6 +312,14 @@ class BetweennessService:
             return self._evict(self._json_body(body))
         if path == "/v1/stats" and method == "GET":
             return 200, self.jobs.stats()
+        if path == "/metrics" and method == "GET":
+            from repro.obs.metrics import render_metrics
+
+            # One merged exposition: the manager's service/HTTP metrics plus
+            # the process-global registry (kernel counters — including those
+            # merged back from worker processes).
+            text = render_metrics(self.jobs.metrics, obs_metrics.REGISTRY)
+            return 200, _PlainText(text, _PROMETHEUS_CONTENT_TYPE)
         raise _HttpError(404, f"no route for {method} {path}")
 
     @staticmethod

@@ -64,6 +64,7 @@ from repro.core.topk import TopKResult, confidence_bounds, identify_top_k
 from repro.diameter import vertex_diameter_upper_bound
 from repro.graph.csr import CSRGraph
 from repro.kernels import plan_batches, resolve_batch_size
+from repro.obs import trace as obs_trace
 from repro.session.sample_log import SampleLog
 from repro.session.snapshot import (
     SnapshotError,
@@ -209,6 +210,10 @@ class EstimationSession:
         self._resources = _resources
         self._native = _spec is None or getattr(_spec, "supports_refinement", False)
 
+        # Progress events carry ts = monotonic seconds since session creation
+        # (see ProgressEvent.ts); monotonic, so producer/consumer clock skew
+        # cannot make the stream run backwards.
+        self._start_monotonic = time.monotonic()
         self._ran = False
         self._eps: Optional[float] = None
         self._delta: Optional[float] = None
@@ -302,6 +307,7 @@ class EstimationSession:
     # ------------------------------------------------------------------ #
     def _emit(self, **kwargs) -> None:
         if self._progress is not None:
+            kwargs.setdefault("ts", time.monotonic() - self._start_monotonic)
             self._progress(ProgressEvent(**kwargs))
 
     def _ensure_engine(self) -> None:
@@ -386,6 +392,12 @@ class EstimationSession:
         :meth:`refine` instead.  For native sessions the sampling flow is
         bit-identical to the pre-session sequential driver.
         """
+        with obs_trace.span("session.run", algorithm=self.algorithm):
+            return self._run_to_target(eps, delta)
+
+    def _run_to_target(
+        self, eps: Optional[float], delta: Optional[float]
+    ) -> BetweennessResult:
         if self._ran:
             raise SessionStateError(
                 "session has already run; use refine(eps, delta) to tighten "
@@ -411,7 +423,7 @@ class EstimationSession:
         self._ensure_engine()
         timer = PhaseTimer()
 
-        with timer.phase("diameter"):
+        with timer.phase("diameter"), obs_trace.span("diameter") as sp:
             if self._options.vertex_diameter_override is not None:
                 self._vd = int(self._options.vertex_diameter_override)
             else:
@@ -419,22 +431,26 @@ class EstimationSession:
                     vertex_diameter_upper_bound(self._graph, seed=self._options.seed),
                     2,
                 )
+            sp.set("vertex_diameter", self._vd)
         schedule = self._schedule(target.eps, target.delta)
         self._omega = schedule.omega
         self._emit(phase="diameter", omega=schedule.omega)
 
-        with timer.phase("calibration"):
+        with timer.phase("calibration"), obs_trace.span("calibration") as sp:
             self._draw(schedule.calibration_samples, self._rng)
             self._calibration_frame = self._frame.copy()
             self._calibration_rng_state = _jsonable_rng_state(self._rng)
             self._recalibrate(target.eps, target.delta, schedule.omega)
+            sp.set("num_samples", int(self._frame.num_samples))
         self._emit(
             phase="calibration",
             num_samples=self._frame.num_samples,
             omega=schedule.omega,
         )
 
-        with timer.phase("adaptive_sampling"):
+        with timer.phase("adaptive_sampling"), obs_trace.span(
+            "adaptive_sampling", omega=schedule.omega
+        ):
             self._advance_to_stop(schedule)
 
         self._ran = True
@@ -457,8 +473,14 @@ class EstimationSession:
         ``schedule``; each iteration evaluates the stopping rule and draws
         exactly one block — the same decisions a one-shot run makes.
         """
-        while not self._condition.should_stop(self._frame):
-            self._draw(schedule.advance(self._frame.num_samples), self._rng)
+        while True:
+            with obs_trace.span("stopping", epoch=self._checks) as sp:
+                stop = self._condition.should_stop(self._frame)
+                sp.set("stop", bool(stop))
+            if stop:
+                return
+            with obs_trace.span("sampling", epoch=self._checks):
+                self._draw(schedule.advance(self._frame.num_samples), self._rng)
             self._checks += 1
             self._emit(
                 phase="adaptive_sampling",
@@ -483,6 +505,12 @@ class EstimationSession:
         ``omega_new - omega_old``-ish new samples plus a calibration-gap
         replay (see the module docstring for why this is exact).
         """
+        with obs_trace.span("session.refine", algorithm=self.algorithm):
+            return self._refine_to_target(eps, delta)
+
+    def _refine_to_target(
+        self, eps: Optional[float], delta: Optional[float]
+    ) -> BetweennessResult:
         if not self._native:
             raise SessionCapabilityError(
                 f"backend {self.algorithm!r} does not support refinement; "
@@ -517,7 +545,7 @@ class EstimationSession:
                 "refinement requires a monotone schedule"
             )
 
-        with timer.phase("calibration"):
+        with timer.phase("calibration"), obs_trace.span("calibration"):
             # Extend the calibration frame to the tighter target's count: the
             # overlap with already-drawn samples is *replayed* from the saved
             # calibration RNG state (same stream positions, so identical
@@ -544,7 +572,9 @@ class EstimationSession:
             omega=schedule.omega,
         )
 
-        with timer.phase("adaptive_sampling"):
+        with timer.phase("adaptive_sampling"), obs_trace.span(
+            "adaptive_sampling", omega=schedule.omega
+        ):
             # Realign with the cold run's check grid, then continue the
             # standard loop.  Boundaries strictly before the current position
             # were decided by the looser certificate already (monotone
@@ -635,6 +665,10 @@ class EstimationSession:
         the exact sample stream: accumulators, calibration frame, both RNG
         states and the scalar run state.  Returns the path written.
         """
+        with obs_trace.span("session.checkpoint"):
+            return self._checkpoint_to(path)
+
+    def _checkpoint_to(self, path: PathLike) -> Path:
         if not self._native:
             raise SessionCapabilityError(
                 f"backend {self.algorithm!r} does not support checkpointing"
@@ -695,6 +729,20 @@ class EstimationSession:
         recorded ``source_path`` — which is how a refinement worker in
         another process resumes against the shared ``.rcsr`` store.
         """
+        with obs_trace.span("session.restore"):
+            return cls._restore_from(
+                path, graph=graph, progress=progress, batch_size=batch_size
+            )
+
+    @classmethod
+    def _restore_from(
+        cls,
+        path: PathLike,
+        *,
+        graph: Optional[CSRGraph] = None,
+        progress: Optional[ProgressCallback] = None,
+        batch_size: object = None,
+    ) -> "EstimationSession":
         meta, arrays = read_snapshot(path)
         require_keys(meta, _REQUIRED_META, path)
         if meta.get("kind") != _SNAPSHOT_KIND:

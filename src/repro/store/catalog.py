@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Union
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.obs import trace as obs_trace
 from repro.store.convert import ConversionReport, convert_any
 from repro.store.delta import GraphDelta, apply_delta
 from repro.store.format import (
@@ -337,10 +338,25 @@ class GraphCatalog:
         conversion parameters) is reused unless ``force=True``; the report has
         ``cache_hit=True`` and ``num_input_edges == 0`` on a cache hit.
         """
-        from repro.store.convert import resolve_format
-
         source = Path(source)
         dest = Path(dest) if dest is not None else self.rcsr_path_for(source)
+        with obs_trace.span("store.convert", source=str(source)) as sp:
+            report = self._convert_impl(source, dest, force, fmt, convert_kwargs)
+            if sp:
+                sp.set("cache_hit", bool(report.cache_hit))
+                sp.set("num_edges", int(report.num_edges))
+        return report
+
+    def _convert_impl(
+        self,
+        source: Path,
+        dest: Path,
+        force: bool,
+        fmt: str,
+        convert_kwargs: Dict[str, object],
+    ) -> ConversionReport:
+        from repro.store.convert import resolve_format
+
         requested: Dict[str, object] = {
             # Record the *concrete* format: fmt='auto' and fmt='edgelist' on
             # the same file are the same conversion and must share the cache.
@@ -404,6 +420,10 @@ class GraphCatalog:
 
     def resolve(self, spec: PathLike) -> Path:
         """Resolve a name or path to an ``.rcsr`` file, converting on first touch."""
+        with obs_trace.span("store.resolve", spec=str(spec)):
+            return self._resolve_impl(spec)
+
+    def _resolve_impl(self, spec: PathLike) -> Path:
         path = Path(spec)
         if path.suffix == ".rcsr" and path.exists():
             return path

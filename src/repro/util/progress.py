@@ -36,6 +36,11 @@ class ProgressEvent:
     backend:
         Registry name of the backend that emitted the event.  Drivers emit
         ``None``; the facade tags events with the resolved backend name.
+    ts:
+        Monotonic-clock seconds since the emitting run started (``None``
+        when the emitter predates timestamps or does not track a start),
+        so streamed job progress carries timing without any wall-clock
+        skew between producer and consumer.
     """
 
     phase: str
@@ -43,6 +48,7 @@ class ProgressEvent:
     num_samples: int = 0
     omega: Optional[int] = None
     backend: Optional[str] = None
+    ts: Optional[float] = None
 
     def as_dict(self) -> dict:
         """The event as a JSON-serializable dict.
@@ -57,6 +63,7 @@ class ProgressEvent:
             "num_samples": int(self.num_samples),
             "omega": None if self.omega is None else int(self.omega),
             "backend": self.backend,
+            "ts": None if self.ts is None else float(self.ts),
         }
 
 
@@ -88,9 +95,16 @@ def combine_callbacks(
 
 
 def tag_backend(
-    callback: Optional[ProgressCallback], backend: str
+    callback: Union[ProgressCallback, Iterable[ProgressCallback], None],
+    backend: str,
 ) -> Optional[ProgressCallback]:
-    """Wrap ``callback`` so every event it sees carries the backend name."""
+    """Wrap ``callback`` so every event it sees carries the backend name.
+
+    Accepts anything :func:`combine_callbacks` accepts — a single callable,
+    an iterable of them (normalised internally, so the fan-out sees tagged
+    events regardless of composition order), or ``None``.
+    """
+    callback = combine_callbacks(callback)
     if callback is None:
         return None
 

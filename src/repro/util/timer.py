@@ -24,6 +24,10 @@ class Timer:
         self._elapsed: float = 0.0
 
     def start(self) -> "Timer":
+        if self._start is not None:
+            # Silently restarting would discard the running segment —
+            # re-entry is always a bug at the call site.
+            raise RuntimeError("Timer.start() called while already running")
         self._start = time.perf_counter()
         return self
 

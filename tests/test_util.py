@@ -22,6 +22,7 @@ from repro.util import (
     relative_rank_overlap,
 )
 from repro.util.logging import enable_console_logging, get_logger
+from repro.util.progress import ProgressEvent, combine_callbacks, tag_backend
 from repro.util.stats import harmonic_number
 
 
@@ -54,6 +55,22 @@ class TestTimer:
         timer = Timer().start()
         assert timer.running
         assert timer.elapsed >= 0.0
+        timer.stop()
+
+    def test_start_while_running_rejected(self):
+        timer = Timer().start()
+        with pytest.raises(RuntimeError, match="already running"):
+            timer.start()
+        # The rejected re-entry must not clobber the running measurement.
+        assert timer.running
+        assert timer.stop() >= 0.0
+
+    def test_restart_after_stop_allowed(self):
+        timer = Timer()
+        timer.start()
+        timer.stop()
+        timer.start()
+        assert timer.running
         timer.stop()
 
 
@@ -157,6 +174,78 @@ class TestValidation:
             check_vertex(5, 5)
         with pytest.raises(ValueError):
             check_vertex(-1, 5)
+
+
+class TestProgressEvent:
+    def test_as_dict_ts_none(self):
+        payload = ProgressEvent(phase="diameter").as_dict()
+        assert payload["ts"] is None
+
+    def test_as_dict_ts_value(self):
+        payload = ProgressEvent(phase="sampling", ts=1.25).as_dict()
+        assert payload["ts"] == pytest.approx(1.25)
+        assert isinstance(payload["ts"], float)
+
+
+class TestCombineCallbacks:
+    def test_none_and_empty(self):
+        assert combine_callbacks(None) is None
+        assert combine_callbacks([]) is None
+        assert combine_callbacks(()) is None
+
+    def test_single_callable_passthrough(self):
+        def cb(event):
+            pass
+
+        assert combine_callbacks(cb) is cb
+        assert combine_callbacks([cb]) is cb
+
+    def test_invalid_entries_rejected(self):
+        with pytest.raises(TypeError):
+            combine_callbacks([lambda e: None, "not-a-callable"])
+
+    def test_fan_out_order(self):
+        seen = []
+        combined = combine_callbacks(
+            [lambda e: seen.append(("a", e.phase)), lambda e: seen.append(("b", e.phase))]
+        )
+        combined(ProgressEvent(phase="sampling"))
+        assert seen == [("a", "sampling"), ("b", "sampling")]
+
+    def test_nested_combination(self):
+        seen = []
+        inner = combine_callbacks(
+            [lambda e: seen.append("x"), lambda e: seen.append("y")]
+        )
+        outer = combine_callbacks([inner, lambda e: seen.append("z")])
+        outer(ProgressEvent(phase="sampling"))
+        assert seen == ["x", "y", "z"]
+
+
+class TestTagBackend:
+    def test_none(self):
+        assert tag_backend(None, "sequential") is None
+        assert tag_backend([], "sequential") is None
+
+    def test_tags_untagged_events(self):
+        seen = []
+        tagged = tag_backend(seen.append, "sequential")
+        tagged(ProgressEvent(phase="sampling"))
+        assert seen[0].backend == "sequential"
+
+    def test_existing_backend_preserved(self):
+        seen = []
+        tagged = tag_backend(seen.append, "sequential")
+        tagged(ProgressEvent(phase="sampling", backend="epoch"))
+        assert seen[0].backend == "epoch"
+
+    def test_accepts_iterable_of_callbacks(self):
+        first, second = [], []
+        tagged = tag_backend([first.append, second.append], "epoch")
+        tagged(ProgressEvent(phase="sampling"))
+        assert first[0].backend == "epoch"
+        assert second[0].backend == "epoch"
+        assert first[0] is second[0]
 
 
 class TestLogging:
