@@ -1,0 +1,156 @@
+"""Benchmark gate for the wavefront kernel behind the kernel ABI.
+
+The acceptance bar for the cross-sample vectorized wavefront backend: routed
+through the ABI (``kernel="wavefront"``), it must deliver at least **2x** the
+samples/sec of the per-pair numpy bidirectional kernel (``kernel=
+"bidirectional"``) on an RMAT graph — the regime the batch-native SoA design
+targets.  Both pipelines run through :class:`repro.kernels.BatchPathSampler`,
+so the measured difference is the kernel, not the driver.
+``test_wavefront_speedup_over_bidirectional`` asserts the ratio outright;
+running the module as a script records the numbers into a ``BENCH_abi.json``
+artifact for CI::
+
+    python benchmarks/bench_abi.py [output.json]
+    python -m pytest benchmarks/bench_abi.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.state_frame import StateFrame
+from repro.graph.generators import rmat_graph
+from repro.kernels import BatchPathSampler
+
+pytestmark = pytest.mark.benchmark(group="abi")
+
+#: RMAT recursion depth / edge factor: n = 2^11 vertices, ~1.5 * n edges.
+#: Small enough that a CI runner finishes in seconds, large enough that the
+#: wavefront's per-numpy-call amortisation dominates its gather overhead.
+RMAT_SCALE = 11
+RMAT_EDGE_FACTOR = 1.5
+
+#: Lanes per wavefront chunk; matches the kernel's preferred batch so a batch
+#: runs as one slab pass.
+BATCH_SIZE = 2048
+NUM_SAMPLES = 4096
+
+#: Required samples/sec ratio of the wavefront over the per-pair kernel.
+REQUIRED_SPEEDUP = 2.0
+
+
+def _load_rmat_graph():
+    return rmat_graph(RMAT_SCALE, RMAT_EDGE_FACTOR, seed=42)
+
+
+def _samples_per_sec(
+    graph, kernel: str, num_samples: int, *, pair_strategy: str = "interleaved", seed: int = 1
+) -> float:
+    """Samples/sec of one registered kernel through the batch pipeline.
+
+    The per-pair reference runs with the interleaved pair strategy — the
+    stream-compatible driving every adaptive driver uses — so the ratio is
+    the speedup a caller actually gains by opting into the wavefront.
+    """
+    sampler = BatchPathSampler(graph, pair_strategy=pair_strategy, kernel=kernel)
+    rng = np.random.default_rng(seed)
+    frame = StateFrame.zeros(graph.num_vertices)
+    sampler.sample_batch(BATCH_SIZE, rng)  # warm-up
+    start = time.perf_counter()
+    done = 0
+    while done < num_samples:
+        take = min(BATCH_SIZE, num_samples - done)
+        frame.record_batch(sampler.sample_batch(take, rng))
+        done += take
+    return num_samples / (time.perf_counter() - start)
+
+
+def measure(num_samples: int = NUM_SAMPLES, *, repeats: int = 4) -> dict:
+    """Measure both kernels on the RMAT graph; returns the report dict.
+
+    The two kernels are timed alternately inside each repeat and the best
+    rate per kernel is kept, so a transient stall on a shared CI runner (or
+    thermal throttling mid-run) cannot fail the ratio gate one-sidedly.
+    """
+    graph = _load_rmat_graph()
+    wavefront = 0.0
+    per_pair = 0.0
+    for _ in range(repeats):
+        wavefront = max(wavefront, _samples_per_sec(graph, "wavefront", num_samples))
+        per_pair = max(per_pair, _samples_per_sec(graph, "bidirectional", num_samples))
+    return {
+        "graph": f"rmat(scale={RMAT_SCALE}, edge_factor={RMAT_EDGE_FACTOR}, seed=42)",
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "num_samples": num_samples,
+        "batch_size": BATCH_SIZE,
+        "bidirectional_samples_per_sec": round(per_pair, 1),
+        "wavefront_samples_per_sec": round(wavefront, 1),
+        "speedup": round(wavefront / per_pair, 2),
+        "required_speedup": REQUIRED_SPEEDUP,
+    }
+
+
+def test_wavefront_speedup_over_bidirectional():
+    """The headline acceptance assertion: >= 2x samples/sec on RMAT."""
+    report = measure()
+    assert report["speedup"] >= REQUIRED_SPEEDUP, (
+        f"wavefront kernel is only {report['speedup']}x the per-pair kernel "
+        f"({report['wavefront_samples_per_sec']} vs "
+        f"{report['bidirectional_samples_per_sec']} samples/s)"
+    )
+
+
+def test_per_pair_pipeline(benchmark):
+    graph = _load_rmat_graph()
+    sampler = BatchPathSampler(graph, pair_strategy="vectorized", kernel="bidirectional")
+    rng = np.random.default_rng(3)
+    frame = StateFrame.zeros(graph.num_vertices)
+
+    def one_batch():
+        batch = sampler.sample_batch(BATCH_SIZE, rng)
+        frame.record_batch(batch)
+        return batch
+
+    batch = benchmark(one_batch)
+    assert batch.num_samples == BATCH_SIZE
+
+
+def test_wavefront_pipeline(benchmark):
+    graph = _load_rmat_graph()
+    sampler = BatchPathSampler(graph, pair_strategy="vectorized", kernel="wavefront")
+    rng = np.random.default_rng(3)
+    frame = StateFrame.zeros(graph.num_vertices)
+
+    def one_batch():
+        batch = sampler.sample_batch(BATCH_SIZE, rng)
+        frame.record_batch(batch)
+        return batch
+
+    batch = benchmark(one_batch)
+    assert batch.num_samples == BATCH_SIZE
+
+
+def main(argv: list[str]) -> int:
+    output = Path(argv[1]) if len(argv) > 1 else Path("BENCH_abi.json")
+    report = measure()
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if report["speedup"] < REQUIRED_SPEEDUP:
+        print(
+            f"FAIL: speedup {report['speedup']}x below required {REQUIRED_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: the wavefront kernel is {report['speedup']}x the per-pair kernel")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -40,7 +40,11 @@ def _run_sequential(
     progress: Optional[ProgressCallback],
 ) -> BetweennessResult:
     return _SequentialKadabra(
-        graph, options, progress=progress, batch_size=resources.batch_size
+        graph,
+        options,
+        progress=progress,
+        batch_size=resources.batch_size,
+        kernel=resources.kernel,
     ).run()
 
 
@@ -56,6 +60,7 @@ def _run_shared_memory(
         num_threads=resources.threads,
         progress=progress,
         batch_size=resources.batch_size,
+        kernel=resources.kernel,
     ).run()
 
 
@@ -74,6 +79,7 @@ def _run_distributed(
         algorithm="epoch",
         progress=progress,
         batch_size=resources.batch_size,
+        kernel=resources.kernel,
     ).run()
 
 
@@ -91,6 +97,7 @@ def _run_mpi_only(
         algorithm="mpi-only",
         progress=progress,
         batch_size=resources.batch_size,
+        kernel=resources.kernel,
     ).run()
 
 
@@ -101,7 +108,11 @@ def _run_rk(
     progress: Optional[ProgressCallback],
 ) -> BetweennessResult:
     return _RKBetweenness(
-        graph, options, progress=progress, batch_size=resources.batch_size
+        graph,
+        options,
+        progress=progress,
+        batch_size=resources.batch_size,
+        kernel=resources.kernel,
     ).run()
 
 
@@ -152,6 +163,7 @@ def register_default_backends(*, replace: bool = False) -> None:
         _run_sequential,
         description="Sequential KADABRA adaptive sampling (Section III)",
         supports_batching=True,
+        supports_kernels=True,
         supports_refinement=True,
         supports_updates=True,
         cost_hint="adaptive-sampling",
@@ -164,6 +176,7 @@ def register_default_backends(*, replace: bool = False) -> None:
         description="Epoch-based shared-memory KADABRA (state-of-the-art competitor)",
         supports_threads=True,
         supports_batching=True,
+        supports_kernels=True,
         cost_hint="adaptive-sampling",
         auto_rank=20,
         replace=replace,
@@ -175,6 +188,7 @@ def register_default_backends(*, replace: bool = False) -> None:
         supports_threads=True,
         supports_processes=True,
         supports_batching=True,
+        supports_kernels=True,
         cost_hint="adaptive-sampling",
         auto_rank=30,
         replace=replace,
@@ -185,6 +199,7 @@ def register_default_backends(*, replace: bool = False) -> None:
         description="MPI-only KADABRA without multithreading, Algorithm 1",
         supports_processes=True,
         supports_batching=True,
+        supports_kernels=True,
         cost_hint="adaptive-sampling",
         auto_rank=40,
         replace=replace,
@@ -194,6 +209,7 @@ def register_default_backends(*, replace: bool = False) -> None:
         _run_rk,
         description="Riondato-Kornaropoulos fixed-sample-size approximation",
         supports_batching=True,
+        supports_kernels=True,
         cost_hint="fixed-sampling",
         auto_rank=50,
         replace=replace,

@@ -61,6 +61,11 @@ class BackendSpec:
     supports_batching:
         Whether the backend honours ``Resources.batch_size`` (i.e. samples
         through the batch-oriented kernels of :mod:`repro.kernels`).
+    supports_kernels:
+        Whether the backend honours ``Resources.kernel`` — a forced sampling
+        kernel from the ABI registry (:mod:`repro.kernels.abi`).  Backends
+        that do their own traversal (exact Brandes, source sampling) ignore
+        the field and leave this False.
     supports_refinement:
         Whether :func:`repro.session.open_session` can drive the backend as
         a fully resumable session (``refine``/``checkpoint``/``restore``).
@@ -95,6 +100,7 @@ class BackendSpec:
     supports_threads: bool = False
     supports_processes: bool = False
     supports_batching: bool = False
+    supports_kernels: bool = False
     supports_refinement: bool = False
     supports_updates: bool = False
     cost_hint: str = "adaptive-sampling"
@@ -114,6 +120,7 @@ def register_backend(
     supports_threads: bool = False,
     supports_processes: bool = False,
     supports_batching: bool = False,
+    supports_kernels: bool = False,
     supports_refinement: bool = False,
     supports_updates: bool = False,
     cost_hint: str = "adaptive-sampling",
@@ -142,6 +149,7 @@ def register_backend(
         supports_threads=supports_threads,
         supports_processes=supports_processes,
         supports_batching=supports_batching,
+        supports_kernels=supports_kernels,
         supports_refinement=supports_refinement,
         supports_updates=supports_updates,
         cost_hint=cost_hint,
@@ -214,7 +222,7 @@ def select_backend(num_vertices: int, resources: Resources) -> BackendSpec:
 
 def format_backend_table() -> str:
     """A plain-text capability table of all registered backends."""
-    headers = ("name", "kind", "threads", "processes", "batching", "refine", "updates", "cost", "description")
+    headers = ("name", "kind", "threads", "processes", "batching", "kernels", "refine", "updates", "cost", "description")
     rows = [
         (
             spec.name,
@@ -222,6 +230,7 @@ def format_backend_table() -> str:
             "yes" if spec.supports_threads else "no",
             "yes" if spec.supports_processes else "no",
             "yes" if spec.supports_batching else "no",
+            "yes" if spec.supports_kernels else "no",
             "yes" if spec.supports_refinement else "no",
             "yes" if spec.supports_updates else "no",
             spec.cost_hint,

@@ -35,12 +35,19 @@ class Resources:
         transitions are acknowledged promptly — an explicit larger value
         only affects thread 0's bulk sampling and the non-epoch drivers.
         Backends without batching support ignore it.
+    kernel:
+        Force a specific registered sampling kernel (see
+        :mod:`repro.kernels.abi` and ``repro.cli --list-kernels``) instead of
+        the ABI's automatic routing.  ``None`` (default) routes by graph
+        size/dtype; unknown names raise at construction time.  Backends
+        without kernel support ignore it.
     """
 
     processes: int = 1
     threads: int = 1
     processes_per_node: Optional[int] = None
     batch_size: Union[int, str] = "auto"
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.processes <= 0:
@@ -53,17 +60,26 @@ class Resources:
 
         # Validates and normalises (e.g. None -> "auto"); frozen dataclass.
         object.__setattr__(self, "batch_size", resolve_batch_size(self.batch_size))
+        if self.kernel is not None:
+            from repro.kernels import get_kernel
+
+            get_kernel(self.kernel)  # unknown names fail fast, availability later
 
     @property
     def total_workers(self) -> int:
         """Total sampling workers ``P * T``."""
         return self.processes * self.threads
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> Dict[str, Union[int, str]]:
         """The resource configuration as a plain dict (for result metadata)."""
-        out = {"processes": self.processes, "threads": self.threads}
+        out: Dict[str, Union[int, str]] = {
+            "processes": self.processes,
+            "threads": self.threads,
+        }
         if self.processes_per_node is not None:
             out["processes_per_node"] = self.processes_per_node
         if self.batch_size != "auto":
             out["batch_size"] = self.batch_size
+        if self.kernel is not None:
+            out["kernel"] = self.kernel
         return out

@@ -60,6 +60,7 @@ class _RKBetweenness:
     options: KadabraOptions = field(default_factory=KadabraOptions)
     progress: Optional[ProgressCallback] = None
     batch_size: object = "auto"
+    kernel: Optional[str] = None
 
     def run(self) -> BetweennessResult:
         graph = self.graph
@@ -70,7 +71,9 @@ class _RKBetweenness:
             return BetweennessResult(scores=np.zeros(graph.num_vertices), eps=options.eps, delta=options.delta)
         timer = PhaseTimer()
         rng = np.random.default_rng(options.seed)
-        sampler = make_batch_sampler(graph, options, pair_strategy="vectorized")
+        sampler = make_batch_sampler(
+            graph, options, pair_strategy="vectorized", kernel=self.kernel
+        )
 
         with timer.phase("diameter"):
             if options.vertex_diameter_override is not None:

@@ -120,6 +120,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="sampling batch size for kernel-backed backends: 'auto' (adaptive "
         "ramp, default) or a positive integer (1 = per-sample driving)",
     )
+    parser.add_argument(
+        "--kernel",
+        default=None,
+        metavar="NAME",
+        help="force a registered sampling kernel (see --list-kernels) instead "
+        "of automatic size/dtype routing; also settable via $REPRO_KERNEL",
+    )
     parser.add_argument("--top", type=int, default=10, help="number of top vertices to print")
     parser.add_argument("--output", default=None, help="write the full result as JSON")
     parser.add_argument("--csv", default=None, help="write per-vertex scores as CSV")
@@ -138,6 +145,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-backends",
         action="store_true",
         help="list the registered backends with their capabilities and exit",
+    )
+    parser.add_argument(
+        "--list-kernels",
+        action="store_true",
+        help="list the registered sampling kernels (ABI registry) and exit",
     )
     from repro import __version__
 
@@ -577,6 +589,14 @@ def _cmd_info(argv: list) -> int:
     print(f"components:        {info.num_components}")
     print(f"diameter estimate: {info.diameter_estimate}")
     print(f"checksum:          {info.checksum}")
+    from repro.kernels import describe_routing
+
+    # Undirected CSR stores each edge twice, so the adjacency has 2m entries.
+    routing = describe_routing(info.num_vertices, 2 * info.num_edges)
+    line = f"kernel routing:    {routing['effective']}"
+    if routing["effective"] != routing["auto"]:
+        line += f" (auto would pick {routing['auto']}; $REPRO_KERNEL={routing['env']})"
+    print(line)
     return 0
 
 
@@ -992,6 +1012,11 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
     if args.list_backends:
         print(format_backend_table())
         return 0
+    if args.list_kernels:
+        from repro.kernels import format_kernel_table
+
+        print(format_kernel_table())
+        return 0
     if args.graph is None:
         print("error: the graph argument is required (or use --list-backends)", file=sys.stderr)
         return 2
@@ -1006,7 +1031,10 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
             return 2
     try:
         resources = Resources(
-            processes=args.processes, threads=args.threads, batch_size=batch_size
+            processes=args.processes,
+            threads=args.threads,
+            batch_size=batch_size,
+            kernel=args.kernel,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -43,32 +43,43 @@ __all__ = [
 ]
 
 
-def make_sampler(graph: CSRGraph, options: KadabraOptions) -> PathSampler:
+def make_sampler(
+    graph: CSRGraph, options: KadabraOptions, *, kernel: Optional[str] = None
+) -> PathSampler:
     """Instantiate the path sampler selected by the options.
 
     The returned sampler is a scalar shim over the pooled batch kernels; the
     drivers call its :meth:`~repro.sampling.base.PathSampler.sample_batch` to
     amortise per-sample overhead.  Each call creates an independent sampler
-    (and scratch pool), so per-thread factories stay thread safe.
+    (and scratch pool), so per-thread factories stay thread safe.  ``kernel``
+    forces a specific registered kernel (see :mod:`repro.kernels.abi`);
+    ``None`` uses automatic routing.
     """
     if options.use_bidirectional_bfs:
-        return BidirectionalBFSSampler(graph)
-    return UnidirectionalBFSSampler(graph)
+        return BidirectionalBFSSampler(graph, kernel=kernel)
+    return UnidirectionalBFSSampler(graph, kernel=kernel)
 
 
 def make_batch_sampler(
-    graph: CSRGraph, options: KadabraOptions, *, pair_strategy: str = "interleaved"
+    graph: CSRGraph,
+    options: KadabraOptions,
+    *,
+    pair_strategy: str = "interleaved",
+    kernel: Optional[str] = None,
 ):
     """A :class:`~repro.kernels.BatchPathSampler` for the selected kernel.
 
     ``pair_strategy="interleaved"`` (default) keeps the RNG stream identical
     to the scalar samplers; ``"vectorized"`` draws all pairs of a batch with
     bulk ``rng.integers`` calls (used by the non-adaptive RK baseline).
+    ``kernel`` overrides the ABI's automatic kernel routing.
     """
     from repro.kernels import BatchPathSampler
 
     method = "bidirectional" if options.use_bidirectional_bfs else "unidirectional"
-    return BatchPathSampler(graph, method=method, pair_strategy=pair_strategy)
+    return BatchPathSampler(
+        graph, method=method, pair_strategy=pair_strategy, kernel=kernel
+    )
 
 
 def prepare_stopping_condition(
@@ -146,6 +157,7 @@ class _SequentialKadabra:
     options: KadabraOptions = field(default_factory=KadabraOptions)
     progress: Optional[ProgressCallback] = None
     batch_size: object = "auto"
+    kernel: Optional[str] = None
 
     def run(self) -> BetweennessResult:
         """One-shot run, implemented as a single-use estimation session.
@@ -165,6 +177,7 @@ class _SequentialKadabra:
             self.options,
             progress=self.progress,
             batch_size=resolve_batch_size(self.batch_size),
+            kernel=self.kernel,
         )
         return session.run()
 

@@ -43,6 +43,7 @@ class _SharedMemoryKadabra:
     max_epochs: Optional[int] = None
     progress: Optional[ProgressCallback] = None
     batch_size: object = "auto"
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_threads <= 0:
@@ -61,7 +62,7 @@ class _SharedMemoryKadabra:
         comm = SelfComm()
 
         calibration_rng = rng_for_rank_thread(options.seed, 0, 0, num_threads=self.num_threads + 1)
-        sampler = make_sampler(graph, options)
+        sampler = make_sampler(graph, options, kernel=self.kernel)
         condition, calibration_frame, omega, vd = prepare_stopping_condition(
             graph, options, sampler, calibration_rng, timer=timer, progress=progress,
             batch_size=self.batch_size,
@@ -93,7 +94,7 @@ class _SharedMemoryKadabra:
         ):
             stats = adaptive_sampling_algorithm2(
                 comm,
-                lambda _thread: make_sampler(graph, options),
+                lambda _thread: make_sampler(graph, options, kernel=self.kernel),
                 condition,
                 rngs,
                 num_threads=self.num_threads,

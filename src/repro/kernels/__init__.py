@@ -6,10 +6,17 @@ make that true for the Python reproduction:
 
 * :class:`ScratchPool` — per-worker reusable search buffers with
   generation-stamped visited marks (no O(n) allocation or clearing between
-  samples);
+  samples); :class:`ScratchSlab` widens the same idea to K concurrent pairs;
 * :func:`bidirectional_sample` / :func:`unidirectional_sample` — pooled path
   sampling kernels, bit-compatible with the legacy scalar samplers for a
   fixed RNG state;
+* :class:`WavefrontSampler` — the cross-sample vectorized wavefront kernel:
+  K pairs' balanced-bidirectional searches advanced simultaneously in SoA
+  form (statistically identical, different RNG stream);
+* :mod:`~repro.kernels.abi` — the kernel ABI: a capability-probed
+  :class:`~repro.kernels.abi.KernelSpec` registry with deterministic routing
+  from graph size/dtype, a ``REPRO_KERNEL`` override, and graceful
+  degradation when an optional backend's probe fails;
 * :class:`BatchPathSampler` / :class:`SampleBatch` — draw K pairs per call
   and return flat contribution arrays for single-``np.add.at`` accumulation
   into epoch frames;
@@ -17,6 +24,19 @@ make that true for the Python reproduction:
   stopping-condition checks, large batches mid-epoch).
 """
 
+from repro.kernels.abi import (
+    REPRO_KERNEL_ENV,
+    KernelSpec,
+    KernelUnavailableError,
+    describe_routing,
+    format_kernel_table,
+    get_kernel,
+    kernel_available,
+    kernel_names,
+    list_kernels,
+    register_kernel,
+    resolve_kernel,
+)
 from repro.kernels.batch import BatchPathSampler, SampleBatch
 from repro.kernels.bidirectional import bidirectional_sample
 from repro.kernels.policy import (
@@ -24,26 +44,42 @@ from repro.kernels.policy import (
     MAX_AUTO_BATCH,
     MIN_AUTO_BATCH,
     WORKER_BATCH,
+    kernel_batch_cap,
     plan_batches,
     resolve_batch_size,
     worker_batch_size,
 )
-from repro.kernels.scratch import ScratchPool, gather_csr
+from repro.kernels.scratch import ScratchPool, ScratchSlab, gather_csr
 from repro.kernels.unidirectional import unidirectional_sample
+from repro.kernels.wavefront import WavefrontSampler
 from repro.kernels.weighted import weighted_index
 
 __all__ = [
     "AUTO_BATCH",
     "BatchPathSampler",
+    "KernelSpec",
+    "KernelUnavailableError",
     "MAX_AUTO_BATCH",
     "MIN_AUTO_BATCH",
+    "REPRO_KERNEL_ENV",
     "SampleBatch",
     "ScratchPool",
+    "ScratchSlab",
     "WORKER_BATCH",
+    "WavefrontSampler",
     "bidirectional_sample",
+    "describe_routing",
+    "format_kernel_table",
     "gather_csr",
+    "get_kernel",
+    "kernel_available",
+    "kernel_batch_cap",
+    "kernel_names",
+    "list_kernels",
     "plan_batches",
+    "register_kernel",
     "resolve_batch_size",
+    "resolve_kernel",
     "unidirectional_sample",
     "weighted_index",
     "worker_batch_size",

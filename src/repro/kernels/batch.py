@@ -31,23 +31,31 @@ from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
-from repro.kernels.bidirectional import bidirectional_sample
+from repro.kernels import abi as _abi
 from repro.kernels.scratch import ScratchPool
-from repro.kernels.smallgraph import (
-    SMALL_GRAPH_ENTRY_LIMIT,
-    SMALL_GRAPH_VERTEX_LIMIT,
-    bidirectional_sample_small,
-)
-from repro.kernels.unidirectional import unidirectional_sample
+from repro.obs import metrics as _metrics
 
 __all__ = ["SampleBatch", "BatchPathSampler"]
 
-_KERNELS = {
-    "bidirectional": bidirectional_sample,
-    "unidirectional": unidirectional_sample,
-}
+_METHODS = ("bidirectional", "unidirectional")
 
 _PAIR_STRATEGIES = ("interleaved", "vectorized")
+
+# Per-kernel sample counters (created lazily, one per kernel name ever used
+# in this process); incremented on the batch path only when metrics are
+# enabled, so the kernel inner loops stay untouched.
+_KERNEL_COUNTERS: dict = {}
+
+
+def _kernel_counter(name: str):
+    counter = _KERNEL_COUNTERS.get(name)
+    if counter is None:
+        counter = _metrics.REGISTRY.counter(
+            f"repro_kernel_{name}_samples_total",
+            f"Samples drawn through the {name} kernel",
+        )
+        _KERNEL_COUNTERS[name] = counter
+    return counter
 
 
 @dataclass
@@ -159,6 +167,16 @@ class BatchPathSampler:
         A pool must not be shared between concurrently sampling workers.
     pair_strategy:
         ``"interleaved"`` or ``"vectorized"`` — see the module docstring.
+    kernel:
+        Explicit kernel name (see :mod:`repro.kernels.abi`), overriding both
+        automatic routing and the ``REPRO_KERNEL`` environment variable.
+        ``None`` (default) resolves through the ABI: the registered
+        stream-compatible kernel whose suitability window matches the graph
+        (the pure-Python kernel below the small-graph limits, the numpy
+        per-pair kernel otherwise) — bit-identical to the pre-ABI routing.
+        Forcing a batch-native kernel (``"wavefront"``) makes ``sample_batch``
+        draw all pairs up front regardless of ``pair_strategy`` — the RNG
+        stream is no longer legacy-compatible, only the distribution is.
     """
 
     def __init__(
@@ -168,11 +186,12 @@ class BatchPathSampler:
         method: str = "bidirectional",
         pool: Optional[ScratchPool] = None,
         pair_strategy: str = "interleaved",
+        kernel: Optional[str] = None,
     ) -> None:
         if graph.num_vertices < 2:
             raise ValueError("BatchPathSampler requires a graph with at least 2 vertices")
-        if method not in _KERNELS:
-            raise ValueError(f"unknown kernel method {method!r}; use one of {sorted(_KERNELS)}")
+        if method not in _METHODS:
+            raise ValueError(f"unknown kernel method {method!r}; use one of {sorted(_METHODS)}")
         if pair_strategy not in _PAIR_STRATEGIES:
             raise ValueError(
                 f"unknown pair strategy {pair_strategy!r}; use one of {_PAIR_STRATEGIES}"
@@ -184,23 +203,31 @@ class BatchPathSampler:
         # __array_finalize__ cost on every slice in the kernel hot loop.
         self._indptr = np.asarray(graph.indptr)
         self._indices = np.asarray(graph.indices)
-        self._kernel = _KERNELS[method]
         self._method = method
         self._pool = pool if pool is not None else ScratchPool(graph.num_vertices)
         self._pair_strategy = pair_strategy
-        # Kernel operands: ndarray CSR by default; small graphs switch to the
-        # pure-Python kernel over tolist-materialised adjacency, where the
-        # per-sample cost is numpy dispatch overhead rather than traversal.
+        spec = _abi.resolve_kernel(
+            graph.num_vertices,
+            self._indices.size,
+            self._indices.dtype,
+            family=method,
+            requested=kernel,
+        )
+        self._spec = spec
+        self._delegate = None
+        self._kernel = None
         self._kernel_indptr = self._indptr
         self._kernel_indices = self._indices
-        if (
-            method == "bidirectional"
-            and graph.num_vertices <= SMALL_GRAPH_VERTEX_LIMIT
-            and self._indices.size <= SMALL_GRAPH_ENTRY_LIMIT
-        ):
-            self._kernel = bidirectional_sample_small
-            self._kernel_indptr = self._indptr.tolist()
-            self._kernel_indices = self._indices.tolist()
+        if spec.batch_native:
+            self._delegate = spec.make_batch(graph)
+        else:
+            # Kernel operands come from the spec factory: ndarray CSR for the
+            # numpy kernels, memoised tolist adjacency for the small-graph
+            # kernel (where per-sample cost is numpy dispatch overhead
+            # rather than traversal).
+            self._kernel, self._kernel_indptr, self._kernel_indices = spec.make_per_pair(
+                self._indptr, self._indices
+            )
 
     # ------------------------------------------------------------------ #
     @property
@@ -210,6 +237,16 @@ class BatchPathSampler:
     @property
     def method(self) -> str:
         return self._method
+
+    @property
+    def kernel_name(self) -> str:
+        """Name of the kernel this sampler resolved to (see the ABI)."""
+        return self._spec.name
+
+    @property
+    def kernel_spec(self):
+        """The resolved :class:`~repro.kernels.abi.KernelSpec`."""
+        return self._spec
 
     @property
     def pool(self) -> ScratchPool:
@@ -225,6 +262,12 @@ class BatchPathSampler:
         k = int(batch_size)
         if k <= 0:
             raise ValueError("batch_size must be positive")
+        if self._delegate is not None:
+            # Batch-native kernels draw all pairs up front by construction;
+            # the interleaved (stream-compatible) strategy cannot apply.
+            batch = self._delegate.sample_batch(k, rng)
+            self._count_samples(k)
+            return batch
         if self._pair_strategy == "vectorized":
             from repro.sampling.rng import draw_vertex_pairs
 
@@ -254,12 +297,17 @@ class BatchPathSampler:
         if np.any(sources == targets):
             raise ValueError("source and target must be distinct")
         k = int(sources.size)
+        if self._delegate is not None:
+            batch = self._delegate.sample_pairs(sources, targets, rng)
+            self._count_samples(k)
+            return batch
         out = _BatchAccumulator(k)
         kernel = self._kernel
         indptr, indices, pool = self._kernel_indptr, self._kernel_indices, self._pool
         for i in range(k):
             result = kernel(indptr, indices, pool, int(sources[i]), int(targets[i]), rng)
             out.record(i, result)
+        self._count_samples(k)
         return out.finish(sources, targets)
 
     def sample_path(self, source: int, target: int, rng: np.random.Generator):
@@ -273,9 +321,14 @@ class BatchPathSampler:
             raise ValueError("source/target out of range")
         if source == target:
             raise ValueError("source and target must be distinct")
+        if self._delegate is not None:
+            sample = self._delegate.sample_path(source, target, rng)
+            self._count_samples(1)
+            return sample
         connected, length, internal, edges = self._kernel(
             self._kernel_indptr, self._kernel_indices, self._pool, source, target, rng
         )
+        self._count_samples(1)
         return PathSample(
             source=source,
             target=target,
@@ -286,6 +339,10 @@ class BatchPathSampler:
         )
 
     # ------------------------------------------------------------------ #
+    def _count_samples(self, k: int) -> None:
+        if _metrics.ENABLED:
+            _kernel_counter(self._spec.name).inc(k)
+
     def _sample_interleaved(self, k: int, rng: np.random.Generator) -> SampleBatch:
         from repro.sampling.base import sample_vertex_pair
 
@@ -300,6 +357,7 @@ class BatchPathSampler:
             sources[i] = s
             targets[i] = t
             out.record(i, kernel(indptr, indices, pool, s, t, rng))
+        self._count_samples(k)
         return out.finish(sources, targets)
 
 

@@ -1,0 +1,135 @@
+"""Optional numba-accelerated kernel, registered behind an availability probe.
+
+This module demonstrates the accelerated-backend path of the kernel ABI: it
+registers a :class:`~repro.kernels.abi.KernelSpec` whose probe try-imports
+``numba`` and JIT-compiles a trivial function.  In environments without numba
+the probe fails, the spec shows ``available: no`` in ``--list-kernels``, and
+routing silently skips it — requesting it explicitly raises
+:class:`~repro.kernels.abi.KernelUnavailableError` with a clear message.
+
+The kernel itself is a single-sided sigma-BFS whose level expansion runs as
+one nopython-compiled loop over the CSR arrays (no numpy dispatch per
+frontier), followed by the usual sigma-weighted backward walk in Python so
+the RNG consumption stays in numpy.  It is *experimental*: statistically
+identical to the portable kernels (uniform shortest-path sampling) but not
+stream-compatible, so like the wavefront kernel it is never picked by
+automatic routing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.kernels.abi import KernelSpec, register_kernel
+
+__all__ = ["probe_numba", "numba_sample"]
+
+_STATE: dict = {"bfs": None}
+
+
+def probe_numba() -> bool:
+    """True when numba imports and can compile a trivial kernel."""
+    try:
+        import numba
+    except Exception:
+        return False
+    try:
+        @numba.njit(cache=False)
+        def _smoke(x: int) -> int:
+            return x + 1
+
+        return _smoke(1) == 2
+    except Exception:
+        return False
+
+
+def _compiled_bfs():
+    """Build (once) the jitted level-synchronous sigma-BFS."""
+    if _STATE["bfs"] is None:
+        import numba
+
+        @numba.njit(cache=False)
+        def _bfs(indptr, indices, source, target, dist, sigma):
+            n = dist.shape[0]
+            for v in range(n):
+                dist[v] = -1
+                sigma[v] = 0.0
+            dist[source] = 0
+            sigma[source] = 1.0
+            frontier = np.empty(n, dtype=np.int64)
+            frontier[0] = source
+            size = 1
+            level = 0
+            edges = 0
+            while size > 0 and dist[target] < 0:
+                level += 1
+                nxt = np.empty(n, dtype=np.int64)
+                nsize = 0
+                for i in range(size):
+                    u = frontier[i]
+                    for p in range(indptr[u], indptr[u + 1]):
+                        w = indices[p]
+                        edges += 1
+                        if dist[w] < 0:
+                            dist[w] = level
+                            sigma[w] = 0.0
+                            nxt[nsize] = w
+                            nsize += 1
+                        if dist[w] == level:
+                            sigma[w] += sigma[u]
+                frontier = nxt
+                size = nsize
+            return edges
+
+        _STATE["bfs"] = _bfs
+    return _STATE["bfs"]
+
+
+def numba_sample(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    pool,
+    source: int,
+    target: int,
+    rng: np.random.Generator,
+) -> Tuple[bool, int, List[int], int]:
+    """Per-pair kernel contract over the jitted BFS (experimental)."""
+    from repro.kernels.weighted import weighted_index
+
+    n = int(indptr.shape[0] - 1)
+    dist = np.empty(n, dtype=np.int64)
+    sigma = np.empty(n, dtype=np.float64)
+    edges = int(_compiled_bfs()(indptr, indices, source, target, dist, sigma))
+    if dist[target] < 0:
+        return False, 0, [], edges
+    length = int(dist[target])
+    internal: List[int] = []
+    current = target
+    for depth in range(length - 1, 0, -1):
+        preds = indices[indptr[current] : indptr[current + 1]]
+        preds = preds[dist[preds] == depth]
+        weights = sigma[preds]
+        current = int(preds[weighted_index(weights, float(weights.sum()), rng)])
+        internal.append(current)
+    internal.reverse()
+    return True, length, internal, edges
+
+
+def _make_numba(indptr: np.ndarray, indices: np.ndarray):
+    return numba_sample, np.asarray(indptr), np.asarray(indices)
+
+
+register_kernel(
+    KernelSpec(
+        name="numba",
+        description="numba-jitted single-sided sigma-BFS (experimental)",
+        family="bidirectional",
+        stream_compatible=False,
+        cost_hint="jit-bfs",
+        auto_rank=90,
+        probe=probe_numba,
+        make_per_pair=_make_numba,
+    )
+)

@@ -36,6 +36,7 @@ __all__ = [
     "resolve_batch_size",
     "plan_batches",
     "worker_batch_size",
+    "kernel_batch_cap",
 ]
 
 AUTO_BATCH = "auto"
@@ -99,6 +100,24 @@ def plan_batches(
         remaining -= take
         if batch_size == AUTO_BATCH and size < cap:
             size = min(size * 2, cap)
+
+
+def kernel_batch_cap(spec=None) -> int:
+    """The ``auto`` ramp cap suited to a kernel spec.
+
+    Per-pair kernels keep the default :data:`MAX_AUTO_BATCH` — their cost is
+    linear in the batch, so a larger cap only delays stopping-condition
+    checks.  Batch-native kernels (``spec.batch_native``) amortise per-level
+    numpy dispatch across the whole batch and prefer whole-slab batches, so
+    the cap grows to the spec's ``preferred_batch`` hint.  ``None`` (no spec
+    resolved yet) keeps the default, which leaves every existing driver's
+    batch plan — and therefore its fixed-seed sample stream — unchanged.
+    """
+    if spec is not None and getattr(spec, "batch_native", False):
+        preferred = getattr(spec, "preferred_batch", None)
+        if preferred:
+            return max(MAX_AUTO_BATCH, int(preferred))
+    return MAX_AUTO_BATCH
 
 
 def worker_batch_size(batch_size: BatchSize) -> int:

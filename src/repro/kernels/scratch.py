@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["ScratchPool", "gather_csr"]
+__all__ = ["ScratchPool", "ScratchSlab", "gather_csr"]
 
 #: Re-zero the mark arrays once ``generation * span`` approaches int64 range.
 _RESET_LIMIT = np.int64(2) ** 62
@@ -108,6 +108,67 @@ class ScratchPool:
             gen = 1
         self._generation = gen
         self.generations_started += 1
+        return gen * self.span
+
+
+class ScratchSlab:
+    """Widened scratch: one mark/sigma slab serving ``lanes`` concurrent pairs.
+
+    The multi-pair wavefront kernel advances the balanced bidirectional
+    searches of up to ``lanes`` vertex pairs simultaneously.  Each pair (a
+    *lane*) owns two rows of the slab — row ``lane`` for the forward side and
+    row ``lanes + lane`` for the backward side — so a flat index
+    ``row * num_vertices + vertex`` addresses any (pair, side, vertex) mark or
+    sigma cell with one gather/scatter, which is what lets one numpy call per
+    BFS level serve the whole batch.
+
+    Generation stamping works exactly as in :class:`ScratchPool`, except the
+    generation is bumped once per *round* (one ``begin_round`` covers every
+    lane): a cell is visited in the current round iff its mark is
+    ``>= base``, and its BFS level is ``mark - base``.
+    """
+
+    __slots__ = (
+        "num_vertices",
+        "lanes",
+        "span",
+        "mark",
+        "sigma",
+        "mark_flat",
+        "sigma_flat",
+        "_generation",
+        "rounds_started",
+    )
+
+    def __init__(self, num_vertices: int, lanes: int) -> None:
+        n = int(num_vertices)
+        k = int(lanes)
+        if n < 0:
+            raise ValueError("num_vertices must be non-negative")
+        if k <= 0:
+            raise ValueError("lanes must be positive")
+        self.num_vertices = n
+        self.lanes = k
+        self.span = n + 2
+        self.mark = np.zeros((2 * k, n), dtype=np.int64)
+        self.sigma = np.zeros((2 * k, n), dtype=np.float64)
+        self.mark_flat = self.mark.reshape(-1)
+        self.sigma_flat = self.sigma.reshape(-1)
+        self._generation = 0
+        self.rounds_started = 0
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def begin_round(self) -> int:
+        """Start a new multi-pair round; returns the shared mark base."""
+        gen = self._generation + 1
+        if gen * self.span >= _RESET_LIMIT:  # pragma: no cover - ~2^62 rounds
+            self.mark_flat.fill(0)
+            gen = 1
+        self._generation = gen
+        self.rounds_started += 1
         return gen * self.span
 
 

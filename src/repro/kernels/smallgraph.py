@@ -26,7 +26,9 @@ the reference sampler on the same streams.
 
 from __future__ import annotations
 
+import zlib
 from bisect import bisect_left, bisect_right
+from collections import OrderedDict
 from typing import List, Tuple
 
 import numpy as np
@@ -37,6 +39,8 @@ from repro.kernels.weighted import weighted_index
 __all__ = [
     "SMALL_GRAPH_VERTEX_LIMIT",
     "SMALL_GRAPH_ENTRY_LIMIT",
+    "adjacency_lists",
+    "adjacency_cache_stats",
     "bidirectional_sample_small",
 ]
 
@@ -45,6 +49,49 @@ SMALL_GRAPH_VERTEX_LIMIT = 20_000
 #: Largest adjacency array (directed entries) the Python kernel is selected
 #: for — bounds the one-time ``tolist`` materialisation.
 SMALL_GRAPH_ENTRY_LIMIT = 1_000_000
+
+# Memoised tolist adjacency, keyed by a content fingerprint of the CSR
+# arrays.  Every BatchPathSampler construction over the same graph (repeated
+# sessions, per-thread samplers, service workers) reuses one materialisation
+# instead of paying the O(n + m) tolist again; the kernel only reads the
+# lists, so sharing is safe.  Keyed by content (sizes + CRC32) rather than
+# object identity because CSRGraph uses __slots__ and memmap-backed arrays
+# are re-wrapped per sampler.
+_ADJ_CACHE: "OrderedDict[tuple, Tuple[List[int], List[int]]]" = OrderedDict()
+_ADJ_CACHE_LIMIT = 8
+_ADJ_STATS = {"hits": 0, "misses": 0}
+
+
+def adjacency_cache_stats() -> dict:
+    """Hit/miss counts of the adjacency memo (a copy, for tests/metrics)."""
+    return dict(_ADJ_STATS)
+
+
+def adjacency_lists(indptr, indices) -> Tuple[List[int], List[int]]:
+    """Python-list CSR arrays for the small-graph kernel, memoised.
+
+    The returned lists are shared across callers and must be treated as
+    read-only.
+    """
+    ip = np.ascontiguousarray(np.asarray(indptr))
+    ix = np.ascontiguousarray(np.asarray(indices))
+    key = (
+        ip.size,
+        ix.size,
+        zlib.crc32(ip.tobytes()),
+        zlib.crc32(ix.tobytes()),
+    )
+    cached = _ADJ_CACHE.get(key)
+    if cached is not None:
+        _ADJ_STATS["hits"] += 1
+        _ADJ_CACHE.move_to_end(key)
+        return cached
+    _ADJ_STATS["misses"] += 1
+    value = (ip.tolist(), ix.tolist())
+    _ADJ_CACHE[key] = value
+    while len(_ADJ_CACHE) > _ADJ_CACHE_LIMIT:
+        _ADJ_CACHE.popitem(last=False)
+    return value
 
 
 def _weighted_pick(weights: List[float], rng: np.random.Generator) -> int:

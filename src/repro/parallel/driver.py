@@ -92,6 +92,7 @@ class _DistributedKadabra:
     max_epochs: Optional[int] = None
     progress: Optional[ProgressCallback] = None
     batch_size: object = "auto"
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_processes <= 0:
@@ -179,7 +180,7 @@ class _DistributedKadabra:
                 options.calibration_samples, omega, graph.num_vertices
             )
             per_rank = int(math.ceil(total_calibration / comm.size))
-            sampler = make_sampler(graph, options)
+            sampler = make_sampler(graph, options, kernel=self.kernel)
             # Thread slot 0 is reserved for calibration so that the adaptive
             # phase (slots 1..T) never replays the calibration sample stream.
             rng = rng_for_rank_thread(options.seed, rank, 0, num_threads=num_threads + 1)
@@ -227,7 +228,7 @@ class _DistributedKadabra:
             if self.algorithm == "mpi-only":
                 stats = adaptive_sampling_algorithm1(
                     comm,
-                    make_sampler(graph, options),
+                    make_sampler(graph, options, kernel=self.kernel),
                     condition,
                     rng_for_rank_thread(options.seed, rank, 1, num_threads=num_threads + 1),
                     samples_per_epoch=samples_per_epoch,
@@ -249,7 +250,7 @@ class _DistributedKadabra:
                 ]
                 stats = adaptive_sampling_algorithm2(
                     comm,
-                    lambda _thread: make_sampler(graph, options),
+                    lambda _thread: make_sampler(graph, options, kernel=self.kernel),
                     condition,
                     rngs,
                     num_threads=num_threads,

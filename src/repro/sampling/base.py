@@ -137,15 +137,22 @@ class KernelPathSampler(PathSampler):
 
     _kernel_method = "bidirectional"
 
-    def __init__(self, graph: CSRGraph) -> None:
+    def __init__(self, graph: CSRGraph, *, kernel: str | None = None) -> None:
         super().__init__(graph)
         from repro.kernels import BatchPathSampler
 
-        self._batch_sampler = BatchPathSampler(graph, method=self._kernel_method)
+        self._batch_sampler = BatchPathSampler(
+            graph, method=self._kernel_method, kernel=kernel
+        )
 
     def batch_sampler(self):
         """The pooled :class:`~repro.kernels.BatchPathSampler` backing this shim."""
         return self._batch_sampler
+
+    @property
+    def kernel_spec(self):
+        """The resolved :class:`~repro.kernels.abi.KernelSpec` (routing)."""
+        return self._batch_sampler.kernel_spec
 
     def sample_path(self, source: int, target: int, rng: np.random.Generator) -> PathSample:
         return self._batch_sampler.sample_path(source, target, rng)

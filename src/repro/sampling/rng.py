@@ -14,6 +14,12 @@ import numpy as np
 
 __all__ = ["spawn_rngs", "rng_for_rank_thread", "derive_seed", "draw_vertex_pairs"]
 
+#: Rejection rounds before :func:`draw_vertex_pairs` switches to direct
+#: enumeration.  With uniform candidates the probability of even one retry
+#: round is 1/n per pair, so the fallback fires essentially never — it
+#: exists to bound the loop on adversarial or broken generators.
+MAX_REJECTION_ROUNDS = 16
+
 
 def draw_vertex_pairs(
     num_vertices: int, count: int, rng: np.random.Generator
@@ -23,7 +29,12 @@ def draw_vertex_pairs(
     Rejection sampling with one bulk ``rng.integers`` call per round instead
     of two scalar draws per pair: a round draws ``(need, 2)`` candidates and
     keeps the rows with distinct entries, so the expected number of rounds is
-    ``1 / (1 - 1/n)`` — about one for any non-trivial graph.  Returns an
+    ``1 / (1 - 1/n)`` — about one for any non-trivial graph.  After
+    :data:`MAX_REJECTION_ROUNDS` unlucky rounds the remainder falls back to
+    direct enumeration (draw ``s`` uniformly, then ``t`` uniformly from the
+    ``n - 1`` vertices that are not ``s``), which is exactly uniform over
+    distinct ordered pairs and cannot spin — the loop is bounded even for
+    near-degenerate graphs or adversarial generators.  Returns an
     ``(count, 2)`` int64 array.
 
     Note the RNG stream differs from ``count`` scalar
@@ -37,12 +48,21 @@ def draw_vertex_pairs(
         raise ValueError("count must be non-negative")
     out = np.empty((count, 2), dtype=np.int64)
     filled = 0
-    while filled < count:
+    rounds = 0
+    while filled < count and rounds < MAX_REJECTION_ROUNDS:
+        rounds += 1
         need = count - filled
         cand = rng.integers(0, num_vertices, size=(need, 2), dtype=np.int64)
         kept = cand[cand[:, 0] != cand[:, 1]]
         out[filled : filled + kept.shape[0]] = kept
         filled += kept.shape[0]
+    if filled < count:
+        need = count - filled
+        s = rng.integers(0, num_vertices, size=need, dtype=np.int64)
+        t = rng.integers(0, num_vertices - 1, size=need, dtype=np.int64)
+        t += t >= s  # skip the diagonal: t is uniform over the n-1 non-s ids
+        out[filled:, 0] = s
+        out[filled:, 1] = t
     return out
 
 

@@ -195,6 +195,7 @@ class EstimationSession:
         *,
         progress: Optional[ProgressCallback] = None,
         batch_size: object = "auto",
+        kernel: Optional[str] = None,
         _spec=None,
         _resources=None,
     ) -> None:
@@ -206,6 +207,7 @@ class EstimationSession:
         self._options = options if options is not None else KadabraOptions()
         self._progress = progress
         self._batch_size = resolve_batch_size(batch_size)
+        self._kernel = kernel
         self._spec = _spec
         self._resources = _resources
         self._native = _spec is None or getattr(_spec, "supports_refinement", False)
@@ -317,7 +319,10 @@ class EstimationSession:
         if self._sampler is None:
             from repro.core.kadabra import make_sampler
 
-            self._sampler = make_sampler(self._graph, self._options)
+            kernel = self._kernel
+            if kernel is None and self._resources is not None:
+                kernel = getattr(self._resources, "kernel", None)
+            self._sampler = make_sampler(self._graph, self._options, kernel=kernel)
 
     def _target_options(self, eps, delta) -> KadabraOptions:
         """Validate an (eps, delta) target through the options dataclass."""
@@ -342,7 +347,13 @@ class EstimationSession:
 
     def _draw(self, count: int, rng, *, into_calibration: Optional[StateFrame] = None) -> None:
         """Draw ``count`` samples from ``rng`` into the aggregate frame."""
-        for take in plan_batches(count, self._batch_size):
+        from repro.kernels import kernel_batch_cap
+
+        # Batch-native kernels (wavefront) amortise over whole slabs, so the
+        # auto ramp may grow past the default cap; per-pair kernels resolve
+        # to the default cap, leaving the legacy batch plan untouched.
+        cap = kernel_batch_cap(getattr(self._sampler, "kernel_spec", None))
+        for take in plan_batches(count, self._batch_size, cap=cap):
             batch = self._sampler.sample_batch(take, rng)
             self._frame.record_batch(batch)
             if self._sample_log is not None:
@@ -689,6 +700,7 @@ class EstimationSession:
             "graph": self._graph_identity(),
             "options": asdict(self._options),
             "batch_size": self._batch_size,
+            "kernel": self._kernel,
             "achieved": {"eps": self._eps, "delta": self._delta},
             "omega": self._omega,
             "vertex_diameter": self._vd,
@@ -797,6 +809,7 @@ class EstimationSession:
             options,
             progress=progress,
             batch_size=meta.get("batch_size", "auto") if batch_size is None else batch_size,
+            kernel=meta.get("kernel"),
         )
         session._ran = True
         achieved = meta["achieved"]
