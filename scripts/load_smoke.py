@@ -1,0 +1,284 @@
+#!/usr/bin/env python
+"""Load smoke of the durable multi-worker service: no job lost, latency gated.
+
+Drives one coordinator (HTTP, ``dispatch="external"``) plus **two** real
+``repro.service.worker`` processes draining one shared SQLite job store, with
+concurrent mixed-tenant traffic, and gates the properties CI must hold:
+
+1. **Admission control** — a burst tenant submitting past its ``max_queued``
+   quota gets HTTP 429 exactly at the limit; other tenants are unaffected.
+2. **Zero lost or duplicated jobs** — every accepted job reaches ``done``
+   exactly once (unique job ids, ``attempts == 1``, no ``failed`` rows)
+   while two workers race claims on one store.
+3. **Cached-query latency** — once results are cached, repeated queries are
+   all served from cache; their p99 must stay under ``P99_GATE_SECONDS``
+   (generous: CI boxes are small) and p50/p99/QPS are recorded.
+4. **Hot tier** — in-process microbench: a warm TTL+LRU hot-tier lookup must
+   be at least ``HOT_SPEEDUP_GATE``x faster than the same lookup served from
+   the on-disk cache.
+
+Everything runs against scratch directories; the invoking user's real caches
+are untouched.  The measurements land in ``BENCH_service_load.json``
+(schema: ``docs/benchmarks.md``)::
+
+    python scripts/load_smoke.py [output.json]
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+EXAMPLE_GRAPH = REPO_ROOT / "examples" / "data" / "example-social.txt"
+
+#: Jobs per load tenant (unique seeds -> unique jobs) and the burst size.
+JOBS_PER_TENANT = 10
+LOAD_TENANTS = ("team-a", "team-b")
+MAX_QUEUED = 16
+
+#: Latency gate on cached queries over HTTP.  Cache hits are O(ms); the gate
+#: is two orders of magnitude looser so only a service that silently
+#: re-samples (or serializes behind the store) trips it on a loaded CI box.
+P99_GATE_SECONDS = float(os.environ.get("REPRO_LOAD_P99_GATE", "0.75"))
+CACHED_QUERIES = 40
+
+#: The in-memory hot tier must beat the on-disk cache path by this factor.
+HOT_SPEEDUP_GATE = 5.0
+HOT_BENCH_LOOPS = 300
+
+QUERY = {
+    "graph": str(EXAMPLE_GRAPH),
+    "eps": 0.3,
+    "delta": 0.2,
+    "k": 5,
+    "algorithm": "sequential",
+}
+
+
+def spawn_worker(store_path: Path, cache_dir: Path, worker_id: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.service.worker",
+         "--store", str(store_path), "--cache-dir", str(cache_dir),
+         "--worker-id", worker_id, "--poll-seconds", "0.05",
+         "--max-idle-seconds", "15"],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+
+
+def percentile(samples, q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+async def run_load(scratch: Path) -> dict:
+    from repro.service import (
+        BetweennessService,
+        JobStore,
+        ResultCache,
+        ServiceClient,
+        ServiceError,
+        TenantQuota,
+    )
+    from repro.store import GraphCatalog
+
+    store_path = scratch / "jobs.sqlite3"
+    cache_dir = scratch / "results"
+    store = JobStore(store_path, lease_seconds=10.0)
+    service = BetweennessService(
+        port=0,
+        cache=ResultCache(cache_dir),
+        catalog=GraphCatalog(scratch / "graphs"),
+        store=store,
+        dispatch="external",
+        quota=TenantQuota(max_queued=MAX_QUEUED),
+        poll_seconds=0.05,
+    )
+    await service.start()
+    client = ServiceClient(service.host, service.port, timeout=600.0)
+    workers = []
+    report: dict = {"gates": {}}
+    try:
+        # ------------------------------------------------------------- #
+        # 1. Admission control: burst past max_queued -> 429 at the cap.
+        # No workers are running yet, so queued jobs only accumulate and
+        # the rejection point is deterministic.
+        # ------------------------------------------------------------- #
+        accepted_burst = 0
+        saw_429 = False
+        for i in range(MAX_QUEUED + 4):
+            try:
+                await asyncio.to_thread(
+                    client.query, **QUERY, seed=10_000 + i, wait=False,
+                    tenant="bursty",
+                )
+                accepted_burst += 1
+            except ServiceError as exc:
+                assert exc.status == 429, f"expected 429, got {exc.status}: {exc}"
+                saw_429 = True
+                break
+        assert saw_429, "burst tenant was never rejected"
+        assert accepted_burst == MAX_QUEUED, (
+            f"429 fired at {accepted_burst} queued jobs, quota is {MAX_QUEUED}"
+        )
+        # Other tenants are not starved by the burst tenant's full queue.
+        probe = await asyncio.to_thread(
+            client.query, **QUERY, seed=1, wait=False, tenant=LOAD_TENANTS[0]
+        )
+        assert probe.get("job_id"), f"co-tenant rejected alongside burst: {probe}"
+        report["burst_accepted"] = accepted_burst
+        report["gates"]["quota_429_at_cap"] = True
+
+        # ------------------------------------------------------------- #
+        # 2. Mixed-tenant load: unique seeds = unique jobs.
+        # ------------------------------------------------------------- #
+        job_ids = {probe["job_id"]}
+        for tenant_index, tenant in enumerate(LOAD_TENANTS):
+            for i in range(JOBS_PER_TENANT):
+                seed = 100 * (tenant_index + 1) + i
+                try:
+                    response = await asyncio.to_thread(
+                        client.query, **QUERY, seed=seed, wait=False, tenant=tenant
+                    )
+                except ServiceError as exc:
+                    raise AssertionError(
+                        f"load tenant {tenant} rejected at seed {seed}: {exc}"
+                    ) from exc
+                if response.get("job_id"):
+                    job_ids.add(response["job_id"])
+        total_jobs = accepted_burst + len(job_ids)
+        assert len(job_ids) == len(LOAD_TENANTS) * JOBS_PER_TENANT + 1, (
+            f"expected unique jobs per unique seed, got {len(job_ids)}"
+        )
+
+        # ------------------------------------------------------------- #
+        # 3. Two workers drain one store concurrently.
+        # ------------------------------------------------------------- #
+        drain_started = time.perf_counter()
+        workers = [
+            spawn_worker(store_path, cache_dir, f"load-w{i}") for i in (1, 2)
+        ]
+        deadline = time.monotonic() + 300.0
+        while time.monotonic() < deadline:
+            counts = store.counts()
+            if counts["queued"] == 0 and counts["running"] == 0:
+                break
+            await asyncio.sleep(0.1)
+        drain_seconds = time.perf_counter() - drain_started
+        counts = store.counts()
+        assert counts["failed"] == 0 and counts["cancelled"] == 0, counts
+        assert counts["done"] == total_jobs, (
+            f"lost jobs: {counts['done']} done of {total_jobs} accepted ({counts})"
+        )
+        # Exactly-once execution: every row claimed exactly one time.
+        rows = store.list(states=("done",))
+        multi = [r.job_id for r in rows if r.attempts != 1]
+        assert not multi, f"jobs executed more than once: {multi}"
+        assert len({r.job_id for r in rows}) == total_jobs
+        report["jobs_total"] = total_jobs
+        report["drain_seconds"] = round(drain_seconds, 3)
+        report["drain_jobs_per_second"] = round(total_jobs / drain_seconds, 2)
+        report["gates"]["zero_lost_jobs"] = True
+        report["gates"]["zero_duplicated_jobs"] = True
+
+        # ------------------------------------------------------------- #
+        # 4. Cached-query latency under the gate.
+        # ------------------------------------------------------------- #
+        latencies = []
+        for _ in range(CACHED_QUERIES):
+            start = time.perf_counter()
+            response = await asyncio.to_thread(
+                client.query, **QUERY, seed=100, tenant="team-a"
+            )
+            latencies.append(time.perf_counter() - start)
+            assert response["served_from_cache"] is True, response
+        p50 = percentile(latencies, 0.50)
+        p99 = percentile(latencies, 0.99)
+        report["cached_queries"] = CACHED_QUERIES
+        report["cached_p50_seconds"] = round(p50, 5)
+        report["cached_p99_seconds"] = round(p99, 5)
+        report["cached_mean_seconds"] = round(statistics.mean(latencies), 5)
+        report["cached_qps"] = round(CACHED_QUERIES / sum(latencies), 1)
+        report["p99_gate_seconds"] = P99_GATE_SECONDS
+        report["gates"]["cached_p99_under_gate"] = p99 < P99_GATE_SECONDS
+
+        stats = await asyncio.to_thread(client.stats)
+        report["hot_cache_service"] = stats["hot_cache"]
+        report["quota_rejected"] = stats["quota_rejected"]
+
+        # ------------------------------------------------------------- #
+        # 5. Hot tier vs. disk, in process (no HTTP noise).
+        # ------------------------------------------------------------- #
+        catalog = GraphCatalog(scratch / "graphs")
+        checksum = catalog.checksum(catalog.resolve(QUERY["graph"]))
+        probe_kwargs = dict(
+            family="adaptive-sampling", eps=QUERY["eps"], delta=QUERY["delta"]
+        )
+        hot_cache = ResultCache(cache_dir)  # default hot tier
+        cold_cache = ResultCache(cache_dir, hot_entries=0)  # disk every time
+        assert hot_cache.find(checksum, **probe_kwargs) is not None  # warm it
+        start = time.perf_counter()
+        for _ in range(HOT_BENCH_LOOPS):
+            assert hot_cache.find(checksum, **probe_kwargs) is not None
+        hot_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(HOT_BENCH_LOOPS):
+            assert cold_cache.find(checksum, **probe_kwargs) is not None
+        disk_seconds = time.perf_counter() - start
+        speedup = disk_seconds / max(hot_seconds, 1e-9)
+        report["hot_lookup_seconds"] = round(hot_seconds / HOT_BENCH_LOOPS, 7)
+        report["disk_lookup_seconds"] = round(disk_seconds / HOT_BENCH_LOOPS, 7)
+        report["hot_speedup"] = round(speedup, 1)
+        report["hot_speedup_gate"] = HOT_SPEEDUP_GATE
+        report["gates"]["hot_tier_speedup"] = speedup >= HOT_SPEEDUP_GATE
+    finally:
+        for proc in workers:
+            if proc.poll() is None:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=20.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+        await service.stop()
+    return report
+
+
+def main(argv: list) -> int:
+    output = Path(argv[1]) if len(argv) > 1 else Path("BENCH_service_load.json")
+    with tempfile.TemporaryDirectory(prefix="repro-load-smoke-") as scratch_dir:
+        scratch = Path(scratch_dir)
+        os.environ["REPRO_GRAPH_CACHE"] = str(scratch / "graphs")
+        os.environ["REPRO_RESULT_CACHE"] = str(scratch / "results")
+        report = asyncio.run(run_load(scratch))
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    failed = [name for name, ok in report["gates"].items() if not ok]
+    if failed:
+        print(f"FAIL: gates not met: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {report['jobs_total']} jobs drained by 2 workers in "
+        f"{report['drain_seconds']}s with zero lost/duplicated; cached p99 "
+        f"{report['cached_p99_seconds']}s (gate {P99_GATE_SECONDS}s); hot tier "
+        f"{report['hot_speedup']}x over disk (gate {HOT_SPEEDUP_GATE}x); "
+        f"429 at the {report['burst_accepted']}-job quota cap"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -8,6 +8,9 @@ Usage::
     python -m repro.cli convert INPUT [OUTPUT] [--format auto|edgelist|metis]
     python -m repro.cli info GRAPH_OR_NAME [--json]
     python -m repro.cli serve [--host H] [--port P] [--workers N]
+        [--store JOBS.sqlite3] [--dispatch pool|external]
+        [--max-inflight N] [--max-queued N]
+    python -m repro.cli worker --store JOBS.sqlite3 [--max-jobs N] [...]
     python -m repro.cli query GRAPH [--eps 0.01] [--delta 0.1] [--port P]
     python -m repro.cli cache ls|evict [...]
     python -m repro.cli session run GRAPH --checkpoint S [--eps E] [...]
@@ -29,8 +32,10 @@ paper's evaluation (skipped without a copy when the catalog metadata already
 proves the graph connected).
 
 ``serve`` starts the cached query service of :mod:`repro.service` (see
-``docs/serving.md``), ``query`` talks to a running one, and ``cache``
-inspects/evicts its on-disk result cache.
+``docs/serving.md``), ``worker`` starts a store-draining estimation worker
+(N of them against one ``--store`` scale the service horizontally), ``query``
+talks to a running service, and ``cache`` inspects/evicts its on-disk result
+cache.
 
 ``session`` exposes the resumable-session layer (see ``docs/sessions.md``):
 ``session run`` estimates and writes a checkpoint, ``session refine``
@@ -74,7 +79,9 @@ __all__ = [
     "build_obs_parser",
 ]
 
-SUBCOMMANDS = ("convert", "info", "serve", "query", "cache", "session", "evolve", "obs")
+SUBCOMMANDS = (
+    "convert", "info", "serve", "worker", "query", "cache", "session", "evolve", "obs",
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -240,6 +247,31 @@ def build_serve_parser() -> argparse.ArgumentParser:
         default=None,
         help="result-cache directory (default: $REPRO_RESULT_CACHE or "
         "'results' next to the graph cache)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="durable job-store SQLite file (default: jobs.sqlite3 in the "
+        "result-cache directory); share it between coordinators and workers",
+    )
+    parser.add_argument(
+        "--dispatch",
+        choices=("pool", "external"),
+        default="pool",
+        help="run estimations in this process's worker pool (default) or only "
+        "enqueue them for separate 'repro-betweenness worker' processes",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="per-tenant cap on live (queued+running) jobs; over it -> HTTP 429",
+    )
+    parser.add_argument(
+        "--max-queued",
+        type=int,
+        default=None,
+        help="per-tenant cap on queued jobs; over it -> HTTP 429",
     )
     return parser
 
@@ -601,7 +633,7 @@ def _cmd_info(argv: list) -> int:
 
 
 def _cmd_serve(argv: list) -> int:
-    from repro.service import run_server
+    from repro.service import TenantQuota, run_server
 
     args = build_serve_parser().parse_args(argv)
     if args.workers <= 0:
@@ -609,6 +641,7 @@ def _cmd_serve(argv: list) -> int:
         return 2
     try:
         resources = Resources(threads=args.threads)
+        quota = TenantQuota(max_inflight=args.max_inflight, max_queued=args.max_queued)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -616,11 +649,22 @@ def _cmd_serve(argv: list) -> int:
         host=args.host,
         port=args.port,
         cache_dir=args.cache_dir,
+        store=args.store,
+        dispatch=args.dispatch,
+        quota=quota,
         worker_mode=args.worker_mode,
         max_workers=args.workers,
         resources=resources,
     )
     return 0
+
+
+def _cmd_worker(argv: list) -> int:
+    # 'repro-betweenness worker' is the same program as
+    # 'python -m repro.service.worker'; see that module for the pull loop.
+    from repro.service.worker import main as worker_main
+
+    return worker_main(argv)
 
 
 def _print_query_result(payload: dict, top: int) -> None:
@@ -998,6 +1042,7 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
             "convert": _cmd_convert,
             "info": _cmd_info,
             "serve": _cmd_serve,
+            "worker": _cmd_worker,
             "query": _cmd_query,
             "cache": _cmd_cache,
             "session": _cmd_session,

@@ -15,8 +15,15 @@ sampling.  The pieces:
   checkpoint via lineage (:mod:`repro.evolve`);
 * :mod:`repro.service.cache` — the persistent on-disk
   :class:`ResultCache` next to the graph cache;
-* :mod:`repro.service.jobs` — the asyncio :class:`JobManager`: in-flight
-  deduplication, process/thread worker pools, progress streaming;
+* :mod:`repro.service.store` — the durable SQLite-backed :class:`JobStore`
+  (lease-based claiming, heartbeat expiry, crash requeue) and the
+  per-tenant admission errors (:class:`QuotaExceeded`);
+* :mod:`repro.service.jobs` — the asyncio :class:`JobManager` coordinator:
+  in-flight deduplication, tenant quotas (:class:`TenantQuota`),
+  process/thread worker pools or external dispatch, progress streaming;
+* :mod:`repro.service.worker` — :class:`StoreWorker`, the pull-loop worker
+  process (``python -m repro.service.worker``) that lets N processes drain
+  one store;
 * :mod:`repro.service.server` — :class:`BetweennessService`, the minimal
   JSON-over-HTTP front end (``repro-betweenness serve``);
 * :mod:`repro.service.client` — :class:`ServiceClient`, the blocking
@@ -37,21 +44,31 @@ from repro.service.dominance import (
     dominates,
     select_dominating,
 )
-from repro.service.jobs import Job, JobManager, SubmitOutcome
-from repro.service.schema import QueryRequest, SchemaError, result_payload
+from repro.service.cache import HotTier
+from repro.service.jobs import Job, JobManager, SubmitOutcome, TenantQuota
+from repro.service.schema import DEFAULT_TENANT, QueryRequest, SchemaError, result_payload
 from repro.service.server import BetweennessService, run_server
+from repro.service.store import JobRecord, JobStore, QuotaExceeded
+from repro.service.worker import StoreWorker
 
 __all__ = [
     "BetweennessService",
     "CacheEntry",
+    "DEFAULT_TENANT",
+    "HotTier",
     "Job",
     "JobManager",
+    "JobRecord",
+    "JobStore",
     "QueryRequest",
+    "QuotaExceeded",
     "ResultCache",
     "SchemaError",
     "ServiceClient",
     "ServiceError",
+    "StoreWorker",
     "SubmitOutcome",
+    "TenantQuota",
     "HIT",
     "MISS",
     "REFINABLE",

@@ -33,7 +33,10 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -50,11 +53,121 @@ from repro.service.schema import QueryRequest
 from repro.store.catalog import default_result_cache_dir
 from repro.store.format import atomic_replace
 
-__all__ = ["CacheEntry", "ResultCache"]
+__all__ = ["CacheEntry", "HotTier", "ResultCache"]
 
 PathLike = Union[str, Path]
 
 _CACHE_VERSION = 1
+
+#: Hot-tier defaults, overridable per instance or via the environment
+#: (``$REPRO_HOT_CACHE_ENTRIES`` / ``$REPRO_HOT_CACHE_TTL``; 0 entries
+#: disables the tier).
+DEFAULT_HOT_ENTRIES = 256
+DEFAULT_HOT_TTL_SECONDS = 60.0
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+class HotTier:
+    """In-memory TTL + LRU tier in front of the on-disk result cache.
+
+    A disk cache hit is O(ms): scan the checksum directory, parse meta JSON,
+    parse the winning result payload back into arrays.  Under serving load
+    the same handful of (graph, accuracy) requests repeat, so the winning
+    ``(entry, result)`` pair is kept in memory keyed by the *request* tuple
+    ``(checksum, family, eps, delta)`` — a hot hit is a dict lookup, which
+    ``scripts/load_smoke.py`` gates at >= 5x faster than the disk scan.
+
+    * **LRU** bounds memory: at most ``max_entries`` results are pinned
+      (an ``OrderedDict``, least-recently-used evicted first).
+    * **TTL** bounds cross-process staleness: another process evicting a
+      disk entry cannot invalidate this process's memory, so hot entries
+      expire after ``ttl_seconds`` and fall back to the disk scan.  Local
+      writes/evictions invalidate eagerly.
+    * Only *positive* lookups are cached — caching misses would hide results
+      other processes (workers!) write, for a full TTL.
+
+    Thread-safe; shared results are returned by reference and must be
+    treated as read-only (every consumer in the service tier does).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_HOT_ENTRIES,
+        ttl_seconds: float = DEFAULT_HOT_TTL_SECONDS,
+        *,
+        clock=time.monotonic,
+    ) -> None:
+        self.max_entries = int(max_entries)
+        self.ttl_seconds = float(ttl_seconds)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_entries > 0 and self.ttl_seconds > 0
+
+    def get(self, key: tuple):
+        """The cached value, or ``None`` (expired entries are dropped)."""
+        if not self.enabled:
+            return None
+        now = self._clock()
+        with self._lock:
+            item = self._entries.get(key)
+            if item is not None and now - item[0] <= self.ttl_seconds:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return item[1]
+            if item is not None:
+                del self._entries[key]
+                self.evictions += 1
+            self.misses += 1
+            return None
+
+    def put(self, key: tuple, value) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._entries[key] = (self._clock(), value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self, checksum: Optional[str] = None) -> None:
+        """Drop entries of one graph checksum (key[0]), or everything."""
+        with self._lock:
+            if checksum is None:
+                self.evictions += len(self._entries)
+                self._entries.clear()
+                return
+            stale = [key for key in self._entries if key[0] == checksum]
+            for key in stale:
+                del self._entries[key]
+            self.evictions += len(stale)
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "ttl_seconds": self.ttl_seconds,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
 
 @dataclass(frozen=True)
@@ -101,14 +214,29 @@ class ResultCache:
     :class:`~repro.store.GraphCatalog` treats the graph cache.
     """
 
-    def __init__(self, cache_dir: Optional[PathLike] = None) -> None:
+    def __init__(
+        self,
+        cache_dir: Optional[PathLike] = None,
+        *,
+        hot_entries: Optional[int] = None,
+        hot_ttl_seconds: Optional[float] = None,
+    ) -> None:
         self._cache_dir = (
             Path(cache_dir) if cache_dir is not None else default_result_cache_dir()
         )
+        if hot_entries is None:
+            hot_entries = int(_env_float("REPRO_HOT_CACHE_ENTRIES", DEFAULT_HOT_ENTRIES))
+        if hot_ttl_seconds is None:
+            hot_ttl_seconds = _env_float("REPRO_HOT_CACHE_TTL", DEFAULT_HOT_TTL_SECONDS)
+        self.hot = HotTier(hot_entries, hot_ttl_seconds)
 
     @property
     def cache_dir(self) -> Path:
         return self._cache_dir
+
+    def hot_stats(self) -> Dict[str, object]:
+        """Hit/miss/occupancy counters of the in-memory hot tier."""
+        return self.hot.stats()
 
     # ------------------------------------------------------------------ #
     # Writing
@@ -172,6 +300,10 @@ class ResultCache:
             tmp.write_text(result.to_json())
         with atomic_replace(self._meta_path(entry_dir, entry.key)) as tmp:
             tmp.write_text(json.dumps(entry.as_dict(), indent=2, sort_keys=True))
+        # A new entry may change which on-disk entry *wins* for requests on
+        # this graph (select_dominating prefers the loosest sufficient one),
+        # so the hot tier's memory of those verdicts is dropped.
+        self.hot.invalidate(checksum)
         return entry
 
     # ------------------------------------------------------------------ #
@@ -222,7 +354,11 @@ class ResultCache:
         for entry_dir in dirs:
             if not entry_dir.is_dir():
                 continue
-            for meta_path in sorted(entry_dir.glob("*.meta.json")):
+            try:
+                meta_paths = sorted(entry_dir.glob("*.meta.json"))
+            except OSError:
+                continue  # directory evicted between the listing and the scan
+            for meta_path in meta_paths:
                 entry = self._read_entry(meta_path)
                 if entry is not None:
                     out.append(entry)
@@ -240,9 +376,15 @@ class ResultCache:
     ) -> Optional[Tuple[CacheEntry, BetweennessResult]]:
         """The best cached result dominating ``(family, eps, delta)``, or None.
 
-        An entry whose payload turns out unreadable (corruption, concurrent
-        eviction) is skipped and the next-best dominating entry is tried.
+        Consults the in-memory :class:`HotTier` first (keyed by the request
+        tuple); a hot hit skips the disk scan entirely.  An entry whose
+        payload turns out unreadable (corruption, concurrent eviction) is
+        skipped and the next-best dominating entry is tried.
         """
+        hot_key = (checksum, family, float(eps), float(delta))
+        hot = self.hot.get(hot_key)
+        if hot is not None:
+            return hot
         candidates = self.entries(checksum)
         while candidates:
             rows = [(e.family, e.eps, e.delta) for e in candidates]
@@ -251,9 +393,11 @@ class ResultCache:
                 return None
             entry = candidates.pop(index)
             try:
-                return entry, self.load(entry)
+                found = entry, self.load(entry)
             except (OSError, ValueError, KeyError):
                 continue
+            self.hot.put(hot_key, found)
+            return found
         return None
 
     def find_refinable(
@@ -355,7 +499,10 @@ class ResultCache:
 
         ``checksum`` limits eviction to one graph; ``key`` (with or without a
         checksum) to one entry.  With neither, the whole cache is cleared.
+        Evicting also drops the affected hot-tier entries of *this* process;
+        other processes' hot tiers age out within their TTL.
         """
+        self.hot.invalidate(checksum)
         removed = 0
         for entry in self.entries(checksum):
             if key is not None and entry.key != key:

@@ -1,4 +1,4 @@
-"""Asyncio job queue: dedup, worker pools and cached execution of queries.
+"""Job coordination: dedup, quotas and cached execution over a durable store.
 
 The :class:`JobManager` is the service's brain; the HTTP layer on top of it
 is a thin translation.  One query flows through it as:
@@ -11,39 +11,45 @@ is a thin translation.  One query flows through it as:
 2. **Cache probe** — the :class:`~repro.service.cache.ResultCache` is scanned
    for an entry that *dominates* the request (same graph checksum, same
    algorithm family, eps'/delta' at least as tight; exact entries dominate
-   everything).  A hit answers in O(ms) with zero sampling.  A near-miss
-   (same adaptive family and seed, tighter-than-cached eps/delta) whose entry
-   carries a session checkpoint becomes a *refine* job instead of a cold one:
-   the worker restores the checkpoint and draws only the additional samples
-   (``resume_from`` in :func:`repro.api.estimate_betweenness`).  When even
-   that misses but the catalog's lineage records the requested graph as a
-   *mutation* of a cached parent (see
-   :meth:`~repro.store.GraphCatalog.apply_delta`), an update-refinable parent
-   checkpoint turns the job into an *update* instead: the worker restores the
-   parent session, invalidates only the samples the edge delta touched, and
-   re-certifies on the mutated graph (``update_from`` / ``graph_delta`` in
-   the facade, :mod:`repro.evolve` underneath).
+   everything).  Repeated probes short-circuit in the cache's in-memory
+   TTL+LRU hot tier; either way a hit answers with zero sampling.  A
+   near-miss (same adaptive family and seed, tighter-than-cached eps/delta)
+   whose entry carries a session checkpoint becomes a *refine* job instead of
+   a cold one, and a graph recorded as a *mutation* of a cached parent
+   becomes an *update* job (:mod:`repro.evolve`), exactly as before.
 3. **Dedup** — an identical request (same
    :meth:`~repro.service.schema.QueryRequest.job_key`) already in flight is
-   joined, not re-run: both clients await the same job.
-4. **Execute** — the job runs :func:`repro.api.estimate_betweenness` in a
-   worker pool: a ``ProcessPoolExecutor`` by default (sampling is CPU-bound
-   Python+numpy; separate processes sidestep the GIL), or a thread pool
-   (``worker_mode="thread"``) where in-process callbacks and monkeypatching
-   matter more than parallelism — tests, notably.  Progress events from the
-   worker stream into the job's event buffer, which polling clients read as
-   job status.
-5. **Store** — the finished result is written back to the cache — together
-   with the worker's final session checkpoint when the backend supports
-   refinement — so the next dominated request anywhere (any process sharing
-   the cache dir) is a hit, and the next *tighter* request is a refine.
+   joined, not re-run — whether it is in flight in *this* process or, via the
+   store's live-key index, in any other coordinator sharing the store.
+4. **Admit** — per-tenant quotas (:class:`TenantQuota`): a tenant over its
+   max in-flight or max queued jobs is rejected with
+   :class:`~repro.service.store.QuotaExceeded` (HTTP 429) *before* the job
+   exists, so one hot tenant cannot starve the queue for everyone.
+5. **Enqueue** — the job becomes a row in the SQLite-backed
+   :class:`~repro.service.store.JobStore`.  From here on it survives this
+   process: a crashed coordinator's jobs are re-run on restart
+   (:meth:`JobManager.resume_pending`) or picked up by external workers.
+6. **Execute** — with ``dispatch="pool"`` (default) the manager claims its
+   own row and runs the estimation in a worker pool as before (process pool
+   by default; thread pool for tests), heartbeating the lease while the
+   estimation runs.  With ``dispatch="external"`` the manager only watches
+   the row: N separate worker processes
+   (``python -m repro.service.worker``) drain the store, and the manager
+   resolves the waiting future when the row turns ``done``.
+7. **Store** — the finished result is written to the result cache (by the
+   pool worker here, or by the external worker there) together with the
+   session checkpoint when the backend supports refinement, and the full
+   result JSON lands in the job row — the durable copy that answers polls
+   after every process restarts.
 """
 
 from __future__ import annotations
 
 import asyncio
 import functools
-import itertools
+import os
+import socket
+import sqlite3
 import threading
 import time
 from collections import deque
@@ -57,17 +63,29 @@ from repro.obs.metrics import MetricsRegistry
 from repro.service.cache import CacheEntry, ResultCache
 from repro.service.dominance import algorithm_family
 from repro.service.schema import QueryRequest
+from repro.service.store import JobStore, QuotaExceeded
 from repro.store import GraphCatalog
 
-__all__ = ["Job", "JobManager", "SubmitOutcome"]
+__all__ = ["Job", "JobManager", "SubmitOutcome", "TenantQuota"]
 
-#: Progress events kept per job (ring buffer; clients poll the tail).
+#: Default progress events kept per job (ring buffer; clients poll the tail).
 MAX_EVENTS = 64
 
-#: Finished jobs kept for status polling before being pruned.
+#: Default finished jobs kept in memory for status polling before pruning.
 MAX_FINISHED_JOBS = 256
 
+#: Default finished rows kept in the durable store.
+STORE_RETENTION = 1000
+
 WORKER_MODES = ("process", "thread")
+DISPATCH_MODES = ("pool", "external")
+
+#: Lease given to pool-claimed jobs.  The pool heartbeats every
+#: ``lease/3`` while the estimation runs, so the lease only expires when the
+#: coordinator actually died — at which point a restart's
+#: :meth:`JobManager.resume_pending` (or any external worker's
+#: ``requeue_expired``) recovers the job.
+POOL_LEASE_SECONDS = 15.0
 
 #: The service counters, in the order ``stats()`` reports them.  Each becomes
 #: a ``repro_service_<key>_total`` counter on the manager's registry; the
@@ -80,10 +98,39 @@ _COUNTER_KEYS = (
     ("cache_refines", "Jobs that refined a cached session checkpoint"),
     ("cache_updates", "Jobs that incrementally updated a cached parent session"),
     ("deduplicated", "Queries joined onto an identical in-flight job"),
+    ("quota_rejected", "Queries rejected by per-tenant admission control"),
     ("completed", "Jobs finished successfully"),
     ("failed", "Jobs finished with an error"),
     ("cache_write_failures", "Results computed but not persisted to the cache"),
 )
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission limits (``None`` = unlimited).
+
+    ``max_inflight`` caps a tenant's total live jobs (queued + running);
+    ``max_queued`` caps the queued backlog alone — a tighter knob that lets a
+    tenant keep workers busy but not hoard the queue.  Limits are counted
+    against the durable store, so they hold across every coordinator sharing
+    it.  Cache hits and dedup joins are free: quotas meter *work*.
+    """
+
+    max_inflight: Optional[int] = None
+    max_queued: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("max_inflight", "max_queued"):
+            value = getattr(self, name)
+            if value is not None and (not isinstance(value, int) or value <= 0):
+                raise ValueError(f"{name} must be a positive integer or None")
+
+    @property
+    def unlimited(self) -> bool:
+        return self.max_inflight is None and self.max_queued is None
+
+    def as_dict(self) -> Dict[str, Optional[int]]:
+        return {"max_inflight": self.max_inflight, "max_queued": self.max_queued}
 
 
 def _estimate_kwargs(request: QueryRequest, resources) -> Dict[str, object]:
@@ -143,7 +190,12 @@ def _process_run(
 
 @dataclass
 class Job:
-    """One enqueued/running/finished estimation."""
+    """One enqueued/running/finished estimation (the in-memory view).
+
+    Every job is also a row in the durable :class:`JobStore`
+    (:attr:`store_id`); this object adds what only this process has — the
+    awaitable future, the progress-event ring, waiter counts.
+    """
 
     id: str
     key: str
@@ -152,6 +204,10 @@ class Job:
     graph_path: str
     future: "asyncio.Future[BetweennessResult]" = field(repr=False)
     status: str = "queued"  # queued | running | done | error
+    #: Row id in the durable store (``id`` is ``job-<store_id>``).
+    store_id: Optional[int] = None
+    #: How many times the store has handed this job to a worker.
+    attempts: int = 0
     #: Cache-entry key of the session checkpoint this job resumes from
     #: (``None`` for cold runs) and the snapshot path handed to the worker.
     refined_from: Optional[str] = None
@@ -186,8 +242,10 @@ class Job:
             "job_id": self.id,
             "status": self.status,
             "request": self.request.as_dict(),
+            "tenant": self.request.tenant,
             "graph_checksum": self.checksum,
             "num_waiters": self.num_waiters,
+            "attempts": self.attempts,
             "created_at": self.created_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -214,7 +272,7 @@ class SubmitOutcome:
 
 
 class JobManager:
-    """Owns the cache, the dedup table and the worker pool (see module docs).
+    """Owns the cache, the durable store and the worker pool (see module docs).
 
     Parameters
     ----------
@@ -222,13 +280,31 @@ class JobManager:
         Shared :class:`ResultCache` / :class:`~repro.store.GraphCatalog`;
         fresh defaults (honouring ``$REPRO_RESULT_CACHE`` /
         ``$REPRO_GRAPH_CACHE``) when omitted.
+    store:
+        The durable :class:`JobStore` (or a path to its SQLite file).
+        Defaults to ``jobs.sqlite3`` inside the result-cache directory, so
+        every coordinator and worker sharing the cache shares the queue.
+    dispatch:
+        ``"pool"`` (default): this manager claims and executes its own jobs
+        in its worker pool.  ``"external"``: jobs are only enqueued; separate
+        ``python -m repro.service.worker`` processes drain the store and the
+        manager watches the rows.
     resources:
         :class:`~repro.api.Resources` handed to every estimation.
     worker_mode:
         ``"process"`` (default; one estimation per pool process) or
-        ``"thread"``.
+        ``"thread"``.  Pool dispatch only.
     max_workers:
-        Concurrent estimations.
+        Concurrent estimations in pool dispatch.
+    quota:
+        Per-tenant :class:`TenantQuota` admission limits (default: none).
+    lease_seconds:
+        Claim lifetime for pool-dispatched jobs (heartbeated while running).
+    poll_seconds:
+        Store poll interval for watched (external/foreign) jobs.
+    max_finished_jobs, max_events_per_job, store_retention:
+        Retention clamps: finished jobs kept in memory, progress events kept
+        per job, finished rows kept in the store.
     estimator:
         Thread-mode only: replaces :func:`repro.api.estimate_betweenness`
         (must accept the same keyword arguments).  This is the seam tests use
@@ -240,22 +316,65 @@ class JobManager:
         *,
         cache: Optional[ResultCache] = None,
         catalog: Optional[GraphCatalog] = None,
+        store=None,
+        dispatch: str = "pool",
         resources=None,
         worker_mode: str = "process",
         max_workers: int = 1,
+        quota: Optional[TenantQuota] = None,
+        lease_seconds: float = POOL_LEASE_SECONDS,
+        poll_seconds: float = 0.25,
+        max_finished_jobs: int = MAX_FINISHED_JOBS,
+        max_events_per_job: int = MAX_EVENTS,
+        store_retention: int = STORE_RETENTION,
         estimator: Optional[Callable[..., BetweennessResult]] = None,
     ) -> None:
         if worker_mode not in WORKER_MODES:
             raise ValueError(f"worker_mode must be one of {WORKER_MODES}, got {worker_mode!r}")
+        if dispatch not in DISPATCH_MODES:
+            raise ValueError(f"dispatch must be one of {DISPATCH_MODES}, got {dispatch!r}")
         if max_workers <= 0:
             raise ValueError("max_workers must be positive")
         if estimator is not None and worker_mode == "process":
             raise ValueError("a custom estimator requires worker_mode='thread'")
+        if estimator is not None and dispatch == "external":
+            raise ValueError("a custom estimator requires dispatch='pool'")
+        if max_finished_jobs < 0:
+            raise ValueError("max_finished_jobs must be >= 0")
+        if max_events_per_job <= 0:
+            raise ValueError("max_events_per_job must be positive")
         self.cache = cache if cache is not None else ResultCache()
         self.catalog = catalog if catalog is not None else GraphCatalog()
+        if isinstance(store, JobStore):
+            self.store = store
+        elif store is not None:
+            self.store = JobStore(Path(store), lease_seconds=lease_seconds)
+        else:
+            try:
+                self.store = JobStore(
+                    self.cache.cache_dir / "jobs.sqlite3", lease_seconds=lease_seconds
+                )
+            except (OSError, sqlite3.Error):
+                # The cache directory is unusable (same failure the cache
+                # write path tolerates).  Durability degrades to a private
+                # ephemeral store rather than refusing to serve — an
+                # explicitly configured ``store`` still fails loudly above.
+                import tempfile
+
+                self.store = JobStore(
+                    Path(tempfile.mkdtemp(prefix="repro-jobs-")) / "jobs.sqlite3",
+                    lease_seconds=lease_seconds,
+                )
+        self._dispatch = dispatch
         self._resources = resources
         self._worker_mode = worker_mode
         self._max_workers = max_workers
+        self._quota = quota if quota is not None else TenantQuota()
+        self._lease_seconds = float(lease_seconds)
+        self._poll_seconds = float(poll_seconds)
+        self._max_finished_jobs = int(max_finished_jobs)
+        self._max_events_per_job = int(max_events_per_job)
+        self._store_retention = int(store_retention)
         self._estimator = estimator
         self._executor = None
         self._manager = None
@@ -264,7 +383,10 @@ class JobManager:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._jobs: Dict[str, Job] = {}
         self._inflight: Dict[str, Job] = {}
-        self._ids = itertools.count(1)
+        #: Lease identity of this coordinator's pool claims; encodes host and
+        #: pid so :meth:`resume_pending` can recognise (and reclaim) rows a
+        #: dead local coordinator left behind.
+        self.worker_id = f"pool:{socket.gethostname()}:{os.getpid()}"
         #: Per-manager metrics registry: the counters below plus the job
         #: latency histogram and in-flight gauge.  The server renders it next
         #: to the process-global :data:`repro.obs.metrics.REGISTRY` on
@@ -293,6 +415,27 @@ class JobManager:
             "repro_service_samples_per_second",
             "Sampling throughput of the most recently finished job",
         )
+        self._store_jobs_gauge = self.metrics.gauge(
+            "repro_store_jobs",
+            "Jobs in the durable store by state",
+            labelnames=("state",),
+        )
+        self._tenant_live_gauge = self.metrics.gauge(
+            "repro_store_tenant_live_jobs",
+            "Live (queued+running) store jobs by tenant",
+            labelnames=("tenant",),
+        )
+        self._hot_counters = {
+            key: self.metrics.counter(
+                f"repro_cache_hot_{key}_total", f"Hot-tier result cache {key}"
+            )
+            for key in ("hits", "misses", "evictions")
+        }
+        self._hot_entries_gauge = self.metrics.gauge(
+            "repro_cache_hot_entries", "Results currently held in the hot tier"
+        )
+        self._hot_seen = {key: 0 for key in self._hot_counters}
+        self._tenants_seen: set = set()
 
     # ------------------------------------------------------------------ #
     # Metrics
@@ -318,6 +461,27 @@ class JobManager:
             if seconds > 0:
                 self._samples_per_second.set(num_samples / seconds)
 
+    def refresh_metrics(self) -> None:
+        """Bring the store/hot-tier gauges up to date (cheap; called before
+        every ``/metrics`` render and ``stats()``)."""
+        for state, count in self.store.counts().items():
+            self._store_jobs_gauge.labels(state=state).set(count)
+        live = self.store.tenant_counts()
+        # Tenants that went idle drop out of tenant_counts(); without the
+        # explicit zero their gauge would hold its last nonzero value forever.
+        for tenant in self._tenants_seen.difference(live):
+            self._tenant_live_gauge.labels(tenant=tenant).set(0)
+        for tenant, states in live.items():
+            self._tenant_live_gauge.labels(tenant=tenant).set(sum(states.values()))
+        self._tenants_seen.update(live)
+        hot = self.cache.hot_stats()
+        for key, counter in self._hot_counters.items():
+            delta = int(hot[key]) - self._hot_seen[key]
+            if delta > 0:
+                counter.inc(delta)
+                self._hot_seen[key] += delta
+        self._hot_entries_gauge.set(int(hot["entries"]))
+
     # ------------------------------------------------------------------ #
     # Submission
     # ------------------------------------------------------------------ #
@@ -325,6 +489,39 @@ class JobManager:
         """Blocking: graph spec -> (.rcsr path, content checksum)."""
         path = self.catalog.resolve(spec)
         return str(path), self.catalog.checksum(path)
+
+    def _admit(self, tenant: str) -> None:
+        """Per-tenant admission control; raises :class:`QuotaExceeded`.
+
+        Counted against the durable store, so the limits hold across every
+        coordinator sharing it.  Runs synchronously on the event loop — the
+        check must share one loop step with the dedup probe and the enqueue
+        (SQLite on local disk is microseconds; an ``await`` here would let
+        two concurrent submits both pass the limit).
+        """
+        if self._quota.unlimited:
+            return
+        queued = self.store.live_count(tenant, "queued")
+        if self._quota.max_queued is not None and queued >= self._quota.max_queued:
+            self._count("quota_rejected")
+            raise QuotaExceeded(
+                f"tenant {tenant!r} has {queued} queued jobs"
+                f" (max_queued={self._quota.max_queued}); retry later",
+                tenant=tenant,
+                limit=self._quota.max_queued,
+                current=queued,
+            )
+        if self._quota.max_inflight is not None:
+            live = queued + self.store.live_count(tenant, "running")
+            if live >= self._quota.max_inflight:
+                self._count("quota_rejected")
+                raise QuotaExceeded(
+                    f"tenant {tenant!r} has {live} jobs in flight"
+                    f" (max_inflight={self._quota.max_inflight}); retry later",
+                    tenant=tenant,
+                    limit=self._quota.max_inflight,
+                    current=live,
+                )
 
     async def submit(self, request: QueryRequest) -> SubmitOutcome:
         """Decide how a request is served: cache, an existing job, or a new one."""
@@ -359,9 +556,9 @@ class JobManager:
         # Near-miss: a cached adaptive run with the same seed, too loose for
         # the request, but carrying a session checkpoint — refine it instead
         # of recomputing from zero.  Probed *before* the in-flight check: the
-        # dedup decision and the job insertion below must share one event-loop
-        # step (no awaits between them), or two identical concurrent requests
-        # both pass the check and sample twice.
+        # dedup decision, the quota check and the store insertion below must
+        # share one event-loop step (no awaits between them), or two
+        # identical concurrent requests both pass the check and sample twice.
         refinable = None
         if family == "adaptive-sampling":
             refinable = await loop.run_in_executor(
@@ -398,36 +595,66 @@ class JobManager:
             self._count("deduplicated")
             return SubmitOutcome(checksum=checksum, deduplicated=True, job=existing)
 
+        # New work for this process: admission control, then the atomic
+        # enqueue.  Both are synchronous (see _admit) — no awaits until the
+        # job is registered in _inflight.
+        self._admit(request.tenant)
+
+        kwargs: Dict[str, object] = {}
+        refined_from = updated_from = None
+        resume_from = update_from = None
+        update_delta = None
+        if refinable is not None:
+            entry, snapshot_path = refinable
+            refined_from = entry.key
+            resume_from = str(snapshot_path)
+            kwargs["resume_from"] = resume_from
+        elif update is not None:
+            parent_checksum, entry, snapshot_path, delta_payload = update
+            updated_from = parent_checksum
+            update_from = snapshot_path
+            update_delta = delta_payload
+            kwargs["update_from"] = update_from
+            kwargs["graph_delta"] = update_delta
+
+        record, created = self.store.enqueue(
+            key=key,
+            tenant=request.tenant,
+            request=request.as_dict(),
+            checksum=checksum,
+            graph_path=graph_path,
+            kwargs=kwargs,
+        )
         job = Job(
-            id=f"job-{next(self._ids)}",
+            id=record.job_id,
             key=key,
             request=request,
             checksum=checksum,
             graph_path=graph_path,
             future=loop.create_future(),
+            store_id=record.id,
+            attempts=record.attempts,
+            refined_from=refined_from,
+            resume_from=resume_from,
+            updated_from=updated_from,
+            update_from=update_from,
+            update_delta=update_delta,
+            events=deque(maxlen=self._max_events_per_job),
         )
-        if refinable is not None:
-            entry, snapshot_path = refinable
-            job.refined_from = entry.key
-            job.resume_from = str(snapshot_path)
-            self._count("cache_refines")
-        elif update is not None:
-            parent_checksum, entry, snapshot_path, delta_payload = update
-            job.updated_from = parent_checksum
-            job.update_from = snapshot_path
-            job.update_delta = delta_payload
-            self._count("cache_updates")
-        if self._snapshots_enabled():
-            # Writer-unique name: job ids restart at 1 in every service
-            # process, and the cache directory is explicitly shared across
-            # processes — a plain ".job-1.snap.tmp" would let two services
-            # clobber each other's snapshots and cache one under the other's
-            # (seed-keyed!) entry.
+        if created and self._dispatch == "pool" and self._snapshots_enabled():
+            # Writer-unique name: the cache directory is explicitly shared
+            # across processes — a plain ".job-N.snap.tmp" would let two
+            # services clobber each other's snapshots and cache one under the
+            # other's (seed-keyed!) entry.
             from repro.store.format import unique_tmp_path
 
             job.checkpoint_path = str(
-                unique_tmp_path(self.cache.cache_dir / f".job-{job.id}.snap")
+                unique_tmp_path(self.cache.cache_dir / f".{job.id}.snap")
             )
+        if refinable is not None:
+            self._count("cache_refines")
+        elif update is not None:
+            self._count("cache_updates")
         # Errors must reach pollers even when no submitter awaits the future.
         job.future.add_done_callback(
             lambda f: f.exception() if not f.cancelled() else None
@@ -436,7 +663,15 @@ class JobManager:
         self._inflight[key] = job
         self._inflight_gauge.set(len(self._inflight))
         self._prune_finished()
-        asyncio.ensure_future(self._run(job))
+        if created and self._dispatch == "pool":
+            asyncio.ensure_future(self._run(job))
+        else:
+            # Either another coordinator already owns the live row (dedup
+            # across processes) or dispatch is external — both mean: watch
+            # the store until the row finishes.
+            if not created:
+                self._count("deduplicated")
+            asyncio.ensure_future(self._watch(job))
         return SubmitOutcome(checksum=checksum, job=job)
 
     # ------------------------------------------------------------------ #
@@ -532,9 +767,46 @@ class JobManager:
         if job is not None:
             job.add_event(event)
 
+    def _finish_error(self, job: Job, exc: Exception) -> None:
+        job.status = "error"
+        job.error = f"{type(exc).__name__}: {exc}"
+        job.finished_at = time.time()
+        self._count("failed")
+        self._inflight.pop(job.key, None)
+        self._inflight_gauge.set(len(self._inflight))
+        if job.checkpoint_path is not None:
+            try:
+                Path(job.checkpoint_path).unlink(missing_ok=True)
+            except OSError:
+                pass
+        if not job.future.cancelled():
+            job.future.set_exception(exc)
+
+    def _finish_done(self, job: Job, result: BetweennessResult) -> None:
+        job.result = result
+        job.status = "done"
+        job.finished_at = time.time()
+        self._count("completed")
+        self._observe_finished(job, result)
+        self._inflight.pop(job.key, None)
+        self._inflight_gauge.set(len(self._inflight))
+        self._prune_finished()
+        if not job.future.cancelled():
+            job.future.set_result(result)
+
     async def _run(self, job: Job) -> None:
+        """Pool dispatch: claim our own store row and execute it here."""
         loop = asyncio.get_running_loop()
         executor = self._ensure_workers()
+        claimed = self.store.claim(
+            self.worker_id, job_id=job.store_id, lease_seconds=self._lease_seconds
+        )
+        if claimed is None:
+            # Someone else (an external worker sharing the store) grabbed the
+            # row between enqueue and claim — fall back to watching it.
+            await self._watch(job)
+            return
+        job.attempts = claimed.attempts
         job.status = "running"
         job.started_at = time.time()
         kwargs = _estimate_kwargs(job.request, self._resources)
@@ -564,7 +836,9 @@ class JobManager:
                 func = functools.partial(
                     estimator, job.graph_path, callbacks=on_event, **kwargs
                 )
-            result = await loop.run_in_executor(executor, func)
+            result = await self._await_with_heartbeat(
+                loop.run_in_executor(executor, func), job
+            )
             if self._worker_mode == "process":
                 result, worker_snapshot = result
                 if worker_snapshot:
@@ -573,19 +847,8 @@ class JobManager:
                     # renders; worker registries die with their processes.
                     obs_metrics.REGISTRY.merge(worker_snapshot)
         except Exception as exc:  # noqa: BLE001 - job errors become status
-            job.status = "error"
-            job.error = f"{type(exc).__name__}: {exc}"
-            job.finished_at = time.time()
-            self._count("failed")
-            self._inflight.pop(job.key, None)
-            self._inflight_gauge.set(len(self._inflight))
-            if job.checkpoint_path is not None:
-                try:
-                    Path(job.checkpoint_path).unlink(missing_ok=True)
-                except OSError:
-                    pass
-            if not job.future.cancelled():
-                job.future.set_exception(exc)
+            self.store.fail(job.store_id, self.worker_id, f"{type(exc).__name__}: {exc}")
+            self._finish_error(job, exc)
             return
         # The cache write is an optimization: an unwritable cache directory
         # must not turn a correctly computed result into a failed job.
@@ -596,15 +859,147 @@ class JobManager:
             job.add_event(
                 {"phase": "cache-write-failed", "error": f"{type(exc).__name__}: {exc}"}
             )
-        job.result = result
-        job.status = "done"
-        job.finished_at = time.time()
-        self._count("completed")
-        self._observe_finished(job, result)
-        self._inflight.pop(job.key, None)
+        self.store.complete(job.store_id, self.worker_id, result.to_json())
+        self._finish_done(job, result)
+
+    async def _await_with_heartbeat(self, fut, job: Job):
+        """Await an executor future, extending the job's store lease meanwhile.
+
+        Heartbeats fire every ``lease/3`` without a standing background task:
+        the wait itself wakes up to beat.  A lost lease (this coordinator
+        stalled past the deadline and the job was re-queued) is deliberately
+        *not* fatal — the local run finishes and both writers race the
+        owner-guarded ``complete``; results are deterministic in the seed, so
+        whichever lands is correct.
+        """
+        fut = asyncio.ensure_future(fut)
+        interval = max(0.05, self._lease_seconds / 3.0)
+        while True:
+            try:
+                return await asyncio.wait_for(asyncio.shield(fut), timeout=interval)
+            except asyncio.TimeoutError:
+                self.store.heartbeat(
+                    job.store_id, self.worker_id, lease_seconds=self._lease_seconds
+                )
+
+    async def _watch(self, job: Job) -> None:
+        """External dispatch (or a foreign live row): poll the store row.
+
+        The watcher is also the janitor: every poll re-queues expired leases,
+        so a coordinator with no external workers of its own still recovers
+        crashed workers' jobs for the survivors.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            record = await loop.run_in_executor(
+                None, self.store.get_by_rowid, job.store_id
+            )
+            if record is None:
+                self._finish_error(job, RuntimeError("job row vanished from the store"))
+                return
+            job.attempts = record.attempts
+            if record.state == "running" and job.status == "queued":
+                job.status = "running"
+                job.started_at = record.started_at
+            elif record.state == "done":
+                try:
+                    result = BetweennessResult.from_json(record.result)
+                except Exception as exc:  # noqa: BLE001 - corrupt row payload
+                    self._finish_error(job, exc)
+                    return
+                if job.started_at is None:
+                    job.started_at = record.started_at
+                self._finish_done(job, result)
+                return
+            elif record.state in ("failed", "cancelled"):
+                self._finish_error(
+                    job, RuntimeError(record.error or f"job {record.state}")
+                )
+                return
+            await loop.run_in_executor(None, self.store.requeue_expired)
+            await asyncio.sleep(self._poll_seconds)
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+    # ------------------------------------------------------------------ #
+    def _requeue_dead_local(self) -> int:
+        """Re-queue rows claimed by pool coordinators that died on this host.
+
+        Pool claims encode ``pool:<host>:<pid>``; a row whose owner names
+        this host but a dead pid will otherwise sit until its lease expires.
+        Returns how many rows were released.
+        """
+        released = 0
+        host = socket.gethostname()
+        for record in self.store.list(states=("running",)):
+            owner = record.lease_owner or ""
+            parts = owner.split(":")
+            if len(parts) < 3 or parts[0] != "pool" or parts[1] != host:
+                continue
+            try:
+                pid = int(parts[2])
+            except ValueError:
+                continue
+            if pid == os.getpid() or _pid_alive(pid):
+                continue
+            cursor = self.store._conn().execute(
+                "UPDATE jobs SET state='queued', lease_owner=NULL,"
+                " lease_deadline=NULL WHERE id=? AND lease_owner=?",
+                (record.id, owner),
+            )
+            released += cursor.rowcount
+        return released
+
+    async def resume_pending(self) -> int:
+        """Adopt jobs a previous (crashed/restarted) process left behind.
+
+        Re-queues expired leases and dead local pool claims, then dispatches
+        every queued row this process is not already tracking: pool dispatch
+        re-runs them here, external dispatch watches them for the workers.
+        Recovered jobs have ``num_waiters == 0`` — their original clients are
+        gone — but their results still land in the store and the cache.
+        Returns how many jobs were adopted.
+        """
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self.store.requeue_expired()
+        self._requeue_dead_local()
+        tracked = {job.store_id for job in self._jobs.values()}
+        adopted = 0
+        for record in self.store.list(states=("queued",)):
+            if record.id in tracked:
+                continue
+            try:
+                request = QueryRequest.from_dict(record.request)
+            except Exception:  # noqa: BLE001 - unparseable legacy row
+                continue
+            job = Job(
+                id=record.job_id,
+                key=record.key,
+                request=request,
+                checksum=record.checksum,
+                graph_path=record.graph_path,
+                future=loop.create_future(),
+                store_id=record.id,
+                attempts=record.attempts,
+                resume_from=record.kwargs.get("resume_from"),
+                update_from=record.kwargs.get("update_from"),
+                update_delta=record.kwargs.get("graph_delta"),
+                num_waiters=0,
+                events=deque(maxlen=self._max_events_per_job),
+            )
+            job.future.add_done_callback(
+                lambda f: f.exception() if not f.cancelled() else None
+            )
+            self._jobs[job.id] = job
+            self._inflight[job.key] = job
+            if self._dispatch == "pool":
+                asyncio.ensure_future(self._run(job))
+            else:
+                asyncio.ensure_future(self._watch(job))
+            adopted += 1
         self._inflight_gauge.set(len(self._inflight))
-        if not job.future.cancelled():
-            job.future.set_result(result)
+        return adopted
 
     # ------------------------------------------------------------------ #
     # Introspection / lifecycle
@@ -616,18 +1011,32 @@ class JobManager:
         return tuple(self._jobs.values())
 
     def _prune_finished(self) -> None:
+        """Clamp in-memory and store retention of finished jobs.
+
+        Finished jobs pin their full result (score vectors!) in memory, so
+        an unclamped history is a slow leak under serving load — the same
+        reason the store keeps only ``store_retention`` finished rows.
+        """
         finished = [j for j in self._jobs.values() if j.status in ("done", "error")]
-        for job in finished[: max(0, len(finished) - MAX_FINISHED_JOBS)]:
+        for job in finished[: max(0, len(finished) - self._max_finished_jobs)]:
             self._jobs.pop(job.id, None)
+        self.store.prune_finished(keep=self._store_retention)
 
     def stats(self) -> Dict[str, object]:
+        self.refresh_metrics()
         return {
             **self.counters,
             "inflight": len(self._inflight),
             "worker_mode": self._worker_mode,
             "max_workers": self._max_workers,
+            "dispatch": self._dispatch,
             "cache_dir": str(self.cache.cache_dir),
             "graph_cache_dir": str(self.catalog.cache_dir),
+            "store_path": str(self.store.path),
+            "store": self.store.counts(),
+            "tenants": self.store.tenant_counts(),
+            "quota": self._quota.as_dict(),
+            "hot_cache": self.cache.hot_stats(),
         }
 
     def close(self) -> None:
@@ -647,6 +1056,17 @@ class JobManager:
             self._manager.shutdown()
             self._manager = None
         self._event_queue = None
+        self.store.close()
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
 
 
 def _default_estimator() -> Callable[..., BetweennessResult]:

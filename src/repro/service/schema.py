@@ -8,7 +8,8 @@ One JSON object drives everything a client can ask for::
      "algorithm": "auto",         # backend registry name or "auto"
      "seed": 42,                  # optional: deterministic runs
      "include_scores": false,     # return the full per-vertex score vector
-     "wait": true}                # block until done vs. 202 + job polling
+     "wait": true,                # block until done vs. 202 + job polling
+     "tenant": "team-graphs"}     # admission-control identity (quotas, 429)
 
 :class:`QueryRequest` validates that object once at the edge (HTTP handler or
 CLI) so the job queue and cache only ever see well-formed requests, and
@@ -21,16 +22,23 @@ never split a job.
 from __future__ import annotations
 
 import hashlib
+import re
 from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.api.registry import AUTO, backend_names
 
-__all__ = ["QueryRequest", "SchemaError", "result_payload"]
+__all__ = ["DEFAULT_TENANT", "QueryRequest", "SchemaError", "result_payload"]
 
 #: Hard ceiling on requested accuracy: eps below this would ask a demo
 #: service for hours of sampling; reject early with a clear error instead.
 MIN_EPS = 1e-6
+
+#: Tenant of requests that do not name one.
+DEFAULT_TENANT = "default"
+
+#: Tenant ids are path/label-safe: they appear in metrics labels and logs.
+_TENANT_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
 
 
 class SchemaError(ValueError):
@@ -63,6 +71,13 @@ class QueryRequest:
     wait:
         When true ``POST /v1/query`` blocks until the job finishes; when
         false it returns ``202`` with a job id to poll.
+    tenant:
+        Admission-control identity (``[A-Za-z0-9._-]``, <= 64 chars).  Quotas
+        (max in-flight / max queued jobs) are counted per tenant; requests
+        over the limit are rejected with HTTP 429.  Deliberately **not**
+        part of :meth:`job_key`: two tenants asking the same question share
+        one job and one cached result — isolation applies to *work*, which
+        is what quotas meter, not to answers.
     """
 
     graph: str
@@ -73,6 +88,7 @@ class QueryRequest:
     seed: Optional[int] = None
     include_scores: bool = False
     wait: bool = True
+    tenant: str = DEFAULT_TENANT
 
     def __post_init__(self) -> None:
         if not self.graph or not isinstance(self.graph, str):
@@ -96,10 +112,17 @@ class QueryRequest:
             not isinstance(self.seed, int) or isinstance(self.seed, bool)
         ):
             raise SchemaError(f"'seed' must be an integer or null, got {self.seed!r}")
+        if not isinstance(self.tenant, str) or not _TENANT_RE.match(self.tenant):
+            raise SchemaError(
+                f"'tenant' must match [A-Za-z0-9._-]{{1,64}}, got {self.tenant!r}"
+            )
         object.__setattr__(self, "eps", float(self.eps))
         object.__setattr__(self, "delta", float(self.delta))
 
-    _FIELDS = ("graph", "eps", "delta", "k", "algorithm", "seed", "include_scores", "wait")
+    _FIELDS = (
+        "graph", "eps", "delta", "k", "algorithm", "seed", "include_scores",
+        "wait", "tenant",
+    )
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "QueryRequest":

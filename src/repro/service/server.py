@@ -37,8 +37,9 @@ from typing import Dict, Optional, Tuple, Union
 
 from repro.obs import metrics as obs_metrics
 from repro.service.cache import ResultCache
-from repro.service.jobs import JobManager
+from repro.service.jobs import JobManager, TenantQuota
 from repro.service.schema import QueryRequest, SchemaError, result_payload
+from repro.service.store import QuotaExceeded
 from repro.store import GraphCatalog, StoreFormatError
 
 __all__ = ["BetweennessService", "run_server"]
@@ -54,6 +55,7 @@ _STATUS_TEXT = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
 }
 
@@ -119,10 +121,14 @@ class BetweennessService:
         cache: Optional[ResultCache] = None,
         cache_dir=None,
         catalog: Optional[GraphCatalog] = None,
+        store=None,
+        dispatch: str = "pool",
+        quota: Optional[TenantQuota] = None,
         resources=None,
         worker_mode: str = "process",
         max_workers: int = 1,
         estimator=None,
+        **manager_kwargs,
     ) -> None:
         self.host = host
         self.port = port
@@ -131,10 +137,14 @@ class BetweennessService:
         self.jobs = JobManager(
             cache=cache,
             catalog=catalog,
+            store=store,
+            dispatch=dispatch,
+            quota=quota,
             resources=resources,
             worker_mode=worker_mode,
             max_workers=max_workers,
             estimator=estimator,
+            **manager_kwargs,
         )
         self._server: Optional[asyncio.AbstractServer] = None
         self._http_seconds = self.jobs.metrics.histogram(
@@ -160,10 +170,15 @@ class BetweennessService:
         Serving turns the gated sampling instrumentation on: a process that
         exposes ``/metrics`` wants the kernel counters behind it, and the
         ~ns-per-batch cost is noise next to socket handling.
+
+        Binding also runs crash recovery: jobs a previous coordinator left
+        queued (or holding an expired/dead-pid lease) in the durable store
+        are adopted and re-dispatched before the first request lands.
         """
         obs_metrics.enable_metrics()
         self._server = await asyncio.start_server(self._handle, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        await self.jobs.resume_pending()
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -297,7 +312,10 @@ class BetweennessService:
                 raise _HttpError(405, "use POST /v1/query")
             return await self._query(self._json_body(body))
         if path == "/v1/jobs" and method == "GET":
-            return 200, {"jobs": [job.status_dict() for job in self.jobs.jobs()]}
+            return 200, {
+                "jobs": [job.status_dict() for job in self.jobs.jobs()],
+                "store": self.jobs.store.counts(),
+            }
         if path.startswith("/v1/jobs/") and method == "GET":
             return self._job_status(path[len("/v1/jobs/") :], query)
         if path == "/v1/cache" and method == "GET":
@@ -317,7 +335,9 @@ class BetweennessService:
 
             # One merged exposition: the manager's service/HTTP metrics plus
             # the process-global registry (kernel counters — including those
-            # merged back from worker processes).
+            # merged back from worker processes).  Store/hot-tier gauges are
+            # sampled right before the render, not kept live.
+            self.jobs.refresh_metrics()
             text = render_metrics(self.jobs.metrics, obs_metrics.REGISTRY)
             return 200, _PlainText(text, _PROMETHEUS_CONTENT_TYPE)
         raise _HttpError(404, f"no route for {method} {path}")
@@ -352,6 +372,10 @@ class BetweennessService:
             outcome = await self.jobs.submit(request)
         except FileNotFoundError as exc:
             raise _HttpError(404, str(exc)) from None
+        except QuotaExceeded as exc:
+            # Admission control, not an error in the request: the tenant is
+            # over its in-flight/queued budget and should back off and retry.
+            raise _HttpError(429, str(exc)) from None
         except (StoreFormatError, ValueError, OSError) as exc:
             raise _HttpError(400, f"{type(exc).__name__}: {exc}") from None
 
@@ -400,7 +424,25 @@ class BetweennessService:
     def _job_status(self, job_id: str, query: str = "") -> Tuple[int, dict]:
         job = self.jobs.get_job(job_id)
         if job is None:
-            raise _HttpError(404, f"unknown job {job_id!r}")
+            # Not tracked in this process — the row may still exist in the
+            # durable store (finished before a restart, or owned by another
+            # coordinator/worker sharing it).  The row alone answers a poll.
+            record = self.jobs.store.get(job_id)
+            if record is None:
+                raise _HttpError(404, f"unknown job {job_id!r}")
+            payload = record.as_dict()
+            # In-memory jobs report "status"; keep the store-backed payload
+            # polling-compatible so clients survive a coordinator restart.
+            payload["status"] = record.state
+            if record.state == "done" and record.result is not None:
+                from repro.core.result import BetweennessResult
+
+                request = QueryRequest.from_dict(record.request)
+                result = BetweennessResult.from_json(record.result)
+                payload["result"] = result_payload(
+                    result, request.k, include_scores=request.include_scores
+                )
+            return 200, payload
         # k / include_scores only shape the response and never split a job, so
         # a deduplicated poller may want a different shape than the request
         # that created the job: ?k=25&include_scores=true override it.
@@ -441,6 +483,9 @@ def run_server(
     host: str = "127.0.0.1",
     port: int = 8321,
     cache_dir=None,
+    store=None,
+    dispatch: str = "pool",
+    quota: Optional[TenantQuota] = None,
     worker_mode: str = "process",
     max_workers: int = 1,
     resources=None,
@@ -449,7 +494,10 @@ def run_server(
     """Blocking entry point used by ``repro-betweenness serve``.
 
     Runs until interrupted (Ctrl-C); ``announce`` receives one line with the
-    bound address once the socket is listening.
+    bound address once the socket is listening.  ``dispatch="external"``
+    turns this process into a pure coordinator: it enqueues into ``store``
+    and separate ``python -m repro.service.worker`` processes do the
+    sampling.
     """
 
     async def _main() -> None:
@@ -457,6 +505,9 @@ def run_server(
             host=host,
             port=port,
             cache_dir=cache_dir,
+            store=store,
+            dispatch=dispatch,
+            quota=quota,
             worker_mode=worker_mode,
             max_workers=max_workers,
             resources=resources,
@@ -465,7 +516,9 @@ def run_server(
         announce(
             f"repro betweenness service listening on "
             f"http://{service.host}:{service.port} "
-            f"(worker_mode={worker_mode}, max_workers={max_workers}, "
+            f"(dispatch={dispatch}, worker_mode={worker_mode}, "
+            f"max_workers={max_workers}, "
+            f"store: {service.jobs.store.path}, "
             f"result cache: {service.jobs.cache.cache_dir})"
         )
         try:

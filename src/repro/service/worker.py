@@ -1,0 +1,307 @@
+"""Store-draining estimation worker: N of these processes empty one queue.
+
+One :class:`StoreWorker` is the pull side of :class:`~repro.service.store.
+JobStore`: claim the oldest queued job under a lease, keep the lease alive
+from a heartbeat thread while the estimation runs, persist the result to the
+shared :class:`~repro.service.cache.ResultCache` (with a session checkpoint,
+so the cache entry is refinable), and mark the row ``done``.  Workers are
+deliberately stateless — all coordination is rows in the store — so scaling
+out is starting more processes::
+
+    python -m repro.service.worker --store /path/to/jobs.sqlite3 &
+    python -m repro.service.worker --store /path/to/jobs.sqlite3 &
+
+Crash safety falls out of the lease protocol: a SIGKILLed worker stops
+heartbeating, its lease expires, and any surviving worker's
+``requeue_expired`` poll hands the job to someone else.  Because estimations
+are deterministic in the request's seed, the replacement run is bit-identical
+to what the dead worker would have produced — asserted end to end in
+``tests/test_service_durability.py``.
+
+Fault injection: ``hold_seconds`` (CLI ``--hold-seconds``, env
+``$REPRO_WORKER_HOLD_SECONDS``) makes the worker sleep *after claiming* a job
+while heartbeats keep the lease alive — a deterministic window for tests to
+SIGKILL it mid-job.  It exists only for the durability harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.service.cache import ResultCache
+from repro.service.schema import QueryRequest
+from repro.service.store import JobRecord, JobStore, default_worker_id
+
+__all__ = ["StoreWorker", "run_worker", "main"]
+
+_HOLD_ENV = "REPRO_WORKER_HOLD_SECONDS"
+
+
+class StoreWorker:
+    """Claims jobs from one :class:`JobStore` and runs them to completion.
+
+    Parameters
+    ----------
+    store:
+        The shared :class:`JobStore` (or a path to its SQLite file).
+    cache:
+        The :class:`ResultCache` results are persisted into; defaults to the
+        directory the store file lives in (coordinator and workers must
+        share it for the cache tier to work).
+    worker_id:
+        Lease identity; defaults to a host/pid-unique id.
+    lease_seconds, poll_seconds:
+        Claim lifetime and idle back-off between claim attempts.  Heartbeats
+        fire every ``lease_seconds / 3``.
+    resources:
+        Optional :class:`~repro.api.Resources` for every estimation.
+    hold_seconds:
+        Fault-injection hook (see module docstring).
+    """
+
+    def __init__(
+        self,
+        store,
+        *,
+        cache: Optional[ResultCache] = None,
+        worker_id: Optional[str] = None,
+        lease_seconds: Optional[float] = None,
+        poll_seconds: float = 0.2,
+        resources=None,
+        hold_seconds: float = 0.0,
+    ) -> None:
+        self.store = store if isinstance(store, JobStore) else JobStore(store)
+        if lease_seconds is not None:
+            self.lease_seconds = float(lease_seconds)
+        else:
+            self.lease_seconds = self.store.lease_seconds
+        self.cache = cache if cache is not None else ResultCache(self.store.path.parent)
+        self.worker_id = worker_id or default_worker_id()
+        self.poll_seconds = float(poll_seconds)
+        self.resources = resources
+        self.hold_seconds = float(hold_seconds)
+        self.jobs_done = 0
+        self.jobs_failed = 0
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        """Ask the pull loop to exit after the current job."""
+        self._stop.set()
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        *,
+        max_jobs: Optional[int] = None,
+        max_idle_seconds: Optional[float] = None,
+    ) -> int:
+        """The pull loop; returns how many jobs this worker completed.
+
+        ``max_jobs`` bounds the number of completed/failed jobs (tests,
+        drain-and-exit helpers); ``max_idle_seconds`` exits after the queue
+        stays empty that long (CI harnesses that should not hang forever).
+        """
+        idle_since: Optional[float] = None
+        while not self._stop.is_set():
+            if max_jobs is not None and self.jobs_done + self.jobs_failed >= max_jobs:
+                break
+            self.store.requeue_expired()
+            record = self.store.claim(self.worker_id, lease_seconds=self.lease_seconds)
+            if record is None:
+                now = time.monotonic()
+                if idle_since is None:
+                    idle_since = now
+                elif (
+                    max_idle_seconds is not None
+                    and now - idle_since >= max_idle_seconds
+                ):
+                    break
+                self._stop.wait(self.poll_seconds)
+                continue
+            idle_since = None
+            self._execute(record)
+        return self.jobs_done
+
+    # ------------------------------------------------------------------ #
+    def _execute(self, record: JobRecord) -> None:
+        """Run one claimed job under a live lease."""
+        lease_lost = threading.Event()
+        done = threading.Event()
+
+        def _heartbeat() -> None:
+            interval = max(0.05, self.lease_seconds / 3.0)
+            while not done.wait(interval):
+                if not self.store.heartbeat(
+                    record.id, self.worker_id, lease_seconds=self.lease_seconds
+                ):
+                    lease_lost.set()
+                    return
+
+        beat = threading.Thread(
+            target=_heartbeat, name=f"repro-worker-heartbeat-{record.id}", daemon=True
+        )
+        beat.start()
+        try:
+            if self.hold_seconds > 0:
+                # Fault-injection window: the job is claimed and heartbeating
+                # but has not sampled yet — SIGKILL here and the lease-expiry
+                # path must recover it (tests/test_service_durability.py).
+                time.sleep(self.hold_seconds)
+            result, checkpoint = self._estimate(record)
+            if lease_lost.is_set():
+                # The lease expired mid-run (e.g. a debugger pause); someone
+                # else owns the job now — discard rather than double-write.
+                self.jobs_failed += 1
+                return
+            self._persist(record, result, checkpoint)
+            if self.store.complete(record.id, self.worker_id, result.to_json()):
+                self.jobs_done += 1
+            else:
+                self.jobs_failed += 1
+        except Exception as exc:  # noqa: BLE001 - job errors become row state
+            self.store.fail(record.id, self.worker_id, f"{type(exc).__name__}: {exc}")
+            self.jobs_failed += 1
+        finally:
+            done.set()
+            beat.join(timeout=2.0)
+
+    def _estimate(self, record: JobRecord):
+        """Run the facade for one job row; returns ``(result, checkpoint_path)``."""
+        from repro.api import estimate_betweenness
+        from repro.store.format import unique_tmp_path
+
+        request = QueryRequest.from_dict(record.request)
+        kwargs = {
+            "algorithm": request.algorithm,
+            "eps": request.eps,
+            "delta": request.delta,
+        }
+        if request.seed is not None:
+            kwargs["seed"] = request.seed
+        if self.resources is not None:
+            kwargs["resources"] = self.resources
+        # Coordinator-decided extras: refine/update sources recorded at
+        # enqueue time (paths on the shared cache filesystem).
+        for key in ("resume_from", "update_from", "graph_delta"):
+            if record.kwargs.get(key) is not None:
+                kwargs[key] = record.kwargs[key]
+        checkpoint = record.kwargs.get("checkpoint_path")
+        if checkpoint is None:
+            checkpoint = str(
+                unique_tmp_path(self.cache.cache_dir / f".job-{record.id}.snap")
+            )
+        kwargs["checkpoint_path"] = checkpoint
+        result = estimate_betweenness(record.graph_path, **kwargs)
+        return result, checkpoint
+
+    def _persist(self, record: JobRecord, result, checkpoint: str) -> None:
+        """Write the result (+ snapshot) into the shared cache, best-effort.
+
+        An unwritable cache must not fail a correctly computed job — the
+        durable copy is the store row the caller is about to write.
+        """
+        request = QueryRequest.from_dict(record.request)
+        snapshot = checkpoint if Path(checkpoint).is_file() else None
+        try:
+            self.cache.put(record.checksum, request, result, snapshot=snapshot)
+        except Exception:  # noqa: BLE001
+            pass
+        finally:
+            if snapshot is not None:
+                try:
+                    Path(snapshot).unlink()
+                except OSError:
+                    pass
+
+
+def run_worker(store_path, **kwargs) -> int:
+    """Convenience wrapper: build a :class:`StoreWorker` and :meth:`run` it."""
+    run_opts = {
+        key: kwargs.pop(key)
+        for key in ("max_jobs", "max_idle_seconds")
+        if key in kwargs
+    }
+    return StoreWorker(store_path, **kwargs).run(**run_opts)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.worker",
+        description="Drain estimation jobs from a durable JobStore; run N of "
+        "these processes against one store to scale the service horizontally "
+        "(lease/heartbeat semantics in docs/serving.md).",
+    )
+    parser.add_argument("--store", required=True, help="path to the jobs.sqlite3 store")
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache directory (default: the store's directory)",
+    )
+    parser.add_argument("--worker-id", default=None, help="lease identity (default: auto)")
+    parser.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=None,
+        help="claim lifetime between heartbeats (default: the store's)",
+    )
+    parser.add_argument(
+        "--poll-seconds", type=float, default=0.2, help="idle back-off (default 0.2)"
+    )
+    parser.add_argument(
+        "--max-jobs", type=int, default=None, help="exit after this many jobs"
+    )
+    parser.add_argument(
+        "--max-idle-seconds",
+        type=float,
+        default=None,
+        help="exit after the queue stays empty this long",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=1,
+        help="sampling threads per estimation (Resources.threads, default 1)",
+    )
+    parser.add_argument(
+        "--hold-seconds",
+        type=float,
+        default=float(os.environ.get(_HOLD_ENV, "0") or 0),
+        help=argparse.SUPPRESS,  # fault-injection hook for the durability tests
+    )
+    args = parser.parse_args(argv)
+
+    resources = None
+    if args.threads != 1:
+        from repro.api import Resources
+
+        resources = Resources(threads=args.threads)
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    worker = StoreWorker(
+        args.store,
+        cache=cache,
+        worker_id=args.worker_id,
+        lease_seconds=args.lease_seconds,
+        poll_seconds=args.poll_seconds,
+        resources=resources,
+        hold_seconds=args.hold_seconds,
+    )
+    signal.signal(signal.SIGTERM, lambda *_: worker.stop())
+    print(
+        f"repro worker {worker.worker_id} draining {worker.store.path}"
+        f" (lease {worker.lease_seconds}s)",
+        flush=True,
+    )
+    done = worker.run(max_jobs=args.max_jobs, max_idle_seconds=args.max_idle_seconds)
+    print(f"repro worker {worker.worker_id} exiting after {done} job(s)", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -206,6 +206,88 @@ class TestSnapshotMerge:
         assert c.value == n * per_thread
 
 
+def _hammer_and_snapshot(worker_index: int, increments: int) -> tuple:
+    """Run in a worker process: build a registry, hammer it from several
+    threads, ship it home as a plain-dict snapshot (the worker transport)."""
+    reg = MetricsRegistry()
+    total = reg.counter("stress_total", "Increments across the pool")
+    by_worker = reg.counter("stress_by_worker_total", labelnames=("worker",))
+    latency = reg.histogram("stress_seconds", buckets=(0.25, 0.75))
+    reg.gauge("stress_last_worker").set(worker_index)
+
+    def hammer():
+        mine = by_worker.labels(worker=str(worker_index))
+        for i in range(increments):
+            total.inc()
+            mine.inc()
+            latency.observe((i % 4) / 4.0)
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return worker_index, reg.snapshot()
+
+
+class TestProcessPoolMerge:
+    """The multi-worker transport under real process-level concurrency.
+
+    Each pool worker owns a private registry, increments it from four racing
+    threads, and returns ``snapshot()``; the parent merges the shards.  The
+    acceptance property is exactly the one the serving path relies on: **no
+    counter increment is ever lost** and gauges keep last-write semantics.
+    """
+
+    WORKERS = 4
+    INCREMENTS = 500
+    THREADS = 4
+
+    def test_snapshot_merge_loses_nothing_across_processes(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            shards = list(pool.map(
+                _hammer_and_snapshot,
+                range(self.WORKERS),
+                [self.INCREMENTS] * self.WORKERS,
+            ))
+        merged = MetricsRegistry()
+        for _, snap in sorted(shards):  # deterministic merge order
+            merged.merge(snap)
+
+        per_worker = self.INCREMENTS * self.THREADS
+        assert merged.counter("stress_total").value == self.WORKERS * per_worker
+        by_worker = merged.counter("stress_by_worker_total", labelnames=("worker",))
+        for index in range(self.WORKERS):
+            assert by_worker.labels(worker=str(index)).value == per_worker
+        hist = merged.histogram("stress_seconds", buckets=(0.25, 0.75))
+        assert hist.count == self.WORKERS * per_worker
+        # Observations cycle 0, .25, .5, .75 -> mean .375, sum is exact.
+        assert hist.sum == pytest.approx(0.375 * self.WORKERS * per_worker)
+        # Gauges overwrite on merge: the last shard merged wins.
+        assert merged.gauge("stress_last_worker").value == self.WORKERS - 1
+
+    def test_concurrent_merges_into_one_registry_are_atomic(self):
+        """Snapshots arriving from many workers at once (threads here) must
+        apply atomically under the registry lock — additions, not races."""
+        _, snap = _hammer_and_snapshot(0, 50)
+        merged = MetricsRegistry()
+        rounds = 10
+
+        def apply():
+            for _ in range(rounds):
+                merged.merge(snap)
+
+        threads = [threading.Thread(target=apply) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        expected = 4 * rounds * 50 * self.THREADS
+        assert merged.counter("stress_total").value == expected
+
+
 class TestRender:
     def test_prometheus_text_shape(self):
         reg = MetricsRegistry()

@@ -1,0 +1,190 @@
+"""Property-based tests of the service's dominance policy.
+
+The cache is only sound if :func:`repro.service.dominance.classify` is: a
+wrong ``HIT`` serves scores whose guarantee does not cover the request.  The
+properties pinned here:
+
+* **Antisymmetry** — two approximate entries that dominate each *other* must
+  carry identical ``(eps, delta)``; dominance is a partial order, not a
+  similarity measure.
+* **Monotonicity** — loosening a request (larger eps, larger delta, either
+  axis) never turns a ``HIT`` into anything else, and tightening a request
+  never creates one.
+* **The equal-eps / tighter-delta edge** — a request at the cached eps but a
+  strictly smaller delta is *never* a hit; same adaptive family and seed make
+  it exactly ``REFINABLE``.
+* **Safety guards** — a changed graph is never a ``HIT``; a different seed is
+  never ``REFINABLE``; unknown cached accuracy never dominates; exact entries
+  dominate everything on the same graph.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.service.dominance import (
+    FAMILY_ADAPTIVE,
+    FAMILY_EXACT,
+    FAMILY_FIXED,
+    FAMILY_SSSP,
+    HIT,
+    MISS,
+    REFINABLE,
+    UPDATE_REFINABLE,
+    classify,
+    dominates,
+    select_dominating,
+)
+
+APPROX_FAMILIES = (FAMILY_ADAPTIVE, FAMILY_FIXED, FAMILY_SSSP)
+
+eps_values = st.floats(
+    min_value=1e-6, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+delta_values = st.floats(
+    min_value=1e-6, max_value=0.999, allow_nan=False, allow_infinity=False
+)
+looseners = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+seeds = st.one_of(st.none(), st.integers(min_value=0, max_value=2**31 - 1))
+families = st.sampled_from(APPROX_FAMILIES)
+
+
+class TestDominanceOrder:
+    @given(family=families, eps_a=eps_values, delta_a=delta_values,
+           eps_b=eps_values, delta_b=delta_values)
+    def test_antisymmetry(self, family, eps_a, delta_a, eps_b, delta_b):
+        forward = dominates(family, eps_a, delta_a,
+                            family=family, eps=eps_b, delta=delta_b)
+        backward = dominates(family, eps_b, delta_b,
+                             family=family, eps=eps_a, delta=delta_a)
+        if forward and backward:
+            assert eps_a == eps_b and delta_a == delta_b
+
+    @given(family=families, eps=eps_values, delta=delta_values)
+    def test_reflexive_and_equal_pair_is_hit(self, family, eps, delta):
+        # Re-issuing the exact same query is the common case; equality on
+        # both axes must count as dominance.
+        assert dominates(family, eps, delta, family=family, eps=eps, delta=delta)
+        assert classify(family, eps, delta, None,
+                        family=family, eps=eps, delta=delta, seed=None) == HIT
+
+    @given(family=families, cached_eps=eps_values, cached_delta=delta_values,
+           eps=eps_values, delta=delta_values,
+           eps_slack=looseners, delta_slack=looseners)
+    def test_hit_is_monotone_in_request_looseness(
+        self, family, cached_eps, cached_delta, eps, delta, eps_slack, delta_slack
+    ):
+        if not dominates(family, cached_eps, cached_delta,
+                         family=family, eps=eps, delta=delta):
+            return
+        # Any looser request (either axis, independently) is still dominated.
+        assert dominates(family, cached_eps, cached_delta,
+                         family=family, eps=eps + eps_slack, delta=delta)
+        assert dominates(family, cached_eps, cached_delta,
+                         family=family, eps=eps, delta=delta + delta_slack)
+
+    @given(eps=eps_values, delta=delta_values, family=families, seed=seeds)
+    def test_exact_dominates_every_family(self, eps, delta, family, seed):
+        assert dominates(FAMILY_EXACT, 0.0, 0.0, family=family, eps=eps, delta=delta)
+        assert classify(FAMILY_EXACT, 0.0, 0.0, None,
+                        family=family, eps=eps, delta=delta, seed=seed) == HIT
+
+    @given(family=families, eps=eps_values, delta=delta_values)
+    def test_unknown_cached_accuracy_never_dominates(self, family, eps, delta):
+        assert not dominates(family, None, None, family=family, eps=eps, delta=delta)
+        assert not dominates(family, eps, None, family=family, eps=eps, delta=delta)
+        assert not dominates(family, None, delta, family=family, eps=eps, delta=delta)
+
+
+class TestClassifyVerdicts:
+    @given(cached_family=families, cached_eps=eps_values,
+           cached_delta=delta_values, cached_seed=seeds,
+           family=families, eps=eps_values, delta=delta_values, seed=seeds,
+           same_graph=st.booleans())
+    def test_total_and_consistent_with_dominates(
+        self, cached_family, cached_eps, cached_delta, cached_seed,
+        family, eps, delta, seed, same_graph,
+    ):
+        verdict = classify(cached_family, cached_eps, cached_delta, cached_seed,
+                           family=family, eps=eps, delta=delta, seed=seed,
+                           same_graph=same_graph)
+        assert verdict in (HIT, REFINABLE, UPDATE_REFINABLE, MISS)
+        is_dominating = dominates(cached_family, cached_eps, cached_delta,
+                                  family=family, eps=eps, delta=delta)
+        # HIT iff same graph and dominating — never across a mutation.
+        assert (verdict == HIT) == (same_graph and is_dominating)
+        if verdict == REFINABLE:
+            assert same_graph and cached_seed == seed
+            assert cached_family == family == FAMILY_ADAPTIVE
+        if verdict == UPDATE_REFINABLE:
+            assert not same_graph and cached_seed == seed
+            assert cached_family == family == FAMILY_ADAPTIVE
+
+    @given(eps=eps_values, cached_delta=delta_values, delta=delta_values,
+           seed=seeds)
+    def test_equal_eps_tighter_delta_edge_is_refinable(
+        self, eps, cached_delta, delta, seed
+    ):
+        """The documented edge: same eps, strictly smaller delta -> the cached
+        failure probability is too loose; with family+seed matching that is
+        exactly REFINABLE, never HIT (and never MISS)."""
+        if delta >= cached_delta:
+            delta = cached_delta / 2  # force the tighter-delta edge
+        verdict = classify(FAMILY_ADAPTIVE, eps, cached_delta, seed,
+                           family=FAMILY_ADAPTIVE, eps=eps, delta=delta, seed=seed)
+        assert verdict == REFINABLE
+
+    @given(eps=eps_values, delta=delta_values,
+           cached_seed=st.integers(min_value=0, max_value=1000),
+           seed=st.integers(min_value=0, max_value=1000))
+    def test_refinement_requires_the_same_seed(self, eps, delta, cached_seed, seed):
+        # Tighter request than cached (so never a HIT) at eps/2, delta/2.
+        verdict = classify(FAMILY_ADAPTIVE, eps, delta, cached_seed,
+                           family=FAMILY_ADAPTIVE, eps=eps / 2, delta=delta / 2,
+                           seed=seed)
+        if cached_seed == seed:
+            assert verdict == REFINABLE
+        else:
+            assert verdict == MISS
+
+    @given(cached_family=families, family=families,
+           eps=eps_values, delta=delta_values, seed=seeds)
+    def test_families_never_mix(self, cached_family, family, eps, delta, seed):
+        if cached_family == family:
+            return
+        verdict = classify(cached_family, eps, delta, seed,
+                           family=family, eps=eps, delta=delta, seed=seed)
+        assert verdict == MISS
+
+
+class TestSelectDominating:
+    @given(rows=st.lists(
+        st.tuples(st.sampled_from((FAMILY_EXACT, *APPROX_FAMILIES)),
+                  eps_values, delta_values),
+        max_size=8),
+        family=families, eps=eps_values, delta=delta_values)
+    def test_selection_returns_a_dominating_entry(self, rows, family, eps, delta):
+        entries = [
+            (f, (0.0 if f == FAMILY_EXACT else e), (0.0 if f == FAMILY_EXACT else d))
+            for f, e, d in rows
+        ]
+        index = select_dominating(entries, family=family, eps=eps, delta=delta)
+        dominating = [
+            i for i, (f, e, d) in enumerate(entries)
+            if dominates(f, e, d, family=family, eps=eps, delta=delta)
+        ]
+        if index is None:
+            assert not dominating
+        else:
+            assert index in dominating
+            picked = entries[index]
+            if picked[0] != FAMILY_EXACT:
+                # Loosest-sufficient policy: nothing approximate and
+                # still-dominating is strictly looser than the pick.
+                assert not any(
+                    entries[i][0] != FAMILY_EXACT
+                    and (entries[i][1], entries[i][2]) > (picked[1], picked[2])
+                    for i in dominating
+                )

@@ -400,6 +400,156 @@ class TestResultCache:
         assert default_result_cache_dir() == tmp_path / "elsewhere"
 
 
+class TestHotTier:
+    """The in-memory TTL + LRU tier in front of the disk cache."""
+
+    def make(self, max_entries=3, ttl=10.0):
+        from repro.service import HotTier
+
+        clock = {"now": 0.0}
+        tier = HotTier(max_entries, ttl, clock=lambda: clock["now"])
+        return tier, clock
+
+    def test_ttl_expiry_falls_back_to_miss(self):
+        tier, clock = self.make(ttl=10.0)
+        tier.put(("crc32:aa", "adaptive-sampling", 0.1, 0.1), "value")
+        clock["now"] = 9.9
+        assert tier.get(("crc32:aa", "adaptive-sampling", 0.1, 0.1)) == "value"
+        clock["now"] = 10.1  # past the TTL: entry dropped, counted as eviction
+        assert tier.get(("crc32:aa", "adaptive-sampling", 0.1, 0.1)) is None
+        stats = tier.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["evictions"] == 1 and stats["entries"] == 0
+
+    def test_lru_evicts_least_recently_used(self):
+        tier, _ = self.make(max_entries=2)
+        tier.put(("a",), 1)
+        tier.put(("b",), 2)
+        assert tier.get(("a",)) == 1  # touch "a": "b" is now the LRU victim
+        tier.put(("c",), 3)
+        assert tier.get(("b",)) is None
+        assert tier.get(("a",)) == 1 and tier.get(("c",)) == 3
+
+    def test_invalidate_by_checksum_is_selective(self):
+        tier, _ = self.make()
+        tier.put(("crc32:aa", "f", 0.1, 0.1), 1)
+        tier.put(("crc32:bb", "f", 0.1, 0.1), 2)
+        tier.invalidate("crc32:aa")
+        assert tier.get(("crc32:aa", "f", 0.1, 0.1)) is None
+        assert tier.get(("crc32:bb", "f", 0.1, 0.1)) == 2
+        tier.invalidate()
+        assert tier.get(("crc32:bb", "f", 0.1, 0.1)) is None
+
+    def test_disabled_tier_never_stores(self):
+        from repro.service import HotTier
+
+        tier = HotTier(0, 60.0)
+        tier.put(("a",), 1)
+        assert tier.get(("a",)) is None
+        assert not tier.enabled
+
+    def test_find_serves_from_hot_tier_and_put_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path / "results", hot_entries=8,
+                            hot_ttl_seconds=300.0)
+        request = QueryRequest(graph="g", eps=0.05, delta=0.1,
+                               algorithm="sequential", seed=1)
+        cache.put("crc32:aa", request, make_result(eps=0.05, delta=0.1))
+        probe = dict(family="adaptive-sampling", eps=0.1, delta=0.2)
+        first = cache.find("crc32:aa", **probe)
+        assert first is not None
+        assert cache.hot_stats()["misses"] == 1  # cold: served from disk
+        second = cache.find("crc32:aa", **probe)
+        assert second is not None
+        assert cache.hot_stats()["hits"] == 1
+        assert second[0].key == first[0].key
+        # A write to the same graph must eagerly drop its hot entries: the
+        # next lookup may now be dominated by the fresh tighter result.
+        cache.put("crc32:aa",
+                  QueryRequest(graph="g", eps=0.01, delta=0.05,
+                               algorithm="sequential", seed=2),
+                  make_result(eps=0.01, delta=0.05))
+        assert cache.hot_stats()["entries"] == 0
+
+
+class TestCacheRaces:
+    """``entries()`` / ``find()`` racing ``evict()`` from another thread or
+    process must degrade to *fewer results*, never to an exception — the
+    cache directory is shared by every worker draining the job store."""
+
+    def put(self, cache, checksum, *, eps=0.1, seed=1):
+        request = QueryRequest(graph="g", eps=eps, delta=0.1,
+                               algorithm="sequential", seed=seed)
+        return cache.put(checksum, request, make_result(eps=eps, delta=0.1))
+
+    def test_entries_survives_full_eviction_mid_scan(self, tmp_path, monkeypatch):
+        # Deterministic interleaving: the first meta read triggers a full
+        # eviction by "another process", so every later read hits files that
+        # are already gone.
+        cache = ResultCache(tmp_path / "results", hot_entries=0)
+        self.put(cache, "crc32:aa", eps=0.05)
+        self.put(cache, "crc32:aa", eps=0.2, seed=2)
+        self.put(cache, "crc32:bb", eps=0.05)
+        real_read = ResultCache._read_entry
+        fired = []
+
+        def racing_read(cache_self, meta_path):
+            if not fired:
+                fired.append(True)
+                ResultCache(tmp_path / "results", hot_entries=0).evict()
+            return real_read(cache_self, meta_path)
+
+        monkeypatch.setattr(ResultCache, "_read_entry", racing_read)
+        assert cache.entries() == []  # no crash: the race just empties the scan
+        monkeypatch.undo()
+        # The cache object stays usable after losing the race.
+        self.put(cache, "crc32:aa", eps=0.05)
+        assert len(cache.entries()) == 1
+
+    def test_find_falls_through_when_best_entry_evicted_mid_lookup(self, tmp_path):
+        cache = ResultCache(tmp_path / "results", hot_entries=0)
+        self.put(cache, "crc32:aa", eps=0.05)
+        best = self.put(cache, "crc32:aa", eps=0.2, seed=2)  # loosest-sufficient pick
+        # Rip out the pick's payload (concurrent eviction between the meta
+        # scan and the payload read): find() must serve the survivor.
+        for payload in (tmp_path / "results").rglob(f"{best.key}.result.json"):
+            payload.unlink()
+        hit = cache.find("crc32:aa", family="adaptive-sampling", eps=0.3, delta=0.3)
+        assert hit is not None
+        assert hit[0].eps == 0.05
+
+    def test_threaded_readers_never_crash_under_churn(self, tmp_path):
+        cache = ResultCache(tmp_path / "results", hot_entries=0)
+        checksums = [f"crc32:{i:02d}" for i in range(4)]
+        for checksum in checksums:
+            self.put(cache, checksum, eps=0.05)
+        stop = threading.Event()
+        failures = []
+
+        def churn():
+            i = 0
+            try:
+                while not stop.is_set():
+                    cache.evict(checksums[i % 4])
+                    self.put(cache, checksums[i % 4], eps=0.05, seed=i)
+                    i += 1
+            except Exception as exc:  # pragma: no cover - the assertion target
+                failures.append(exc)
+
+        writer = threading.Thread(target=churn)
+        writer.start()
+        try:
+            for _ in range(150):
+                for entry in cache.entries():
+                    assert entry.key  # whatever is listed is fully parsed
+                cache.find(checksums[0], family="adaptive-sampling",
+                           eps=0.3, delta=0.3)  # may miss, must not raise
+        finally:
+            stop.set()
+            writer.join(timeout=30.0)
+        assert not failures
+        assert not writer.is_alive()
+
+
 # --------------------------------------------------------------------- #
 # Job manager
 # --------------------------------------------------------------------- #
@@ -610,6 +760,70 @@ class TestJobManager:
             JobManager(worker_mode="process", estimator=CountingEstimator())
         with pytest.raises(ValueError):
             JobManager(worker_mode="fiber")
+
+
+class TestRetention:
+    """Finished-job history must not grow without bound (memory regression).
+
+    Every finished job pins its full result (score vectors) in the manager's
+    job table; before the clamp a long-lived service leaked one result per
+    completed query.  The knobs under test: ``max_finished_jobs`` (in-memory
+    history), ``store_retention`` (finished rows on disk), and
+    ``max_events_per_job`` (per-job progress ring).
+    """
+
+    def run_jobs(self, manager, graph, count):
+        async def scenario():
+            jobs = []
+            for i in range(count):
+                # Tighter eps each round + a fresh seed: never a cache hit,
+                # never REFINABLE — `count` genuinely distinct jobs.
+                outcome = await manager.submit(QueryRequest(
+                    graph=str(graph), eps=0.5 / (i + 1), seed=i))
+                jobs.append(outcome.job)
+                await outcome.job.future
+            return jobs
+
+        return asyncio.run(scenario())
+
+    def test_finished_jobs_clamped_in_memory_and_store(self, tmp_path):
+        graph = write_graph(tmp_path / "g.txt")
+        manager = make_manager(tmp_path, CountingEstimator(),
+                               max_finished_jobs=3, store_retention=4)
+        self.run_jobs(manager, graph, 10)
+        finished = [j for j in manager.jobs() if j.status == "done"]
+        counts = manager.store.counts()
+        manager.close()
+        assert len(finished) == 3  # clamped, newest kept
+        assert counts["done"] == 4  # store retention is independent
+        # Accounting is history-independent: all ten completions counted.
+        assert manager.counters["completed"] == 10
+
+    def test_unclamped_default_keeps_everything_small_scale(self, tmp_path):
+        graph = write_graph(tmp_path / "g.txt")
+        manager = make_manager(tmp_path, CountingEstimator())
+        self.run_jobs(manager, graph, 5)
+        assert len(manager.jobs()) == 5  # defaults are far above 5
+        manager.close()
+
+    def test_event_ring_respects_custom_maxlen(self, tmp_path):
+        graph = write_graph(tmp_path / "g.txt")
+        manager = make_manager(tmp_path, CountingEstimator(),
+                               max_events_per_job=4)
+        (job,) = self.run_jobs(manager, graph, 1)
+        manager.close()
+        for i in range(20):
+            job.add_event({"phase": "sampling", "epoch": i})
+        status = job.status_dict()
+        assert len(status["progress"]) == 4
+        assert status["progress"][-1]["epoch"] == 19  # ring keeps the newest
+        assert status["num_events"] > 4
+
+    def test_retention_limits_are_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="max_finished_jobs"):
+            make_manager(tmp_path, CountingEstimator(), max_finished_jobs=-1)
+        with pytest.raises(ValueError, match="max_events_per_job"):
+            make_manager(tmp_path, CountingEstimator(), max_events_per_job=0)
 
 
 class TestSnapshotCache:

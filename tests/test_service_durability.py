@@ -1,0 +1,689 @@
+"""Durability tests: the job store, crash recovery and multi-worker draining.
+
+The acceptance property of the durable store is brutal and specific:
+**SIGKILL-ing a worker mid-job never loses the job**.  The lease expires,
+another worker re-queues and completes it, and — because estimations are
+deterministic in the request's seed — the replacement's result is
+bit-identical to what the dead worker would have produced.  That exact
+scenario runs here with real OS processes and ``kill -9``.
+
+Around it: unit tests of the :class:`~repro.service.store.JobStore` protocol
+(atomic enqueue-dedup, lease claiming, owner-guarded completion, heartbeat
+expiry, poison caps, retention) driven by an injected fake clock so no test
+sleeps its way to a deadline; coordinator crash recovery
+(:meth:`~repro.service.jobs.JobManager.resume_pending`); tenant admission
+control; and the external-dispatch path end to end through the HTTP service
+with a real :class:`~repro.service.worker.StoreWorker` draining the store.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.result import BetweennessResult
+from repro.service import (
+    BetweennessService,
+    JobManager,
+    JobStore,
+    QueryRequest,
+    QuotaExceeded,
+    ResultCache,
+    ServiceClient,
+    StoreWorker,
+    TenantQuota,
+)
+from repro.store import GraphCatalog
+
+TRIANGLE_PLUS_TAIL = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]
+
+
+def write_graph(path, edges=TRIANGLE_PLUS_TAIL):
+    path.write_text("\n".join(f"{u} {v}" for u, v in edges) + "\n")
+    return path
+
+
+def make_request(graph, **overrides) -> QueryRequest:
+    fields = {"graph": str(graph), "eps": 0.3, "delta": 0.2,
+              "algorithm": "sequential", "seed": 7}
+    fields.update(overrides)
+    return QueryRequest(**fields)
+
+
+def enqueue_request(store: JobStore, catalog: GraphCatalog, request: QueryRequest,
+                    **kwargs):
+    """What a coordinator does, minus the asyncio: resolve + enqueue."""
+    path = catalog.resolve(request.graph)
+    checksum = catalog.checksum(path)
+    record, created = store.enqueue(
+        key=request.job_key(checksum),
+        tenant=request.tenant,
+        request=request.as_dict(),
+        checksum=checksum,
+        graph_path=str(path),
+        **kwargs,
+    )
+    return record, created
+
+
+class FakeClock:
+    """Injectable time source: leases expire by assignment, not by sleeping."""
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def store(tmp_path, clock):
+    store = JobStore(tmp_path / "jobs.sqlite3", lease_seconds=10.0, clock=clock)
+    yield store
+    store.close()
+
+
+def fake_job(store, key="k1", tenant="default", **kwargs):
+    record, created = store.enqueue(
+        key=key,
+        tenant=tenant,
+        request={"graph": "g", "eps": 0.1, "delta": 0.1},
+        checksum="abc",
+        graph_path="/nonexistent.rcsr",
+        **kwargs,
+    )
+    return record, created
+
+
+# --------------------------------------------------------------------- #
+# Store protocol (fake clock, no subprocesses)
+# --------------------------------------------------------------------- #
+class TestJobStore:
+    def test_enqueue_then_claim_round_trip(self, store):
+        record, created = fake_job(store, kwargs={"resume_from": "/snap"})
+        assert created and record.state == "queued" and record.attempts == 0
+        assert record.job_id == f"job-{record.id}"
+        assert record.kwargs == {"resume_from": "/snap"}
+
+        claimed = store.claim("w1")
+        assert claimed.id == record.id
+        assert claimed.state == "running"
+        assert claimed.lease_owner == "w1"
+        assert claimed.attempts == 1
+        assert claimed.lease_deadline == pytest.approx(store.clock() + 10.0)
+        assert store.claim("w2") is None  # nothing else queued
+
+    def test_live_key_dedup_is_atomic_and_lifts_after_finish(self, store):
+        first, created1 = fake_job(store)
+        second, created2 = fake_job(store)
+        assert created1 and not created2
+        assert second.id == first.id  # joined, not duplicated
+
+        claimed = store.claim("w1")
+        still, created3 = fake_job(store)  # running also blocks re-enqueue
+        assert not created3 and still.id == first.id
+
+        assert store.complete(claimed.id, "w1", json.dumps({"ok": True}))
+        fresh, created4 = fake_job(store)
+        assert created4 and fresh.id != first.id  # finished rows don't dedup
+
+    def test_claim_is_fifo(self, store, clock):
+        a, _ = fake_job(store, key="a")
+        clock.advance(1.0)
+        b, _ = fake_job(store, key="b")
+        assert store.claim("w").id == a.id
+        assert store.claim("w").id == b.id
+
+    def test_heartbeat_extends_lease(self, store, clock):
+        record, _ = fake_job(store)
+        claimed = store.claim("w1")
+        clock.advance(8.0)
+        assert store.heartbeat(claimed.id, "w1")
+        refreshed = store.get_by_rowid(claimed.id)
+        assert refreshed.lease_deadline == pytest.approx(clock() + 10.0)
+        # Wrong owner cannot touch the lease.
+        assert not store.heartbeat(claimed.id, "imposter")
+
+    def test_expired_lease_requeues_and_next_worker_wins(self, store, clock):
+        record, _ = fake_job(store)
+        store.claim("w1", lease_seconds=5.0)
+        clock.advance(5.1)
+        requeued, poisoned = store.requeue_expired()
+        assert (requeued, poisoned) == (1, 0)
+        row = store.get_by_rowid(record.id)
+        assert row.state == "queued" and row.lease_owner is None
+        assert row.attempts == 1  # the failed attempt stays on the record
+
+        taken = store.claim("w2")
+        assert taken.attempts == 2
+        # The dead worker's late heartbeat and completion are both rejected.
+        assert not store.heartbeat(record.id, "w1")
+        assert not store.complete(record.id, "w1", "{}")
+        assert store.complete(record.id, "w2", json.dumps({"winner": "w2"}))
+        final = store.get_by_rowid(record.id)
+        assert final.state == "done" and json.loads(final.result) == {"winner": "w2"}
+
+    def test_live_lease_is_not_requeued(self, store, clock):
+        fake_job(store)
+        store.claim("w1", lease_seconds=5.0)
+        clock.advance(4.9)
+        assert store.requeue_expired() == (0, 0)
+
+    def test_poison_cap_fails_crash_looping_job(self, store, clock):
+        record, _ = fake_job(store)
+        for _ in range(2):
+            store.claim("w", lease_seconds=1.0)
+            clock.advance(1.1)
+            assert store.requeue_expired(max_attempts=3) == (1, 0)
+        store.claim("w", lease_seconds=1.0)  # attempts now 3
+        clock.advance(1.1)
+        requeued, poisoned = store.requeue_expired(max_attempts=3)
+        assert (requeued, poisoned) == (0, 1)
+        row = store.get_by_rowid(record.id)
+        assert row.state == "failed"
+        assert "lease expired" in row.error and "3" in row.error
+
+    def test_fail_records_error_and_releases_key(self, store):
+        record, _ = fake_job(store)
+        store.claim("w1")
+        assert store.fail(record.id, "w1", "RuntimeError: boom")
+        row = store.get_by_rowid(record.id)
+        assert row.state == "failed" and row.error == "RuntimeError: boom"
+        _, created = fake_job(store)  # key is free again
+        assert created
+
+    def test_cancel_only_touches_queued_jobs(self, store):
+        record, _ = fake_job(store)
+        assert store.cancel(record.id)
+        assert store.get_by_rowid(record.id).state == "cancelled"
+        running, _ = fake_job(store, key="k2")
+        store.claim("w1")
+        assert not store.cancel(running.id)  # running: cannot recall the worker
+
+    def test_get_accepts_external_job_ids(self, store):
+        record, _ = fake_job(store)
+        assert store.get(record.job_id).id == record.id
+        assert store.get(record.id).id == record.id
+        assert store.get("job-999") is None
+        assert store.get("not-a-job") is None
+
+    def test_counts_and_tenant_counts(self, store):
+        fake_job(store, key="a", tenant="alice")
+        fake_job(store, key="b", tenant="alice")
+        fake_job(store, key="c", tenant="bob")
+        store.claim("w1")
+        counts = store.counts()
+        assert counts["queued"] == 2 and counts["running"] == 1
+        tenants = store.tenant_counts()
+        assert tenants["alice"]["queued"] + tenants["alice"]["running"] == 2
+        assert tenants["bob"] == {"queued": 1, "running": 0}
+        assert store.live_count("alice", "queued") + store.live_count(
+            "alice", "running"
+        ) == 2
+
+    def test_prune_finished_keeps_newest(self, store, clock):
+        for i in range(5):
+            record, _ = fake_job(store, key=f"k{i}")
+            store.claim("w")
+            clock.advance(1.0)
+            store.complete(record.id, "w", "{}")
+        live, _ = fake_job(store, key="live")  # queued rows are never pruned
+        removed = store.prune_finished(keep=2)
+        assert removed == 3
+        remaining = store.list()
+        finished = [r for r in remaining if r.state == "done"]
+        assert len(finished) == 2
+        assert {r.key for r in finished} == {"k3", "k4"}  # newest survive
+        assert store.get_by_rowid(live.id).state == "queued"
+
+    def test_store_survives_reopen(self, tmp_path, clock):
+        first = JobStore(tmp_path / "jobs.sqlite3", clock=clock)
+        record, _ = fake_job(first)
+        first.close()
+        second = JobStore(tmp_path / "jobs.sqlite3", clock=clock)
+        try:
+            row = second.get_by_rowid(record.id)
+            assert row.state == "queued" and row.request["graph"] == "g"
+        finally:
+            second.close()
+
+
+# --------------------------------------------------------------------- #
+# StoreWorker pull loop (in-process, real estimations)
+# --------------------------------------------------------------------- #
+class TestStoreWorker:
+    def test_worker_drains_queue_and_populates_cache(self, tmp_path):
+        graph = write_graph(tmp_path / "g.txt")
+        catalog = GraphCatalog(tmp_path / "graph-cache")
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        cache = ResultCache(tmp_path / "results")
+        try:
+            r1, _ = enqueue_request(store, catalog, make_request(graph, seed=1))
+            r2, _ = enqueue_request(store, catalog, make_request(graph, seed=2))
+            worker = StoreWorker(store, cache=cache, poll_seconds=0.01)
+            completed = worker.run(max_jobs=2)
+            assert completed == 2 and worker.jobs_failed == 0
+
+            for record in (r1, r2):
+                row = store.get_by_rowid(record.id)
+                assert row.state == "done"
+                result = BetweennessResult.from_json(row.result)
+                assert result.num_samples > 0
+            # The cache now answers both seeds without sampling.
+            found = cache.find(r1.checksum, family="adaptive-sampling",
+                               eps=0.3, delta=0.2)
+            assert found is not None
+        finally:
+            store.close()
+
+    def test_estimation_error_fails_the_row(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        try:
+            record, _ = fake_job(store)  # graph_path does not exist
+            worker = StoreWorker(store, cache=ResultCache(tmp_path / "results"))
+            worker.run(max_jobs=1)
+            row = store.get_by_rowid(record.id)
+            assert row.state == "failed"
+            assert worker.jobs_failed == 1 and worker.jobs_done == 0
+        finally:
+            store.close()
+
+    def test_idle_worker_exits_on_max_idle(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        try:
+            worker = StoreWorker(store, cache=ResultCache(tmp_path / "results"),
+                                 poll_seconds=0.01)
+            started = time.monotonic()
+            assert worker.run(max_idle_seconds=0.1) == 0
+            assert time.monotonic() - started < 5.0
+        finally:
+            store.close()
+
+
+# --------------------------------------------------------------------- #
+# The headline property: SIGKILL mid-job loses nothing
+# --------------------------------------------------------------------- #
+def _spawn_worker(store_path, cache_dir, *extra):
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.service.worker",
+         "--store", str(store_path), "--cache-dir", str(cache_dir),
+         "--poll-seconds", "0.05", *extra],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+
+
+def _wait_until(predicate, *, timeout, message):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    pytest.fail(message)
+
+
+class TestCrashRecovery:
+    def test_sigkilled_worker_never_loses_the_job(self, tmp_path):
+        """Worker 1 claims the job and dies to SIGKILL mid-run; worker 2
+        re-queues the expired lease, completes the job, and produces the
+        bit-identical result the dead worker would have."""
+        graph = write_graph(tmp_path / "g.txt")
+        catalog = GraphCatalog(tmp_path / "graph-cache")
+        store_path = tmp_path / "jobs.sqlite3"
+        cache_dir = tmp_path / "results"
+        store = JobStore(store_path)
+        request = make_request(graph, seed=1234)
+        victim = survivor = None
+        try:
+            record, _ = enqueue_request(store, catalog, request)
+
+            # Worker 1: claims immediately, then holds (heartbeating) for far
+            # longer than the test — a deterministic window to kill it in.
+            victim = _spawn_worker(
+                store_path, cache_dir,
+                "--lease-seconds", "0.5", "--hold-seconds", "60",
+            )
+            _wait_until(
+                lambda: store.get_by_rowid(record.id).state == "running",
+                timeout=30.0, message="worker 1 never claimed the job",
+            )
+            victim.kill()  # SIGKILL: no cleanup, no final heartbeat
+            victim.wait(timeout=10.0)
+
+            # The job is now a running row with a dead owner.  Worker 2's
+            # normal poll loop must recover and finish it.
+            survivor = _spawn_worker(
+                store_path, cache_dir,
+                "--lease-seconds", "5", "--max-jobs", "1",
+                "--max-idle-seconds", "30",
+            )
+            _wait_until(
+                lambda: store.get_by_rowid(record.id).state == "done",
+                timeout=60.0, message="worker 2 never completed the job",
+            )
+            survivor.wait(timeout=30.0)
+
+            row = store.get_by_rowid(record.id)
+            assert row.attempts == 2  # one doomed claim + one successful
+            assert row.error is None
+
+            # Bit-identical to a direct same-seed run: determinism is what
+            # makes "just re-run it" a correct recovery strategy.
+            from repro.api import estimate_betweenness
+
+            recovered = BetweennessResult.from_json(row.result)
+            direct = estimate_betweenness(
+                row.graph_path, algorithm=request.algorithm,
+                eps=request.eps, delta=request.delta, seed=request.seed,
+            )
+            assert np.array_equal(recovered.scores, direct.scores)
+            assert recovered.num_samples == direct.num_samples
+        finally:
+            for proc in (victim, survivor):
+                if proc is not None and proc.poll() is None:
+                    proc.kill()
+                    proc.wait(timeout=10.0)
+            store.close()
+
+    def test_pool_coordinator_restart_resumes_queued_jobs(self, tmp_path):
+        """A coordinator that died after enqueueing (rows queued, nobody
+        running them) is replaced; the successor adopts and completes them."""
+        graph = write_graph(tmp_path / "g.txt")
+        catalog = GraphCatalog(tmp_path / "graph-cache")
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        record, _ = enqueue_request(store, catalog, make_request(graph, seed=9))
+
+        calls = []
+
+        def estimator(graph_path, *, callbacks=None, **kwargs):
+            calls.append(kwargs)
+            rng = np.random.default_rng(kwargs.get("seed", 0))
+            return BetweennessResult(scores=rng.random(5), num_samples=50,
+                                     eps=kwargs["eps"], delta=kwargs["delta"],
+                                     omega=200, num_epochs=1,
+                                     phase_seconds={"total": 0.001},
+                                     backend="sequential")
+
+        manager = JobManager(
+            cache=ResultCache(tmp_path / "results"),
+            catalog=catalog,
+            store=store,
+            worker_mode="thread",
+            estimator=estimator,
+        )
+
+        async def scenario():
+            adopted = await manager.resume_pending()
+            job = manager.get_job(record.job_id)
+            await job.future
+            return adopted, job
+
+        adopted, job = asyncio.run(scenario())
+        manager.close()
+        assert adopted == 1
+        assert job.status == "done" and job.num_waiters == 0
+        assert calls and calls[0]["seed"] == 9
+        row = JobStore(tmp_path / "jobs.sqlite3").get_by_rowid(record.id)
+        assert row.state == "done" and row.result is not None
+
+    def test_dead_local_pool_claim_is_reclaimed(self, tmp_path, clock):
+        """A row still 'running' under a pool:<host>:<dead-pid> lease (the
+        coordinator crashed before the lease expired) is re-queued on
+        restart without waiting out the lease."""
+        import socket as socket_mod
+
+        graph = write_graph(tmp_path / "g.txt")
+        catalog = GraphCatalog(tmp_path / "graph-cache")
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        record, _ = enqueue_request(store, catalog, make_request(graph, seed=3))
+        # Forge the dead coordinator's claim: pid 0 is never a worker of
+        # ours, and the lease deadline is far in the future.
+        dead_owner = f"pool:{socket_mod.gethostname()}:999999999"
+        store._conn().execute(
+            "UPDATE jobs SET state='running', lease_owner=?, lease_deadline=?"
+            " WHERE id=?",
+            (dead_owner, time.time() + 3600.0, record.id),
+        )
+
+        def estimator(graph_path, *, callbacks=None, **kwargs):
+            rng = np.random.default_rng(kwargs.get("seed", 0))
+            return BetweennessResult(scores=rng.random(5), num_samples=50,
+                                     eps=kwargs["eps"], delta=kwargs["delta"],
+                                     omega=200, num_epochs=1,
+                                     phase_seconds={"total": 0.001},
+                                     backend="sequential")
+
+        manager = JobManager(
+            cache=ResultCache(tmp_path / "results"),
+            catalog=catalog,
+            store=store,
+            worker_mode="thread",
+            estimator=estimator,
+        )
+
+        async def scenario():
+            adopted = await manager.resume_pending()
+            job = manager.get_job(record.job_id)
+            await job.future
+            return adopted
+
+        adopted = asyncio.run(scenario())
+        manager.close()
+        assert adopted == 1
+        final = JobStore(tmp_path / "jobs.sqlite3").get_by_rowid(record.id)
+        assert final.state == "done"
+
+
+# --------------------------------------------------------------------- #
+# External dispatch through the HTTP service
+# --------------------------------------------------------------------- #
+class TestExternalDispatch:
+    def test_service_enqueues_and_external_worker_completes(self, tmp_path):
+        graph = write_graph(tmp_path / "g.txt")
+        store = JobStore(tmp_path / "jobs.sqlite3", lease_seconds=5.0)
+        cache = ResultCache(tmp_path / "results")
+
+        async def main():
+            service = BetweennessService(
+                port=0,
+                cache=cache,
+                catalog=GraphCatalog(tmp_path / "graph-cache"),
+                store=store,
+                dispatch="external",
+                poll_seconds=0.05,
+            )
+            await service.start()
+            client = ServiceClient(service.host, service.port, timeout=30.0)
+            worker = StoreWorker(store, cache=cache, poll_seconds=0.02)
+            thread = threading.Thread(
+                target=worker.run, kwargs={"max_jobs": 1}, daemon=True
+            )
+            try:
+                fields = {"graph": str(graph), "eps": 0.3, "delta": 0.2,
+                          "algorithm": "sequential", "seed": 5}
+                submitted = await asyncio.to_thread(
+                    client.query, **fields, wait=False
+                )
+                assert submitted["status"] == "queued"
+                thread.start()
+                status = await asyncio.to_thread(
+                    client.wait_for_job, submitted["job_id"],
+                    poll_seconds=0.05, timeout=60.0,
+                )
+                # Identical repeat: now a pure cache hit, no second job.
+                again = await asyncio.to_thread(client.query, **fields)
+                stats = await asyncio.to_thread(client.stats)
+                # A row this coordinator never tracked (enqueued directly,
+                # completed by the worker) must still answer a poll from the
+                # store — with the same "status" key in-memory jobs use.
+                request = make_request(graph, eps=0.25, seed=11)
+                record, _ = enqueue_request(store, service.jobs.catalog, request)
+                StoreWorker(store, cache=cache, poll_seconds=0.02).run(max_jobs=1)
+                foreign = await asyncio.to_thread(
+                    client.request, "GET", f"/v1/jobs/{record.job_id}"
+                )
+                return status, again, stats, foreign
+            finally:
+                thread.join(timeout=30.0)
+                await service.stop()
+
+        status, again, stats, foreign = asyncio.run(main())
+        assert foreign["status"] == "done" and foreign["state"] == "done"
+        assert foreign["result"]["num_samples"] > 0
+        assert status["status"] == "done"
+        assert status["result"]["num_samples"] > 0
+        assert again["served_from_cache"] is True
+        assert stats["dispatch"] == "external"
+        assert stats["store"]["done"] == 1
+        assert stats["completed"] == 1
+
+
+# --------------------------------------------------------------------- #
+# Tenant admission control
+# --------------------------------------------------------------------- #
+class TestTenantQuota:
+    def test_quota_validation(self):
+        with pytest.raises(ValueError):
+            TenantQuota(max_inflight=0)
+        with pytest.raises(ValueError):
+            TenantQuota(max_queued=-1)
+        assert TenantQuota().unlimited
+
+    def test_over_quota_rejected_and_counted(self, tmp_path):
+        graph = write_graph(tmp_path / "g.txt")
+        hold = threading.Event()
+
+        def estimator(graph_path, *, callbacks=None, **kwargs):
+            assert hold.wait(timeout=30.0)
+            return BetweennessResult(scores=np.zeros(5), num_samples=50,
+                                     eps=kwargs["eps"], delta=kwargs["delta"],
+                                     omega=200, num_epochs=1,
+                                     phase_seconds={"total": 0.001},
+                                     backend="sequential")
+
+        manager = JobManager(
+            cache=ResultCache(tmp_path / "results"),
+            catalog=GraphCatalog(tmp_path / "graph-cache"),
+            store=JobStore(tmp_path / "jobs.sqlite3"),
+            worker_mode="thread",
+            estimator=estimator,
+            quota=TenantQuota(max_inflight=1),
+        )
+
+        async def scenario():
+            first = await manager.submit(
+                QueryRequest(graph=str(graph), eps=0.1, seed=1, tenant="alice")
+            )
+            # Same tenant, different job: over max_inflight=1.
+            with pytest.raises(QuotaExceeded) as excinfo:
+                await manager.submit(
+                    QueryRequest(graph=str(graph), eps=0.1, seed=2, tenant="alice")
+                )
+            # A different tenant is not starved by alice's backlog...
+            other = await manager.submit(
+                QueryRequest(graph=str(graph), eps=0.1, seed=3, tenant="bob")
+            )
+            # ...and joining alice's *identical* in-flight job is free:
+            # dedup happens before admission, quotas meter work not answers.
+            joined = await manager.submit(
+                QueryRequest(graph=str(graph), eps=0.1, seed=1, tenant="alice")
+            )
+            manager.refresh_metrics()  # pin the per-tenant gauges while live
+            hold.set()
+            await first.job.future
+            await other.job.future
+            # With the queue drained, alice is admitted again (eps tighter
+            # than anything cached, so this is real work, not a cache hit).
+            after = await manager.submit(
+                QueryRequest(graph=str(graph), eps=0.05, seed=4, tenant="alice")
+            )
+            await after.job.future
+            return excinfo.value, joined
+
+        exc, joined = asyncio.run(scenario())
+        # Idle tenants must be zeroed on refresh, not hold their last live
+        # count forever (tenant_counts() only reports live states).
+        gauge = manager.metrics.gauge(
+            "repro_store_tenant_live_jobs", labelnames=("tenant",)
+        )
+        assert gauge.labels(tenant="alice").value > 0  # pinned while live
+        manager.refresh_metrics()
+        assert gauge.labels(tenant="alice").value == 0
+        assert gauge.labels(tenant="bob").value == 0
+        manager.close()
+        assert exc.tenant == "alice" and exc.limit == 1 and exc.current == 1
+        assert joined.deduplicated
+        assert manager.counters["quota_rejected"] == 1
+        assert manager.counters["completed"] == 3
+
+    def test_http_429(self, tmp_path):
+        graph = write_graph(tmp_path / "g.txt")
+        hold = threading.Event()
+
+        def estimator(graph_path, *, callbacks=None, **kwargs):
+            assert hold.wait(timeout=30.0)
+            return BetweennessResult(scores=np.zeros(5), num_samples=50,
+                                     eps=kwargs["eps"], delta=kwargs["delta"],
+                                     omega=200, num_epochs=1,
+                                     phase_seconds={"total": 0.001},
+                                     backend="sequential")
+
+        async def main():
+            service = BetweennessService(
+                port=0,
+                cache=ResultCache(tmp_path / "results"),
+                catalog=GraphCatalog(tmp_path / "graph-cache"),
+                store=JobStore(tmp_path / "jobs.sqlite3"),
+                worker_mode="thread",
+                estimator=estimator,
+                quota=TenantQuota(max_inflight=1),
+            )
+            await service.start()
+            client = ServiceClient(service.host, service.port, timeout=30.0)
+            try:
+                first = await asyncio.to_thread(
+                    client.query, graph=str(graph), eps=0.1, seed=1,
+                    tenant="alice", wait=False,
+                )
+                from repro.service.client import ServiceError
+
+                with pytest.raises(ServiceError) as excinfo:
+                    await asyncio.to_thread(
+                        client.query, graph=str(graph), eps=0.1, seed=2,
+                        tenant="alice", wait=False,
+                    )
+                hold.set()
+                await asyncio.to_thread(
+                    client.wait_for_job, first["job_id"],
+                    poll_seconds=0.05, timeout=30.0,
+                )
+                return excinfo.value
+            finally:
+                hold.set()
+                await service.stop()
+
+        error = asyncio.run(main())
+        assert error.status == 429
+        assert "alice" in str(error)
