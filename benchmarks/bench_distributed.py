@@ -1,0 +1,147 @@
+"""Benchmark of the multi-process distributed runtime (``repro.dist``).
+
+The acceptance bar for the distributed PR: running Algorithm 2 through real
+OS processes over :class:`~repro.dist.socketcomm.SocketComm` on partitioned
+``.rcsr`` shards must deliver at least **2.5x** the aggregate samples/sec at
+4 processes vs. 1 process on an R-MAT proxy graph.  Throughput is the
+adaptive-phase rate reported by rank 0 (total samples taken across ranks
+divided by the slowest rank's adaptive wall time), so process startup and
+graph partitioning are excluded — exactly the regime the paper's scale-out
+measurements target.
+
+The gate needs real parallel hardware: on machines with fewer than 4 CPU
+cores the speedup is recorded but not enforced (CI runs the hard gate on a
+4-vCPU runner)::
+
+    python benchmarks/bench_distributed.py [output.json]
+    python -m pytest benchmarks/bench_distributed.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.dist.launcher import launch_local
+from repro.graph.generators import rmat_graph
+from repro.store import write_rcsr
+
+pytestmark = pytest.mark.benchmark(group="distributed")
+
+#: Required aggregate samples/sec ratio of 4 processes over 1 process.
+REQUIRED_SPEEDUP = 2.5
+
+#: Process counts measured (each with parts == processes).
+PROCESS_COUNTS = (1, 2, 4)
+
+RMAT_SCALE = 9
+RMAT_EDGE_FACTOR = 12
+RMAT_SEED = 11
+
+
+def _cores() -> int:
+    return os.cpu_count() or 1
+
+
+def _prepare_graph(directory: Path) -> Path:
+    graph = rmat_graph(RMAT_SCALE, edge_factor=RMAT_EDGE_FACTOR, seed=RMAT_SEED)
+    path = directory / f"rmat-s{RMAT_SCALE}.rcsr"
+    write_rcsr(graph, path)
+    return path
+
+
+def _rate(graph_path: Path, processes: int) -> dict:
+    """One distributed run; returns rank 0's merged result."""
+    return launch_local(
+        str(graph_path),
+        processes=processes,
+        parts=processes,
+        eps=0.03,
+        delta=0.1,
+        seed=5,
+        samples_per_check=2000,
+        max_samples=24_000,
+        max_epochs=3,
+        timeout=600.0,
+    )
+
+
+def measure(*, repeats: int = 2) -> dict:
+    """Measure aggregate throughput at 1/2/4 processes; returns the report.
+
+    Each process count is run ``repeats`` times and the best rate kept, so a
+    transient stall on a shared runner cannot fail the ratio gate.
+    """
+    with tempfile.TemporaryDirectory(prefix="bench-dist-") as tmp:
+        graph_path = _prepare_graph(Path(tmp))
+        rates = {}
+        samples = {}
+        for processes in PROCESS_COUNTS:
+            best = 0.0
+            for _ in range(repeats):
+                result = _rate(graph_path, processes)
+                best = max(best, float(result["aggregate_samples_per_sec"]))
+                samples[processes] = int(result["num_samples"])
+            rates[processes] = best
+    speedup = rates[4] / rates[1] if rates[1] > 0 else 0.0
+    return {
+        "graph": f"rmat scale={RMAT_SCALE} edge_factor={RMAT_EDGE_FACTOR}",
+        "transport": "socket",
+        "process_counts": list(PROCESS_COUNTS),
+        "aggregate_samples_per_sec": {str(p): round(rates[p], 1) for p in PROCESS_COUNTS},
+        "num_samples": {str(p): samples[p] for p in PROCESS_COUNTS},
+        "speedup_4_over_1": round(speedup, 2),
+        "required_speedup": REQUIRED_SPEEDUP,
+        "cpu_cores": _cores(),
+        "gate_enforced": _cores() >= 4,
+    }
+
+
+@pytest.mark.skipif(_cores() < 4, reason="speedup gate needs >= 4 CPU cores")
+def test_four_process_speedup():
+    """The headline acceptance assertion: >= 2.5x aggregate samples/sec."""
+    report = measure()
+    assert report["speedup_4_over_1"] >= REQUIRED_SPEEDUP, (
+        f"4 processes deliver only {report['speedup_4_over_1']}x the "
+        f"single-process rate ({report['aggregate_samples_per_sec']})"
+    )
+
+
+def test_single_process_baseline_runs():
+    """Portability smoke: the measurement harness itself works everywhere."""
+    with tempfile.TemporaryDirectory(prefix="bench-dist-") as tmp:
+        graph_path = _prepare_graph(Path(tmp))
+        result = _rate(graph_path, 1)
+    assert result["num_samples"] > 0
+    assert result["aggregate_samples_per_sec"] > 0
+
+
+def main(argv: list[str]) -> int:
+    output = Path(argv[1]) if len(argv) > 1 else Path("BENCH_distributed.json")
+    report = measure()
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if not report["gate_enforced"]:
+        print(
+            f"SKIP: only {report['cpu_cores']} CPU cores; "
+            f"speedup recorded but the {REQUIRED_SPEEDUP}x gate needs >= 4"
+        )
+        return 0
+    if report["speedup_4_over_1"] < REQUIRED_SPEEDUP:
+        print(
+            f"FAIL: speedup {report['speedup_4_over_1']}x below required "
+            f"{REQUIRED_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: 4 processes are {report['speedup_4_over_1']}x the single-process rate")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -77,10 +77,11 @@ __all__ = [
     "build_session_parser",
     "build_evolve_parser",
     "build_obs_parser",
+    "build_dist_parser",
 ]
 
 SUBCOMMANDS = (
-    "convert", "info", "serve", "worker", "query", "cache", "session", "evolve", "obs",
+    "convert", "info", "serve", "worker", "query", "cache", "session", "evolve", "obs", "dist",
 )
 
 
@@ -470,6 +471,196 @@ def build_obs_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_dist_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-betweenness dist",
+        description="Real multi-process distributed estimation over the socket "
+        "transport: 'run' spawns N local worker processes against a rank-0 "
+        "rendezvous hub (partitioning the graph into per-rank .rcsr shards "
+        "first); 'worker' is one rank, spawned by 'run' or by hand/mpirun "
+        "for multi-host deployments.",
+        epilog="The launcher, rendezvous, shard layout and fault recovery are "
+        "documented in docs/distributed.md.",
+    )
+    actions = parser.add_subparsers(dest="action", required=True)
+
+    run = actions.add_parser("run", help="spawn and monitor a local worker world")
+    run.add_argument("graph", help=".rcsr file, text graph file, or registered dataset name")
+    run.add_argument("--processes", type=int, default=2, help="worker processes (default 2)")
+    run.add_argument(
+        "--parts",
+        type=int,
+        default=None,
+        help="partition the graph into K shards; each rank maps only shard rank%%K "
+        "(default: no partitioning, every rank maps the full graph)",
+    )
+    run.add_argument(
+        "--transport",
+        default="socket",
+        help="transport to run on (see --list-backends); only 'socket' is "
+        "launchable here, mpi4py worlds start under mpirun",
+    )
+    run.add_argument("--algorithm", choices=("epoch", "mpi-only"), default="epoch")
+    run.add_argument("--threads", type=int, default=1, help="sampling threads per process")
+    run.add_argument("--eps", type=float, default=0.05)
+    run.add_argument("--delta", type=float, default=0.1)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--samples-per-check", type=int, default=1000)
+    run.add_argument("--calibration-samples", type=int, default=None)
+    run.add_argument("--max-samples", type=int, default=None)
+    run.add_argument("--max-epochs", type=int, default=None)
+    run.add_argument("--checkpoint", default=None, help="epoch-boundary checkpoint file (.snap)")
+    run.add_argument("--checkpoint-every", type=int, default=1, help="epochs between checkpoints")
+    run.add_argument("--max-restarts", type=int, default=2, help="crash-resume budget")
+    run.add_argument("--host", default="127.0.0.1")
+    run.add_argument("--port", type=int, default=None, help="hub port (default: ephemeral)")
+    run.add_argument("--timeout", type=float, default=600.0, help="overall wall-clock bound (s)")
+    run.add_argument("--output", default=None, help="merged result JSON path")
+    run.add_argument("--top", type=int, default=5, help="print the top-K vertices (0 = none)")
+
+    worker = actions.add_parser("worker", help="run one rank (spawned by 'run' or mpirun)")
+    worker.add_argument("--graph", required=True, help=".rcsr container path")
+    worker.add_argument("--rank", type=int, required=True)
+    worker.add_argument("--size", type=int, required=True)
+    worker.add_argument("--host", default="127.0.0.1")
+    worker.add_argument("--port", type=int, default=0, help="rank-0 hub port")
+    worker.add_argument("--connect", default=None, help="host:port of a remote hub")
+    worker.add_argument("--parts", type=int, default=None)
+    worker.add_argument("--algorithm", choices=("epoch", "mpi-only"), default="epoch")
+    worker.add_argument("--threads", type=int, default=1)
+    worker.add_argument("--eps", type=float, default=0.05)
+    worker.add_argument("--delta", type=float, default=0.1)
+    worker.add_argument("--seed", type=int, default=None)
+    worker.add_argument("--samples-per-check", type=int, default=1000)
+    worker.add_argument("--calibration-samples", type=int, default=None)
+    worker.add_argument("--max-samples", type=int, default=None)
+    worker.add_argument("--max-epochs", type=int, default=None)
+    worker.add_argument("--checkpoint", default=None)
+    worker.add_argument("--checkpoint-every", type=int, default=1)
+    worker.add_argument("--resume", action="store_true")
+    worker.add_argument("--timeout", type=float, default=60.0)
+    worker.add_argument("--output", default=None, help="rank-0 result JSON path")
+    return parser
+
+
+def _cmd_dist(argv: list) -> int:
+    args = build_dist_parser().parse_args(argv)
+
+    if args.action == "worker":
+        from repro.dist.driver import DistWorkerConfig, run_worker
+
+        config = DistWorkerConfig(
+            graph=args.graph,
+            rank=args.rank,
+            size=args.size,
+            port=args.port,
+            host=args.host,
+            connect=args.connect,
+            parts=args.parts,
+            algorithm=args.algorithm,
+            threads=args.threads,
+            eps=args.eps,
+            delta=args.delta,
+            seed=args.seed,
+            samples_per_check=args.samples_per_check,
+            calibration_samples=args.calibration_samples,
+            max_samples=args.max_samples,
+            max_epochs=args.max_epochs,
+            checkpoint=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+            result_path=args.output,
+            timeout=args.timeout,
+        )
+        return run_worker(config)
+
+    # ---- dist run --------------------------------------------------------- #
+    if args.transport != "socket":
+        from repro.dist.transports import list_transports
+
+        known = {spec.name for spec in list_transports()}
+        if args.transport not in known:
+            print(f"error: unknown transport {args.transport!r} (known: {sorted(known)})", file=sys.stderr)
+            return 2
+        if args.transport == "mpi4py":
+            print(
+                "error: mpi4py worlds are launched by the MPI runtime, e.g.\n"
+                "  mpirun -n 4 python -m repro.cli dist worker --graph g.rcsr ...",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "error: the threaded transport is in-process; use the plain "
+                "estimation CLI with --algorithm distributed instead",
+                file=sys.stderr,
+            )
+        return 2
+
+    from repro.dist.launcher import LaunchError, launch_local
+    from repro.store import GraphCatalog, StoreFormatError
+
+    try:
+        rcsr_path = GraphCatalog().resolve(args.graph)
+    except (OSError, StoreFormatError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    started = time.perf_counter()
+    try:
+        result = launch_local(
+            str(rcsr_path),
+            processes=args.processes,
+            parts=args.parts,
+            algorithm=args.algorithm,
+            threads=args.threads,
+            eps=args.eps,
+            delta=args.delta,
+            seed=args.seed,
+            samples_per_check=args.samples_per_check,
+            calibration_samples=args.calibration_samples,
+            max_samples=args.max_samples,
+            max_epochs=args.max_epochs,
+            checkpoint=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            max_restarts=args.max_restarts,
+            host=args.host,
+            port=args.port,
+            result_path=args.output,
+            timeout=args.timeout,
+        )
+    except LaunchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - started
+
+    print(
+        f"distributed run: {result['num_processes']} processes x "
+        f"{result['threads_per_process']} threads, algorithm={result['algorithm']}"
+        + (f", {result['parts']} shards" if result.get("parts") else "")
+    )
+    print(
+        f"samples: {result['num_samples']} in {result['num_epochs']} epochs "
+        f"(omega {result['omega']}, n0 {result['samples_per_epoch_n0']:.0f})"
+    )
+    print(
+        f"throughput: {result['aggregate_samples_per_sec']:.0f} samples/s aggregate; "
+        f"communication: {result['communication_bytes']} bytes; "
+        f"restarts: {result['restarts']}; wall: {elapsed:.2f} s"
+    )
+    if result.get("resumed_from_samples"):
+        print(
+            f"resumed from checkpoint: epoch {result['resumed_from_epoch']}, "
+            f"{result['resumed_from_samples']} samples carried over"
+        )
+    if args.top:
+        scores = result["scores"]
+        order = sorted(range(len(scores)), key=lambda v: -scores[v])[: args.top]
+        print("top vertices:")
+        for v in order:
+            print(f"  {v:>8d}  {scores[v]:.6f}")
+    return 0
+
+
 def _span_phases(node: dict, prefix: str, phases: dict, counter: list) -> None:
     """Accumulate ``{dotted path: seconds}`` over one span-tree dict."""
     path = f"{prefix}.{node.get('name', '?')}" if prefix else str(node.get("name", "?"))
@@ -629,6 +820,11 @@ def _cmd_info(argv: list) -> int:
     if routing["effective"] != routing["auto"]:
         line += f" (auto would pick {routing['auto']}; $REPRO_KERNEL={routing['env']})"
     print(line)
+    from repro.store.partition import find_manifests, format_placement
+
+    for manifest in find_manifests(info.path):
+        for placement_line in format_placement(manifest):
+            print(placement_line)
     return 0
 
 
@@ -1048,6 +1244,7 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
             "session": _cmd_session,
             "evolve": _cmd_evolve,
             "obs": _cmd_obs,
+            "dist": _cmd_dist,
         }
         return dispatch[raw[0]](raw[1:])
 
@@ -1055,7 +1252,11 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
     args = parser.parse_args(raw)
 
     if args.list_backends:
+        from repro.dist.transports import format_transport_table
+
         print(format_backend_table())
+        print()
+        print(format_transport_table())
         return 0
     if args.list_kernels:
         from repro.kernels import format_kernel_table

@@ -54,7 +54,16 @@ def make_sampler(
     (and scratch pool), so per-thread factories stay thread safe.  ``kernel``
     forces a specific registered kernel (see :mod:`repro.kernels.abi`);
     ``None`` uses automatic routing.
+
+    Graph-shaped objects that cannot expose contiguous CSR arrays (e.g. a
+    :class:`~repro.store.partition.PartitionedGraphView`) advertise a
+    ``native_sampler`` hook, which wins over the kernel samplers; this keeps
+    the core free of store imports while letting the unchanged drivers run on
+    sharded adjacency.
     """
+    native = getattr(graph, "native_sampler", None)
+    if native is not None:
+        return native(options, kernel=kernel)
     if options.use_bidirectional_bfs:
         return BidirectionalBFSSampler(graph, kernel=kernel)
     return UnidirectionalBFSSampler(graph, kernel=kernel)

@@ -1,0 +1,33 @@
+"""``repro.dist`` — the real multi-process distributed runtime.
+
+Everything below :mod:`repro.parallel` was written against the
+:class:`~repro.mpi.interface.Communicator` ABC precisely so the threaded
+simulation could be swapped for real transport.  This package performs the
+swap:
+
+* :mod:`repro.dist.socketcomm` — :class:`SocketComm`, the ABC over TCP with a
+  rank-0 rendezvous hub, length-prefixed stdlib framing and a background
+  receive thread giving ``ThreadedComm``-equivalent non-blocking semantics.
+* :mod:`repro.dist.mpi4py_adapter` — the same ABC over ``mpi4py`` when the
+  container has it, behind a capability probe (never a hard dependency).
+* :mod:`repro.dist.transports` — the probe-backed transport registry shown by
+  ``repro.cli --list-backends``.
+* :mod:`repro.dist.driver` — per-worker phase driver: partitioned graph view,
+  diameter/calibration/adaptive phases through the unchanged epoch framework,
+  epoch-boundary checkpoints and resume.
+* :mod:`repro.dist.launcher` — ``repro.cli dist run``: spawn N local worker
+  processes, monitor them, respawn-with-resume after a crash.
+"""
+
+from repro.dist.socketcomm import CommError, SocketComm, SocketHub, run_socket
+from repro.dist.transports import TransportSpec, format_transport_table, list_transports
+
+__all__ = [
+    "CommError",
+    "SocketComm",
+    "SocketHub",
+    "TransportSpec",
+    "format_transport_table",
+    "list_transports",
+    "run_socket",
+]

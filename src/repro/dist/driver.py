@@ -1,0 +1,468 @@
+"""Per-worker driver of the distributed runtime.
+
+One OS process per rank.  Rank 0's process hosts the rendezvous hub (unless
+``connect`` points at a remote hub), every rank joins the world communicator
+over TCP, and the run mirrors :class:`repro.parallel.driver._DistributedKadabra`'s
+phase structure exactly — diameter broadcast, calibration reduce +
+``calibrate_deltas``, then Algorithm 1 or the epoch-based Algorithm 2 through
+the *unchanged* :mod:`repro.parallel` framework.  What this module adds on
+top of the threaded simulation:
+
+* **Sharded adjacency** — with ``parts`` set, each rank opens a
+  :class:`~repro.store.partition.PartitionedGraphView` of only its shard
+  (``rank % parts``); the manifest's precomputed diameter bound makes the
+  sequential diameter phase a no-op.
+* **Epoch checkpoints** — rank 0 snapshots the live aggregate at epoch
+  boundaries through the ``on_aggregate`` hook into a ``.snap`` container,
+  so a SIGKILLed run resumes from the last completed epoch with zero lost
+  aggregated samples (see :func:`repro.dist.launcher.launch_local`).
+* **Merged observability** — every rank ships its metrics-registry snapshot
+  to rank 0 with the final ``gather``; rank 0 merges them so one
+  ``/metrics`` exposition covers the whole world.
+
+The fault-injection arm (``REPRO_DIST_FAULT_RANK``) SIGKILLs this process
+shortly after the first checkpoint exists — used by tests and CI to prove
+crash recovery with real processes, never set in normal operation.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.calibration import calibrate_deltas, calibration_sample_count
+from repro.core.kadabra import make_sampler
+from repro.core.options import KadabraOptions
+from repro.core.state_frame import StateFrame
+from repro.core.stopping import StoppingCondition, compute_omega
+from repro.diameter import vertex_diameter_upper_bound
+from repro.dist.socketcomm import SocketComm, SocketHub
+from repro.kernels import plan_batches
+from repro.mpi.interface import Communicator
+from repro.obs.metrics import get_registry, metrics_enabled
+from repro.parallel.algorithm1 import adaptive_sampling_algorithm1
+from repro.parallel.algorithm2 import adaptive_sampling_algorithm2
+from repro.parallel.epoch_length import thread_zero_samples_per_epoch
+from repro.sampling.rng import derive_seed, rng_for_rank_thread
+from repro.session.snapshot import read_snapshot, require_keys, write_snapshot
+from repro.store.format import open_rcsr, read_header
+from repro.store.partition import PartitionManifest, PartitionedGraphView, manifest_path_for
+
+__all__ = ["DistWorkerConfig", "run_worker", "FAULT_RANK_ENV", "CHECKPOINT_KIND"]
+
+FAULT_RANK_ENV = "REPRO_DIST_FAULT_RANK"
+CHECKPOINT_KIND = "dist-epoch"
+
+#: Salt tag separating post-resume RNG streams from the original run's.
+_RESUME_SEED_TAG = 7701
+
+
+@dataclass
+class DistWorkerConfig:
+    """Everything one worker process needs; mirrored by ``dist worker`` flags."""
+
+    graph: str
+    rank: int
+    size: int
+    port: int
+    host: str = "127.0.0.1"
+    connect: Optional[str] = None  # "host:port" of a remote hub
+    parts: Optional[int] = None
+    algorithm: str = "epoch"  # or "mpi-only"
+    threads: int = 1
+    eps: float = 0.05
+    delta: float = 0.1
+    seed: Optional[int] = 0
+    samples_per_check: int = 1000
+    calibration_samples: Optional[int] = None
+    max_samples: Optional[int] = None
+    max_epochs: Optional[int] = None
+    checkpoint: Optional[str] = None
+    checkpoint_every: int = 1
+    resume: bool = False
+    result_path: Optional[str] = None
+    timeout: float = 60.0
+
+    def hub_address(self) -> tuple:
+        if self.connect:
+            host, _, port = self.connect.rpartition(":")
+            return host, int(port)
+        return self.host, int(self.port)
+
+    def to_argv(self) -> List[str]:
+        """The ``repro.cli dist worker`` argument vector for this config."""
+        argv = [
+            "dist",
+            "worker",
+            "--graph",
+            self.graph,
+            "--rank",
+            str(self.rank),
+            "--size",
+            str(self.size),
+            "--host",
+            self.host,
+            "--port",
+            str(self.port),
+            "--algorithm",
+            self.algorithm,
+            "--threads",
+            str(self.threads),
+            "--eps",
+            str(self.eps),
+            "--delta",
+            str(self.delta),
+            "--samples-per-check",
+            str(self.samples_per_check),
+            "--checkpoint-every",
+            str(self.checkpoint_every),
+            "--timeout",
+            str(self.timeout),
+        ]
+        if self.connect:
+            argv += ["--connect", self.connect]
+        if self.parts is not None:
+            argv += ["--parts", str(self.parts)]
+        if self.seed is not None:
+            argv += ["--seed", str(self.seed)]
+        if self.calibration_samples is not None:
+            argv += ["--calibration-samples", str(self.calibration_samples)]
+        if self.max_samples is not None:
+            argv += ["--max-samples", str(self.max_samples)]
+        if self.max_epochs is not None:
+            argv += ["--max-epochs", str(self.max_epochs)]
+        if self.checkpoint:
+            argv += ["--checkpoint", self.checkpoint]
+        if self.resume:
+            argv += ["--resume"]
+        if self.result_path:
+            argv += ["--output", self.result_path]
+        return argv
+
+
+# --------------------------------------------------------------------------- #
+# fault injection (tests / CI only)
+
+
+def _arm_fault_injection(config: DistWorkerConfig) -> None:
+    """SIGKILL this process shortly after the first checkpoint appears.
+
+    Waiting for the checkpoint file guarantees the kill lands *after* at
+    least one epoch boundary was persisted — the scenario the resume path
+    must survive — rather than during startup where a restart would simply
+    rerun from scratch.
+    """
+    if os.environ.get(FAULT_RANK_ENV) != str(config.rank) or not config.checkpoint:
+        return
+    target = Path(config.checkpoint)
+
+    def watch() -> None:
+        while not target.exists():
+            time.sleep(0.005)
+        time.sleep(0.02)  # let the run proceed into the next epoch
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    threading.Thread(target=watch, name="fault-arm", daemon=True).start()
+
+
+# --------------------------------------------------------------------------- #
+# checkpointing
+
+
+def _write_checkpoint(
+    path: str,
+    *,
+    epoch: int,
+    aggregated: StateFrame,
+    config: DistWorkerConfig,
+    omega: int,
+    vd: int,
+    delta_l: np.ndarray,
+    delta_u: np.ndarray,
+    graph_checksum: str,
+) -> None:
+    meta = {
+        "kind": CHECKPOINT_KIND,
+        "epoch": int(epoch),
+        "num_samples": int(aggregated.num_samples),
+        "eps": float(config.eps),
+        "delta": float(config.delta),
+        "seed": config.seed,
+        "omega": int(omega),
+        "vertex_diameter": int(vd),
+        "size": int(config.size),
+        "parts": config.parts,
+        "algorithm": config.algorithm,
+        "frame": {k: int(v) for k, v in aggregated.scalar_state().items()},
+        "graph_checksum": graph_checksum,
+    }
+    arrays = {
+        "counts": aggregated.counts.copy(),
+        "delta_l": np.asarray(delta_l, dtype=np.float64),
+        "delta_u": np.asarray(delta_u, dtype=np.float64),
+    }
+    write_snapshot(Path(path), meta, arrays)
+
+
+def _load_checkpoint(path: str, *, graph_checksum: str, config: DistWorkerConfig):
+    meta, arrays = read_snapshot(Path(path))
+    require_keys(
+        meta,
+        ["kind", "epoch", "num_samples", "eps", "delta", "omega", "vertex_diameter", "frame", "graph_checksum"],
+        Path(path),
+    )
+    if meta["kind"] != CHECKPOINT_KIND:
+        raise ValueError(f"{path}: not a distributed epoch checkpoint ({meta['kind']!r})")
+    if meta["graph_checksum"] != graph_checksum:
+        raise ValueError(
+            f"{path}: checkpoint belongs to a different graph "
+            f"({meta['graph_checksum']} != {graph_checksum})"
+        )
+    if float(meta["eps"]) != float(config.eps) or float(meta["delta"]) != float(config.delta):
+        raise ValueError(f"{path}: checkpoint (eps, delta) differ from this run's")
+    frame = StateFrame.from_scalar_state(meta["frame"], arrays["counts"])
+    return meta, frame, arrays["delta_l"], arrays["delta_u"]
+
+
+# --------------------------------------------------------------------------- #
+# the worker body
+
+
+def _open_graph(config: DistWorkerConfig):
+    """Returns (graph-shaped object, graph content checksum, vd override)."""
+    path = Path(config.graph)
+    if config.parts:
+        manifest = PartitionManifest.load(manifest_path_for(path, config.parts))
+        view = PartitionedGraphView(manifest, config.rank % config.parts)
+        return view, manifest.source_checksum, manifest.vertex_diameter
+    header = read_header(path)
+    checksum = f"crc32:{header.crc_indptr:08x}{header.crc_indices:08x}"
+    return open_rcsr(path), checksum, None
+
+
+def run_worker(config: DistWorkerConfig) -> int:
+    """Run one rank of a distributed estimation; returns a process exit code.
+
+    Rank 0 (without ``connect``) hosts the hub, writes checkpoints, and emits
+    the merged result JSON to ``config.result_path``.
+    """
+    _arm_fault_injection(config)
+    hub: Optional[SocketHub] = None
+    if config.rank == 0 and config.connect is None:
+        hub = SocketHub(config.size, host=config.host, port=config.port).start()
+    host, port = config.hub_address()
+    comm = SocketComm.connect(host, port, config.rank, config.size, timeout=config.timeout)
+    try:
+        result = _worker_body(comm, config)
+        if comm.is_root and result is not None and config.result_path:
+            out = Path(config.result_path)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            tmp = out.with_name(out.name + ".tmp")
+            tmp.write_text(json.dumps(result, indent=2))
+            os.replace(tmp, out)
+        return 0
+    finally:
+        comm.close()
+        if hub is not None:
+            # Drain: the hub closes itself once every rank (including this
+            # one, whose bye was just sent) departed; force-close as backstop.
+            hub.wait_closed(timeout=10.0)
+            hub.close()
+
+
+def _worker_body(comm: Communicator, config: DistWorkerConfig) -> Optional[Dict[str, Any]]:
+    graph, graph_checksum, vd_hint = _open_graph(config)
+    num_threads = max(int(config.threads), 1)
+    options = KadabraOptions(
+        eps=config.eps,
+        delta=config.delta,
+        seed=config.seed,
+        samples_per_check=config.samples_per_check,
+        calibration_samples=config.calibration_samples,
+        max_samples_override=config.max_samples,
+        vertex_diameter_override=vd_hint,
+    )
+    rank = comm.rank
+
+    resume_meta = None
+    if config.resume and config.checkpoint and comm.is_root:
+        if Path(config.checkpoint).exists():
+            resume_meta = _load_checkpoint(
+                config.checkpoint, graph_checksum=graph_checksum, config=config
+            )
+    resuming = comm.bcast(resume_meta is not None, root=0)
+
+    calibration_frame: Optional[StateFrame] = None
+    initial_frame: Optional[StateFrame] = None
+    base_epoch = 0
+    resumed_from_samples = 0
+
+    if resuming:
+        # ---------------- Resume: skip diameter + calibration ------------- #
+        if comm.is_root:
+            meta, frame, delta_l, delta_u = resume_meta
+            payload = (
+                int(meta["vertex_diameter"]),
+                int(meta["omega"]),
+                delta_l,
+                delta_u,
+                int(meta["epoch"]),
+                int(meta["num_samples"]),
+            )
+        else:
+            payload = None
+        vd, omega, delta_l, delta_u, base_epoch, resumed_from_samples = comm.bcast(payload, root=0)
+        if comm.is_root:
+            initial_frame = resume_meta[1]
+        # Fresh, independent streams: never replay the pre-crash samples.
+        rng_seed = derive_seed(config.seed, _RESUME_SEED_TAG, base_epoch)
+    else:
+        # ---------------- Phase 1: diameter ------------------------------- #
+        if comm.is_root:
+            if options.vertex_diameter_override is not None:
+                vd = int(options.vertex_diameter_override)
+            else:
+                vd = max(vertex_diameter_upper_bound(graph, seed=options.seed), 2)
+        else:
+            vd = None
+        vd = int(comm.bcast(vd, root=0))
+        omega = compute_omega(options.eps, options.delta, vd)
+        if options.max_samples_override is not None:
+            omega = min(omega, int(options.max_samples_override))
+
+        # ---------------- Phase 2: calibration ---------------------------- #
+        total_calibration = calibration_sample_count(
+            options.calibration_samples, omega, graph.num_vertices
+        )
+        per_rank = int(math.ceil(total_calibration / comm.size))
+        sampler = make_sampler(graph, options)
+        rng = rng_for_rank_thread(options.seed, rank, 0, num_threads=num_threads + 1)
+        local_frame = StateFrame.zeros(graph.num_vertices)
+        for take in plan_batches(per_rank, "auto"):
+            local_frame.record_batch(sampler.sample_batch(take, rng))
+        calibration_frame = comm.reduce(local_frame, op="sum", root=0)
+        if comm.is_root:
+            calibration = calibrate_deltas(calibration_frame, options.delta, eps=options.eps)
+            payload = (calibration.delta_l, calibration.delta_u)
+        else:
+            payload = None
+        delta_l, delta_u = comm.bcast(payload, root=0)
+        initial_frame = calibration_frame if comm.is_root else None
+        rng_seed = options.seed
+
+    condition = StoppingCondition(eps=options.eps, omega=omega, delta_l=delta_l, delta_u=delta_u)
+
+    # ---------------- Checkpoint hook (rank 0 only) ----------------------- #
+    on_aggregate = None
+    if config.checkpoint and comm.is_root:
+        checkpoint_every = max(int(config.checkpoint_every), 1)
+
+        def on_aggregate(epochs_done: int, aggregated: StateFrame) -> None:
+            if epochs_done % checkpoint_every == 0:
+                _write_checkpoint(
+                    config.checkpoint,
+                    epoch=base_epoch + epochs_done,
+                    aggregated=aggregated,
+                    config=config,
+                    omega=omega,
+                    vd=vd,
+                    delta_l=delta_l,
+                    delta_u=delta_u,
+                    graph_checksum=graph_checksum,
+                )
+
+    # ---------------- Phase 3: adaptive sampling -------------------------- #
+    samples_per_epoch = thread_zero_samples_per_epoch(
+        comm.size,
+        num_threads if config.algorithm == "epoch" else 1,
+        base=float(options.samples_per_check),
+        exponent=options.epoch_exponent,
+    )
+    adaptive_start = time.perf_counter()
+    if config.algorithm == "mpi-only":
+        stats = adaptive_sampling_algorithm1(
+            comm,
+            make_sampler(graph, options),
+            condition,
+            rng_for_rank_thread(rng_seed, rank, 1, num_threads=num_threads + 1),
+            samples_per_epoch=samples_per_epoch,
+            initial_frame=initial_frame,
+            max_epochs=config.max_epochs,
+            on_aggregate=on_aggregate,
+            batch_size="auto",
+        )
+    else:
+        rngs = [
+            rng_for_rank_thread(rng_seed, rank, t + 1, num_threads=num_threads + 1)
+            for t in range(num_threads)
+        ]
+        stats = adaptive_sampling_algorithm2(
+            comm,
+            lambda _thread: make_sampler(graph, options),
+            condition,
+            rngs,
+            num_threads=num_threads,
+            samples_per_epoch=samples_per_epoch,
+            initial_frame=initial_frame,
+            max_epochs=config.max_epochs,
+            on_aggregate=on_aggregate,
+            batch_size="auto",
+        )
+    adaptive_seconds = time.perf_counter() - adaptive_start
+    aggregated = stats.aggregated_frame
+
+    # ---------------- Merge per-rank stats + metrics at rank 0 ------------ #
+    loaded = graph.loaded_parts() if isinstance(graph, PartitionedGraphView) else None
+    eager = graph.eager_parts() if isinstance(graph, PartitionedGraphView) else None
+    rank_report = {
+        "rank": rank,
+        "local_samples": int(stats.local_samples),
+        "communication_bytes": int(comm.communication_bytes()),
+        "adaptive_seconds": float(adaptive_seconds),
+        "eager_parts": list(eager) if eager is not None else None,
+        "loaded_parts": list(loaded) if loaded is not None else None,
+        "metrics": get_registry().snapshot() if metrics_enabled() else None,
+    }
+    reports = comm.gather(rank_report, root=0)
+    if not comm.is_root:
+        return None
+
+    assert aggregated is not None and reports is not None
+    if metrics_enabled():
+        registry = get_registry()
+        for report in reports:
+            if report["rank"] != 0 and report["metrics"]:
+                registry.merge(report["metrics"])
+    per_rank = [
+        {k: v for k, v in report.items() if k != "metrics"} for report in reports
+    ]
+    total_adaptive_samples = sum(r["local_samples"] for r in per_rank)
+    slowest = max(r["adaptive_seconds"] for r in per_rank)
+    return {
+        "scores": [float(x) for x in aggregated.betweenness_estimates()],
+        "num_samples": int(aggregated.num_samples),
+        "num_epochs": int(stats.num_epochs),
+        "eps": float(options.eps),
+        "delta": float(options.delta),
+        "omega": int(omega),
+        "vertex_diameter": int(vd),
+        "algorithm": config.algorithm,
+        "num_processes": int(comm.size),
+        "threads_per_process": int(num_threads),
+        "parts": config.parts,
+        "samples_per_epoch_n0": float(samples_per_epoch),
+        "resumed_from_samples": int(resumed_from_samples),
+        "resumed_from_epoch": int(base_epoch),
+        "communication_bytes": int(sum(r["communication_bytes"] for r in per_rank)),
+        "aggregate_samples_per_sec": (total_adaptive_samples / slowest) if slowest > 0 else 0.0,
+        "per_rank": per_rank,
+    }

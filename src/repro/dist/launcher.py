@@ -1,0 +1,184 @@
+"""Local process launcher: spawn N workers, monitor, resume after a crash.
+
+``repro.cli dist run`` lands here.  The launcher:
+
+1. partitions the graph up front (idempotent; also computes the diameter
+   bound once, so no worker pays for it and no two workers race the shard
+   writes);
+2. spawns ``processes`` real OS processes, each running
+   ``python -m repro.cli dist worker --rank R ...`` against the rank-0 hub
+   on a pre-picked free port;
+3. monitors them: if any worker dies (crash, OOM, SIGKILL), the remaining
+   workers are torn down and — when a checkpoint exists and restarts
+   remain — the whole world is respawned with ``--resume``, continuing from
+   the last persisted epoch boundary with zero lost aggregated samples;
+4. returns rank 0's merged result JSON, annotated with the restart count.
+
+Fault-injection (``fault_rank``) exports :data:`~repro.dist.driver.FAULT_RANK_ENV`
+to exactly one worker of the *first* generation; respawned generations never
+inherit it, mirroring a real transient fault.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.dist.driver import FAULT_RANK_ENV, DistWorkerConfig
+from repro.store.partition import partition_rcsr
+
+__all__ = ["LaunchError", "pick_free_port", "launch_local"]
+
+_POLL_SECONDS = 0.05
+
+
+class LaunchError(RuntimeError):
+    """The distributed run could not be completed (even after restarts)."""
+
+
+def pick_free_port(host: str = "127.0.0.1") -> int:
+    """An ephemeral TCP port that was free at probe time."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+        probe.bind((host, 0))
+        return probe.getsockname()[1]
+
+
+def _spawn(config: DistWorkerConfig, *, fault: bool) -> subprocess.Popen:
+    env = dict(os.environ)
+    env.pop(FAULT_RANK_ENV, None)
+    if fault:
+        env[FAULT_RANK_ENV] = str(config.rank)
+    src_root = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_root if not existing else f"{src_root}{os.pathsep}{existing}"
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *config.to_argv()],
+        env=env,
+    )
+
+
+def _kill_all(procs: List[subprocess.Popen]) -> None:
+    for proc in procs:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGKILL)
+    for proc in procs:
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:  # pragma: no cover - SIGKILL pending
+            pass
+
+
+def launch_local(
+    graph: str,
+    *,
+    processes: int,
+    parts: Optional[int] = None,
+    algorithm: str = "epoch",
+    threads: int = 1,
+    eps: float = 0.05,
+    delta: float = 0.1,
+    seed: Optional[int] = 0,
+    samples_per_check: int = 1000,
+    calibration_samples: Optional[int] = None,
+    max_samples: Optional[int] = None,
+    max_epochs: Optional[int] = None,
+    checkpoint: Optional[str] = None,
+    checkpoint_every: int = 1,
+    max_restarts: int = 2,
+    host: str = "127.0.0.1",
+    port: Optional[int] = None,
+    result_path: Optional[str] = None,
+    timeout: float = 600.0,
+    fault_rank: Optional[int] = None,
+) -> Dict:
+    """Run a distributed estimation with ``processes`` local worker processes.
+
+    Returns rank 0's merged result dict plus ``{"restarts": k}``.  ``graph``
+    must be a ``.rcsr`` path (callers resolve catalog names first); with
+    ``parts`` the shards are built here before any worker starts.
+    """
+    if processes <= 0:
+        raise LaunchError("processes must be positive")
+    graph_path = Path(graph)
+    if not graph_path.exists():
+        raise LaunchError(f"graph container not found: {graph_path}")
+    if parts:
+        partition_rcsr(graph_path, parts)
+
+    if result_path is None:
+        result_path = str(graph_path.with_name(f"{graph_path.stem}.dist-result.json"))
+    result_file = Path(result_path)
+    if result_file.exists():
+        result_file.unlink()
+
+    restarts = 0
+    resume = False
+    deadline = time.monotonic() + timeout
+    while True:
+        world_port = port if port is not None else pick_free_port(host)
+        configs = [
+            DistWorkerConfig(
+                graph=str(graph_path),
+                rank=rank,
+                size=processes,
+                port=world_port,
+                host=host,
+                parts=parts,
+                algorithm=algorithm,
+                threads=threads,
+                eps=eps,
+                delta=delta,
+                seed=seed,
+                samples_per_check=samples_per_check,
+                calibration_samples=calibration_samples,
+                max_samples=max_samples,
+                max_epochs=max_epochs,
+                checkpoint=checkpoint,
+                checkpoint_every=checkpoint_every,
+                resume=resume,
+                result_path=result_path if rank == 0 else None,
+                timeout=min(timeout, 120.0),
+            )
+            for rank in range(processes)
+        ]
+        procs = [
+            _spawn(config, fault=(fault_rank == config.rank and restarts == 0))
+            for config in configs
+        ]
+
+        failed_rank: Optional[int] = None
+        while True:
+            codes = [proc.poll() for proc in procs]
+            if any(code not in (None, 0) for code in codes):
+                failed_rank = next(i for i, code in enumerate(codes) if code not in (None, 0))
+                break
+            if all(code == 0 for code in codes):
+                break
+            if time.monotonic() > deadline:
+                _kill_all(procs)
+                raise LaunchError(f"distributed run exceeded {timeout}s")
+            time.sleep(_POLL_SECONDS)
+
+        if failed_rank is None:
+            if not result_file.exists():
+                raise LaunchError("workers exited cleanly but produced no result")
+            result = json.loads(result_file.read_text())
+            result["restarts"] = restarts
+            return result
+
+        _kill_all(procs)
+        can_resume = checkpoint is not None and Path(checkpoint).exists()
+        if restarts >= max_restarts:
+            raise LaunchError(
+                f"rank {failed_rank} died (exit {procs[failed_rank].poll()}) "
+                f"and the restart budget ({max_restarts}) is exhausted"
+            )
+        restarts += 1
+        resume = can_resume

@@ -14,9 +14,11 @@ shared memory with the same *semantics* as their MPI counterparts:
 * reductions use associative/commutative operators from
   :mod:`repro.mpi.reduce_ops`.
 
-The runtime also accounts the payload bytes of every reduce/bcast/gather,
-which the experiment harness uses for the communication-volume statistics of
-Table II.
+The runtime also accounts the framed wire bytes of every reduce/bcast/gather
+(:func:`framed_payload_bytes`: the structural payload size plus the 8-byte
+length prefix a socket transport would frame it with), which the experiment
+harness uses for the communication-volume statistics of Table II and which
+keeps byte totals comparable across the threaded and socket transports.
 """
 
 from __future__ import annotations
@@ -32,7 +34,16 @@ from repro.mpi.interface import Communicator
 from repro.mpi.reduce_ops import reduce_op
 from repro.mpi.requests import PolledRequest, Request
 
-__all__ = ["ThreadedCommWorld", "ThreadedComm", "run_threaded"]
+__all__ = [
+    "FRAME_HEADER_BYTES",
+    "ThreadedCommWorld",
+    "ThreadedComm",
+    "framed_payload_bytes",
+    "run_threaded",
+]
+
+#: Length prefix of one socket-transport frame (see ``repro.dist.socketcomm``).
+FRAME_HEADER_BYTES = 8
 
 
 def _payload_bytes(value: Any) -> int:
@@ -63,6 +74,20 @@ def _payload_bytes(value: Any) -> int:
         return len(pickle.dumps(value))
     except Exception:  # pragma: no cover - exotic payloads
         return 64
+
+
+def framed_payload_bytes(value: Any) -> int:
+    """Framed wire size of one collective payload on the socket path.
+
+    The in-process transport moves references, so :func:`_payload_bytes`
+    deliberately ignores framing.  Real transports don't: every message the
+    socket communicator puts on a TCP stream carries a
+    :data:`FRAME_HEADER_BYTES` length prefix in front of the payload.  Byte
+    accounting that compares the threaded simulation against real transport
+    (or estimates for an mpi4py run) must use this framed figure, or the
+    simulation under-reports every message by the header.
+    """
+    return FRAME_HEADER_BYTES + _payload_bytes(value)
 
 
 class _Collective:
@@ -138,7 +163,7 @@ class ThreadedComm(Communicator):
                     f"({entry.op}/{entry.root} vs {op}/{root})"
                 )
             if kind in ("reduce", "allreduce"):
-                payload = _payload_bytes(value)
+                payload = framed_payload_bytes(value)
                 entry.bytes += payload
                 core.total_bytes += payload
                 contribution = value.copy() if isinstance(value, (StateFrame, np.ndarray)) else value
@@ -149,11 +174,11 @@ class ThreadedComm(Communicator):
             elif kind == "bcast":
                 if self._rank == root:
                     entry.value = value
-                    payload = _payload_bytes(value)
+                    payload = framed_payload_bytes(value)
                     entry.bytes += payload * max(self.size - 1, 0)
                     core.total_bytes += payload * max(self.size - 1, 0)
             elif kind == "gather":
-                payload = _payload_bytes(value)
+                payload = framed_payload_bytes(value)
                 entry.bytes += payload
                 core.total_bytes += payload
                 entry.contributions[self._rank] = value

@@ -52,6 +52,7 @@ def adaptive_sampling_algorithm1(
     initial_frame: Optional[StateFrame] = None,
     max_epochs: Optional[int] = None,
     on_epoch: Optional[Callable[[int, int], None]] = None,
+    on_aggregate: Optional[Callable[[int, StateFrame], None]] = None,
     batch_size="auto",
 ) -> Algorithm1Stats:
     """Run the Algorithm 1 adaptive-sampling loop on this rank.
@@ -76,6 +77,12 @@ def adaptive_sampling_algorithm1(
     on_epoch:
         Optional progress hook ``on_epoch(epochs_done, samples_aggregated)``,
         invoked at rank 0 after each stopping-rule evaluation.
+    on_aggregate:
+        Optional hook ``on_aggregate(epochs_done, aggregated)`` invoked at
+        rank 0 right after the epoch's reduction is folded into the aggregate
+        ``S`` (before the stopping rule) — the epoch boundary the distributed
+        runtime checkpoints at.  The frame is the live aggregate; the hook
+        must copy what it keeps.
     batch_size:
         Sampling batch size (``"auto"`` or a positive int).  The ``n0`` bulk
         samples of each epoch are drawn in adaptively sized batches; the
@@ -126,6 +133,8 @@ def adaptive_sampling_algorithm1(
                 reduced = request.result()
                 if reduced is not None:
                     aggregated.add_into(reduced)
+                if on_aggregate is not None:
+                    on_aggregate(stats.num_epochs + 1, aggregated)
                 decision = condition.should_stop(aggregated)
                 if aggregated.num_samples >= condition.omega:
                     stats.stopped_by_omega = True

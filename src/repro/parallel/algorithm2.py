@@ -94,6 +94,7 @@ def adaptive_sampling_algorithm2(
     use_ibarrier_reduce: bool = True,
     max_epochs: Optional[int] = None,
     on_epoch: Optional[Callable[[int, int], None]] = None,
+    on_aggregate: Optional[Callable[[int, StateFrame], None]] = None,
     batch_size="auto",
 ) -> Algorithm2Stats:
     """Run the Algorithm 2 adaptive-sampling loop on this rank.
@@ -128,6 +129,12 @@ def adaptive_sampling_algorithm2(
         Optional progress hook ``on_epoch(epochs_done, samples_aggregated)``,
         invoked at the reduce root (world rank 0) after each stopping-rule
         evaluation.
+    on_aggregate:
+        Optional hook ``on_aggregate(epochs_done, aggregated)`` invoked at
+        the reduce root right after the epoch frame is folded into the
+        aggregate ``S`` (before the stopping rule).  This is the epoch
+        boundary the distributed runtime checkpoints at: the frame passed is
+        the live aggregate, so the hook must copy what it keeps.
     batch_size:
         Sampling batch size (``"auto"`` or a positive int).  Thread 0 draws
         its ``n0`` bulk samples in adaptively sized batches and keeps
@@ -231,6 +238,8 @@ def adaptive_sampling_algorithm2(
                 with timer.phase("check"):
                     if reduced_frame is not None:
                         aggregated.add_into(reduced_frame)
+                    if on_aggregate is not None:
+                        on_aggregate(stats.num_epochs + 1, aggregated)
                     decision = condition.should_stop(aggregated)
                     if aggregated.num_samples >= condition.omega:
                         stats.stopped_by_omega = True

@@ -48,6 +48,18 @@ from repro.store.format import (
     read_header,
     write_rcsr,
 )
+from repro.store.partition import (
+    PARTITION_MANIFEST_VERSION,
+    PartitionError,
+    PartitionManifest,
+    PartitionedGraphView,
+    ShardInfo,
+    ShardedPathSampler,
+    find_manifests,
+    manifest_path_for,
+    partition_boundaries,
+    partition_rcsr,
+)
 
 __all__ = [
     "CACHE_ENV_VAR",
@@ -61,7 +73,13 @@ __all__ = [
     "GraphInfo",
     "MAGIC",
     "PAGE_SIZE",
+    "PARTITION_MANIFEST_VERSION",
+    "PartitionError",
+    "PartitionManifest",
+    "PartitionedGraphView",
     "RcsrHeader",
+    "ShardInfo",
+    "ShardedPathSampler",
     "StoreFormatError",
     "apply_delta",
     "convert_any",
@@ -69,9 +87,13 @@ __all__ = [
     "convert_metis",
     "default_cache_dir",
     "default_result_cache_dir",
+    "find_manifests",
     "graph_info",
     "load_graph",
+    "manifest_path_for",
     "open_rcsr",
+    "partition_boundaries",
+    "partition_rcsr",
     "read_header",
     "resolve_format",
     "write_rcsr",

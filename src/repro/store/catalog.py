@@ -556,6 +556,35 @@ class GraphCatalog:
         """Open a graph by name or path (memory-mapped by default)."""
         return open_rcsr(self.resolve(spec), mmap=mmap)
 
+    def partition(self, spec: PathLike, num_parts: int, *, force: bool = False):
+        """Partition a stored graph into ``num_parts`` shards (idempotent).
+
+        Resolves (converting text inputs on first touch, like :meth:`load`),
+        then delegates to :func:`repro.store.partition.partition_rcsr`: an
+        up-to-date manifest whose shards validate is reused without rewriting
+        anything, so distributed launchers may call this on every run.
+        """
+        from repro.store.partition import partition_rcsr
+
+        rcsr_path = self.resolve(spec)
+        with obs_trace.span(
+            "store.partition", spec=str(spec), num_parts=int(num_parts)
+        ):
+            return partition_rcsr(rcsr_path, num_parts, force=force)
+
+    def partitioned_view(
+        self, spec: PathLike, num_parts: int, own_part: int, *, mmap: bool = True
+    ):
+        """A rank's :class:`~repro.store.partition.PartitionedGraphView`.
+
+        Partitions on demand (no-op when the shards already exist), then maps
+        only shard ``own_part`` eagerly.
+        """
+        from repro.store.partition import PartitionedGraphView
+
+        manifest = self.partition(spec, num_parts)
+        return PartitionedGraphView(manifest, own_part, mmap=mmap)
+
     def info(self, spec: PathLike) -> GraphInfo:
         """Sidecar metadata for a graph, computing (and caching) it if absent
         or stale (checksum mismatch with the container)."""

@@ -1,0 +1,242 @@
+"""Transport-agnostic Communicator conformance suite.
+
+Every implementation of :class:`repro.mpi.interface.Communicator` must behave
+identically under the collectives the epoch framework issues — the threaded
+simulation, the distributed socket transport, and the degenerate single-rank
+``SelfComm``.  This module defines *runners* (how to execute an N-rank body
+on a given transport) and the *checks* (the shared semantics); the pytest
+parametrization lives in ``test_comm_conformance.py``.
+
+Not named ``test_*`` on purpose: pytest does not collect it, tests import it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List
+
+import numpy as np
+
+from repro.core.state_frame import StateFrame
+from repro.mpi import SelfComm, run_threaded
+from repro.dist.socketcomm import run_socket
+
+Body = Callable[[Any, int], Any]
+
+__all__ = ["RUNNERS", "CommRunner", "SelfRunner", "ThreadedRunner", "SocketRunner", "CHECKS"]
+
+
+class CommRunner:
+    """Executes an N-rank body on one transport; returns per-rank results."""
+
+    name = "abstract"
+    max_ranks = 0
+    #: Whether the transport counts communication volume.
+    counts_bytes = True
+
+    def run(self, num_ranks: int, body: Body) -> List[Any]:
+        raise NotImplementedError
+
+
+class SelfRunner(CommRunner):
+    name = "self"
+    max_ranks = 1
+    counts_bytes = False
+
+    def run(self, num_ranks: int, body: Body) -> List[Any]:
+        assert num_ranks == 1
+        return [body(SelfComm(), 0)]
+
+
+class ThreadedRunner(CommRunner):
+    name = "threaded"
+    max_ranks = 16
+
+    def run(self, num_ranks: int, body: Body) -> List[Any]:
+        return run_threaded(num_ranks, body, timeout=60.0)
+
+
+class SocketRunner(CommRunner):
+    name = "socket"
+    max_ranks = 16
+
+    def run(self, num_ranks: int, body: Body) -> List[Any]:
+        return run_socket(num_ranks, body, timeout=60.0)
+
+
+RUNNERS = (SelfRunner(), ThreadedRunner(), SocketRunner())
+
+
+# --------------------------------------------------------------------------- #
+# checks — each takes (runner, num_ranks) and asserts; multi-rank checks are
+# skipped by the caller when the runner cannot host that many ranks.
+
+
+def check_reduce_sum_root0(runner: CommRunner, n: int) -> None:
+    results = runner.run(n, lambda comm, rank: comm.reduce(rank + 1, op="sum", root=0))
+    assert results[0] == n * (n + 1) // 2
+    assert all(r is None for r in results[1:])
+
+
+def check_reduce_nonzero_root(runner: CommRunner, n: int) -> None:
+    root = n - 1
+    results = runner.run(n, lambda comm, rank: comm.reduce(rank * 10, op="sum", root=root))
+    assert results[root] == 10 * (n - 1) * n // 2
+    assert all(r is None for i, r in enumerate(results) if i != root)
+
+
+def check_allreduce_max(runner: CommRunner, n: int) -> None:
+    results = runner.run(n, lambda comm, rank: comm.allreduce(rank, op="max"))
+    assert results == [n - 1] * n
+
+
+def check_bcast(runner: CommRunner, n: int) -> None:
+    def body(comm, rank):
+        return comm.bcast({"data": 99} if rank == 0 else None, root=0)
+
+    assert runner.run(n, body) == [{"data": 99}] * n
+
+
+def check_bcast_false_value(runner: CommRunner, n: int) -> None:
+    results = runner.run(n, lambda comm, rank: comm.bcast(False if rank == 0 else None))
+    assert results == [False] * n
+
+
+def check_bcast_nonzero_root(runner: CommRunner, n: int) -> None:
+    root = n - 1
+
+    def body(comm, rank):
+        return comm.bcast("payload" if rank == root else None, root=root)
+
+    assert runner.run(n, body) == ["payload"] * n
+
+
+def check_gather_nonzero_root(runner: CommRunner, n: int) -> None:
+    root = n // 2
+    results = runner.run(n, lambda comm, rank: comm.gather(rank * rank, root=root))
+    assert results[root] == [r * r for r in range(n)]
+    assert all(r is None for i, r in enumerate(results) if i != root)
+
+
+def check_barrier_and_ibarrier(runner: CommRunner, n: int) -> None:
+    def body(comm, rank):
+        comm.barrier()
+        comm.ibarrier().wait()
+        return True
+
+    assert runner.run(n, body) == [True] * n
+
+
+def check_sequential_collectives_match_by_order(runner: CommRunner, n: int) -> None:
+    def body(comm, rank):
+        first = comm.allreduce(1, op="sum")
+        second = comm.allreduce(rank, op="max")
+        return (first, second)
+
+    assert runner.run(n, body) == [(n, n - 1)] * n
+
+
+def check_ireduce_overlap(runner: CommRunner, n: int) -> None:
+    def body(comm, rank):
+        request = comm.ireduce(rank + 1, op="sum", root=0)
+        overlapped = 1 + 1  # sampling would happen here
+        value = request.wait()
+        return (overlapped, value)
+
+    results = runner.run(n, body)
+    assert results[0] == (2, n * (n + 1) // 2)
+    assert all(r == (2, None) for r in results[1:])
+
+
+def check_out_of_order_ibarrier_reduce_interleaving(runner: CommRunner, n: int) -> None:
+    """Non-blocking ops of different kinds issued before either completes."""
+
+    def body(comm, rank):
+        barrier_req = comm.ibarrier()
+        reduce_req = comm.ireduce(np.full(8, float(rank)), op="sum")
+        # Complete in the opposite order on odd ranks to stress matching.
+        if rank % 2:
+            value = reduce_req.wait()
+            barrier_req.wait()
+        else:
+            barrier_req.wait()
+            value = reduce_req.wait()
+        return None if value is None else float(value.sum())
+
+    results = runner.run(n, body)
+    assert results[0] == 8.0 * sum(range(n))
+    assert all(r is None for r in results[1:])
+
+
+def check_state_frame_reduction(runner: CommRunner, n: int) -> None:
+    def body(comm, rank):
+        frame = StateFrame.zeros(n)
+        frame.record_sample(np.asarray([rank]))
+        return comm.reduce(frame, op="sum", root=0)
+
+    results = runner.run(n, body)
+    assert results[0].num_samples == n
+    assert list(results[0].counts) == [1.0] * n
+
+
+def check_split_subcommunicator_collectives(runner: CommRunner, n: int) -> None:
+    """Collectives on a split child only involve the child's members."""
+
+    def body(comm, rank):
+        color = rank % 2
+        child = comm.split(color=color, key=rank)
+        total = child.allreduce(rank, op="sum")
+        gathered = child.gather(rank, root=0)
+        return (color, child.rank, child.size, total, gathered)
+
+    results = runner.run(n, body)
+    for rank, (color, child_rank, child_size, total, gathered) in enumerate(results):
+        members = [r for r in range(n) if r % 2 == color]
+        assert color == rank % 2
+        assert child_size == len(members)
+        assert child_rank == members.index(rank)
+        assert total == sum(members)
+        if child_rank == 0:
+            assert gathered == members
+        else:
+            assert gathered is None
+
+
+def check_split_key_reverses_order(runner: CommRunner, n: int) -> None:
+    def body(comm, rank):
+        child = comm.split(color=0, key=comm.size - rank)
+        return child.rank
+
+    results = runner.run(n, body)
+    assert results == list(range(n - 1, -1, -1))
+
+
+def check_communication_bytes_positive(runner: CommRunner, n: int) -> None:
+    def body(comm, rank):
+        comm.reduce(np.zeros(100), op="sum", root=0)
+        return comm.communication_bytes()
+
+    results = runner.run(n, body)
+    assert all(b >= 100 * 8 for b in results)
+
+
+#: name -> (check, min_ranks_required)
+CHECKS = {
+    "reduce_sum_root0": (check_reduce_sum_root0, 1),
+    "reduce_nonzero_root": (check_reduce_nonzero_root, 2),
+    "allreduce_max": (check_allreduce_max, 1),
+    "bcast": (check_bcast, 1),
+    "bcast_false_value": (check_bcast_false_value, 1),
+    "bcast_nonzero_root": (check_bcast_nonzero_root, 2),
+    "gather_nonzero_root": (check_gather_nonzero_root, 2),
+    "barrier_and_ibarrier": (check_barrier_and_ibarrier, 1),
+    "sequential_collectives_match_by_order": (check_sequential_collectives_match_by_order, 1),
+    "ireduce_overlap": (check_ireduce_overlap, 1),
+    "out_of_order_ibarrier_reduce_interleaving": (
+        check_out_of_order_ibarrier_reduce_interleaving,
+        2,
+    ),
+    "state_frame_reduction": (check_state_frame_reduction, 2),
+    "split_subcommunicator_collectives": (check_split_subcommunicator_collectives, 4),
+    "split_key_reverses_order": (check_split_key_reverses_order, 3),
+    "communication_bytes_positive": (check_communication_bytes_positive, 2),
+}

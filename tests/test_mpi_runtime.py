@@ -1,4 +1,12 @@
-"""Unit tests for the threaded MPI runtime: collectives, requests, reductions."""
+"""Unit tests for the MPI runtime pieces that are not transport semantics.
+
+The collective semantics shared by every transport (reduce/bcast/gather/
+barrier matching, splits, non-blocking interleavings) live in the
+parametrized conformance suite (``comm_conformance.py`` via
+``test_comm_conformance.py``), which runs them against ``SelfComm``,
+``ThreadedComm`` *and* ``SocketComm``.  What remains here: request handles,
+reduction operators, ``SelfComm``'s single-rank contract, and the threaded
+world's own lifecycle (validation, exception propagation)."""
 
 from __future__ import annotations
 
@@ -14,7 +22,12 @@ from repro.mpi import (
     reduce_op,
     run_threaded,
 )
-from repro.mpi.threaded import ThreadedCommWorld
+from repro.mpi.threaded import (
+    FRAME_HEADER_BYTES,
+    ThreadedCommWorld,
+    _payload_bytes,
+    framed_payload_bytes,
+)
 
 
 class TestRequests:
@@ -67,6 +80,18 @@ class TestReduceOps:
             combine("sum", [])
 
 
+class TestPayloadBytes:
+    def test_framed_size_adds_the_length_prefix(self):
+        payload = np.zeros(100)
+        assert framed_payload_bytes(payload) == FRAME_HEADER_BYTES + _payload_bytes(payload)
+        assert framed_payload_bytes(None) == FRAME_HEADER_BYTES + 8
+
+    def test_state_frame_payload_is_structural(self):
+        frame = StateFrame.zeros(64)
+        assert _payload_bytes(frame) == frame.serialized_bytes()
+        assert framed_payload_bytes(frame) == FRAME_HEADER_BYTES + frame.serialized_bytes()
+
+
 class TestSelfComm:
     def test_identity(self):
         comm = SelfComm()
@@ -98,99 +123,6 @@ class TestThreadedComm:
         world = ThreadedCommWorld(2)
         with pytest.raises(ValueError):
             world.comm_for_rank(5)
-
-    def test_reduce_sum(self):
-        def body(comm, rank):
-            return comm.reduce(rank + 1, op="sum", root=0)
-
-        results = run_threaded(4, body)
-        assert results[0] == 10
-        assert all(r is None for r in results[1:])
-
-    def test_allreduce(self):
-        results = run_threaded(3, lambda comm, rank: comm.allreduce(rank, op="max"))
-        assert results == [2, 2, 2]
-
-    def test_bcast(self):
-        def body(comm, rank):
-            value = {"data": 99} if rank == 0 else None
-            return comm.bcast(value, root=0)
-
-        results = run_threaded(3, body)
-        assert all(r == {"data": 99} for r in results)
-
-    def test_bcast_false_value(self):
-        """A broadcast of False must not be mistaken for 'not yet arrived'."""
-        results = run_threaded(3, lambda comm, rank: comm.bcast(False if rank == 0 else None))
-        assert results == [False, False, False]
-
-    def test_gather(self):
-        results = run_threaded(3, lambda comm, rank: comm.gather(rank * 10, root=0))
-        assert results[0] == [0, 10, 20]
-        assert results[1] is None and results[2] is None
-
-    def test_barrier_and_ibarrier(self):
-        def body(comm, rank):
-            comm.barrier()
-            request = comm.ibarrier()
-            request.wait()
-            return True
-
-        assert run_threaded(4, body) == [True] * 4
-
-    def test_state_frame_reduction(self):
-        def body(comm, rank):
-            frame = StateFrame.zeros(4)
-            frame.record_sample([rank])
-            reduced = comm.reduce(frame, op="sum", root=0)
-            return reduced
-
-        results = run_threaded(4, body)
-        assert results[0].num_samples == 4
-        assert list(results[0].counts) == [1, 1, 1, 1]
-
-    def test_multiple_sequential_collectives_match_by_order(self):
-        def body(comm, rank):
-            first = comm.allreduce(1, op="sum")
-            second = comm.allreduce(rank, op="max")
-            return (first, second)
-
-        results = run_threaded(3, body)
-        assert all(r == (3, 2) for r in results)
-
-    def test_ireduce_overlap(self):
-        def body(comm, rank):
-            request = comm.ireduce(rank + 1, op="sum", root=0)
-            local_work = 0
-            while not request.test():
-                local_work += 1
-            return request.result() if comm.is_root else None
-
-        results = run_threaded(3, body)
-        assert results[0] == 6
-
-    def test_communication_bytes_counted(self):
-        def body(comm, rank):
-            comm.reduce(np.zeros(100), op="sum", root=0)
-            return comm.communication_bytes()
-
-        results = run_threaded(2, body)
-        # The root returns only after both contributions arrived, so it has
-        # seen the full payload; the other rank has at least its own share.
-        assert results[0] >= 2 * 100 * 8
-        assert results[1] >= 100 * 8
-
-    def test_split_groups_ranks(self):
-        def body(comm, rank):
-            color = rank // 2
-            local = comm.split(color=color, key=rank)
-            return (color, local.rank, local.size, local.allreduce(rank, op="sum"))
-
-        results = run_threaded(4, body)
-        assert results[0] == (0, 0, 2, 1)
-        assert results[1] == (0, 1, 2, 1)
-        assert results[2] == (1, 0, 2, 5)
-        assert results[3] == (1, 1, 2, 5)
 
     def test_exception_in_rank_propagates(self):
         def body(comm, rank):
